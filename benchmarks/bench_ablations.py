@@ -1,0 +1,57 @@
+"""Benches: design-choice ablations (DESIGN.md's extension table)."""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_ablation_banks(benchmark, runner, save):
+    """More NVM banks -> fewer promotion conflicts -> lower penalty."""
+    result = run_once(benchmark, ablations.run_bank_sweep, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["1_banks"] >= avg["4_banks"]
+    assert avg["4_banks"] >= avg["8_banks"] - 0.5
+
+
+def test_ablation_promotion_width(benchmark, runner, save):
+    """Wide-line count at fixed capacity trades width for associativity."""
+    result = run_once(benchmark, ablations.run_promotion_width_sweep, runner=runner)
+    save(result)
+    for key in result.series:
+        assert all(v < 30.0 for v in result.series[key])
+
+
+def test_ablation_prefetch_distance(benchmark, runner, save):
+    """Too-short look-ahead leaves latency exposed."""
+    result = run_once(benchmark, ablations.run_prefetch_distance_sweep, runner=runner)
+    save(result)
+    avg = result.averages()
+    # 128 B look-ahead (the default) must not lose to 32 B.
+    assert avg["ahead_128B"] <= avg["ahead_32B"] + 1.0
+
+
+def test_ablation_replacement(benchmark, runner, save):
+    """LRU is never much worse than the alternatives on these kernels."""
+    result = run_once(benchmark, ablations.run_replacement_sweep, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["lru"] <= min(avg["fifo"], avg["random"]) + 2.0
+
+
+def test_ablation_datasets(benchmark, save):
+    """The paper's extrapolation claim: the optimized proposal stays
+    tolerable on larger datasets."""
+    result = run_once(benchmark, ablations.run_dataset_sweep)
+    save(result)
+    avg = result.averages()
+    assert avg["small"] < 20.0
+
+
+def test_ablation_linesize(benchmark, runner, save):
+    """Against Table I's 256-bit SRAM lines the drop-in penalty shrinks
+    (the NVM's wide line wins back some of the loss)."""
+    result = run_once(benchmark, ablations.run_line_size_study, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["vs_256bit_sram"] < avg["vs_512bit_sram"]

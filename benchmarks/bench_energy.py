@@ -1,0 +1,33 @@
+"""Benches: energy and endurance extensions.
+
+The paper defers power models but claims the NVM DL1 "allows gains in
+area and even energy"; Section II rules out ReRAM/PRAM on endurance.
+"""
+
+from repro.experiments import energy
+
+from conftest import run_once
+
+
+def test_energy(benchmark, runner, save):
+    result = run_once(benchmark, energy.run, runner=runner)
+    save(result)
+    sram_total = sum(result.series_for("sram_nj"))
+    nvm_total = sum(result.series_for("nvm_vwb_nj"))
+    # Leakage dominates at these runtimes: the NVM DL1 must win overall.
+    assert nvm_total < sram_total
+
+
+def test_endurance(benchmark, runner, save):
+    result = run_once(benchmark, energy.run_endurance, runner=runner)
+    save(result)
+    stt = result.series["STT-MRAM 32nm"]
+    reram = result.series["ReRAM 32nm"]
+    pram = result.series["PRAM 32nm"]
+    # STT-MRAM sustains L1 write traffic for years (decades on most
+    # kernels); ReRAM and PRAM wear out orders of magnitude sooner —
+    # Section II's technology-choice argument.
+    assert all(v > 1.0 for v in stt)
+    assert sum(stt) / len(stt) > 10.0
+    assert all(r < s / 1000 for r, s in zip(reram, stt))
+    assert all(p < r for p, r in zip(pram, reram))

@@ -1,0 +1,76 @@
+"""Benches: extension experiments (hybrid, NVM I-cache, latency
+sensitivity, headline-claim validation)."""
+
+from repro.experiments import ablations, validate
+
+from conftest import run_once
+
+
+def test_ablation_hybrid(benchmark, runner, save):
+    """The hybrid SRAM partition shields reads like the VWB but spends
+    ~32x the fast-storage bits."""
+    result = run_once(benchmark, ablations.run_hybrid_comparison, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["vwb"] < avg["dropin"]
+    assert avg["hybrid_8kb"] < avg["dropin"]
+
+
+def test_ablation_icache(benchmark, save):
+    """A drop-in NVM IL1 pays the array read on every fetch group."""
+    result = run_once(benchmark, ablations.run_nvm_icache)
+    save(result)
+    assert all(v > 0.0 for v in result.series["nvm_il1"])
+
+
+def test_ablation_latency(benchmark, runner, save):
+    """Section II: write-oriented mitigation cannot fix the penalty."""
+    result = run_once(benchmark, ablations.run_latency_sensitivity, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert abs(avg["write_x1"] - avg["write_x0.25"]) < 3.0
+    assert avg["read_x0.25"] < 0.25 * avg["read_x1"]
+
+
+def test_ablation_hwprefetch(benchmark, runner, save):
+    """HW stride prefetching cannot remove the NVM read-hit latency."""
+    result = run_once(benchmark, ablations.run_hw_prefetch_comparison, runner=runner)
+    save(result)
+    avg = result.averages()
+    # HW prefetch helps a little; SW prefetch into the VWB dominates.
+    assert avg["dropin_hw_prefetch"] <= avg["dropin"] + 0.5
+    assert avg["vwb_sw_prefetch"] < 0.4 * avg["dropin_hw_prefetch"]
+
+
+def test_ablation_aware(benchmark, runner, save):
+    """AWARE write acceleration (actual mechanism) recovers ~nothing."""
+    result = run_once(benchmark, ablations.run_aware_writes, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert abs(avg["dropin"] - avg["dropin_aware"]) < 2.0
+    assert avg["vwb"] < 0.6 * avg["dropin_aware"]
+
+
+def test_ablation_interchange(benchmark, save):
+    """Interchange adds nothing on the stride-friendly paper kernels."""
+    result = run_once(benchmark, ablations.run_interchange_study)
+    save(result)
+    avg = result.averages()
+    assert abs(avg["full"] - avg["full_plus_interchange"]) < 2.0
+
+
+def test_ablation_dram(benchmark, save):
+    """The figures' flat-DRAM choice is validated by the banked model."""
+    result = run_once(benchmark, ablations.run_dram_model_study)
+    save(result)
+    avg = result.averages()
+    assert abs(avg["dropin_flat"] - avg["dropin_banked"]) < 3.0
+    assert avg["vwb_banked"] < avg["dropin_banked"]
+
+
+def test_validate_all_claims(benchmark, runner, save):
+    """Every headline claim of the paper must reproduce on the full
+    12-kernel suite."""
+    result = run_once(benchmark, validate.run, runner=runner)
+    save(result)
+    assert all(v == 1.0 for v in result.series["passed"]), "\n".join(result.notes)

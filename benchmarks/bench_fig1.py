@@ -1,0 +1,19 @@
+"""Bench: Figure 1 — drop-in STT-MRAM DL1 penalty per kernel.
+
+Paper shape: penalties up to ~55% per kernel, ~54% on average, relative
+to the SRAM D-cache baseline (= 100%).
+"""
+
+from repro.experiments import fig1
+
+from conftest import run_once
+
+
+def test_fig1(benchmark, runner, save):
+    result = run_once(benchmark, fig1.run, runner=runner)
+    save(result)
+    penalties = result.series_for("dropin")
+    average = sum(penalties) / len(penalties)
+    # Shape assertions: band and average (generous tolerances).
+    assert all(30.0 < p < 80.0 for p in penalties)
+    assert 45.0 < average < 65.0

@@ -1,0 +1,20 @@
+"""Bench: Figure 3 — VWB vs simple drop-in (no code transformations).
+
+Paper shape: a significant penalty reduction from the micro-architecture
+alone, "but not enough".
+"""
+
+from repro.experiments import fig3
+
+from conftest import run_once
+
+
+def test_fig3(benchmark, runner, save):
+    result = run_once(benchmark, fig3.run, runner=runner)
+    save(result)
+    avg = result.averages()
+    # The VWB must cut the average penalty substantially...
+    assert avg["vwb"] < 0.7 * avg["dropin"]
+    # ... while leaving a clearly non-tolerable residue (the reason the
+    # paper's Section V exists).
+    assert avg["vwb"] > 10.0

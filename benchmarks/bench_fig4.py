@@ -1,0 +1,20 @@
+"""Bench: Figure 4 — read vs write penalty contribution.
+
+Paper shape: "The read contribution far exceeds that of it's write
+counterpart towards the total penalty."
+"""
+
+from repro.experiments import fig4
+
+from conftest import run_once
+
+
+def test_fig4(benchmark, runner, save):
+    result = run_once(benchmark, fig4.run, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["read_share"] > 80.0
+    assert avg["write_share"] < 20.0
+    # Per-kernel shares are normalised.
+    for r, w in zip(result.series_for("read_share"), result.series_for("write_share")):
+        assert abs(r + w - 100.0) < 0.1 or (r == 0.0 and w == 0.0)

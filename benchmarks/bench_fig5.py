@@ -1,0 +1,19 @@
+"""Bench: Figure 5 — transformations cut the VWB system's penalty.
+
+Paper shape: the initial ~54% drop-in penalty falls "to extremely
+tolerable levels (8%) even in the worst cases" once the architecture and
+the code transformations combine.
+"""
+
+from repro.experiments import fig5
+
+from conftest import run_once
+
+
+def test_fig5(benchmark, runner, save):
+    result = run_once(benchmark, fig5.run, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["vwb_with_opt"] < avg["vwb_no_opt"] < avg["dropin"]
+    assert avg["vwb_with_opt"] < 10.0
+    assert max(result.series_for("vwb_with_opt")) < 12.0

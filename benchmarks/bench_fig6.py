@@ -1,0 +1,21 @@
+"""Bench: Figure 6 — per-transformation share of the penalty reduction.
+
+Paper shape: "pre-fetching and vectorization have the largest positive
+impacts", with prefetching most impactful on these small kernels.
+"""
+
+from repro.experiments import fig6
+
+from conftest import run_once
+
+
+def test_fig6(benchmark, runner, save):
+    result = run_once(benchmark, fig6.run, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["prefetching"] >= avg["vectorization"]
+    assert avg["prefetching"] >= avg["others"]
+    # Shares normalised per kernel.
+    for i in range(len(result.labels)):
+        total = sum(result.series[k][i] for k in result.series)
+        assert abs(total - 100.0) < 0.1 or total == 0.0

@@ -1,0 +1,20 @@
+"""Bench: Figure 7 — VWB size sweep (1/2/4 Kbit).
+
+Paper shape: "larger size VWB's help in reducing the penalty more", with
+2 Kbit the chosen sweet spot (the 2->4 Kbit step adds little).
+"""
+
+from repro.experiments import fig7
+
+from conftest import run_once
+
+
+def test_fig7(benchmark, runner, save):
+    result = run_once(benchmark, fig7.run, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["vwb_1kbit"] >= avg["vwb_2kbit"] >= avg["vwb_4kbit"] - 0.5
+    # Diminishing returns beyond 2 Kbit (the paper's sizing argument).
+    gain_1_to_2 = avg["vwb_1kbit"] - avg["vwb_2kbit"]
+    gain_2_to_4 = avg["vwb_2kbit"] - avg["vwb_4kbit"]
+    assert gain_1_to_2 >= gain_2_to_4

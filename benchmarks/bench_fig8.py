@@ -1,0 +1,23 @@
+"""Bench: Figure 8 — VWB vs equal-capacity L0 cache and EMSHR.
+
+Paper shape: "Our proposal offers almost twice the penalty reduction as
+compared to the other previous proposals."
+"""
+
+from repro.experiments import fig8
+from repro.transforms.pipeline import OptLevel
+
+from conftest import run_once
+
+
+def test_fig8(benchmark, runner, save):
+    result = run_once(benchmark, fig8.run, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["vwb"] < avg["l0"]
+    assert avg["vwb"] < avg["emshr"]
+    # "Almost twice the penalty reduction" vs the rivals' average.
+    dropin = sum(runner.penalties("dropin", OptLevel.FULL)) / len(runner.kernels)
+    vwb_red = dropin - avg["vwb"]
+    rivals_red = dropin - (avg["l0"] + avg["emshr"]) / 2.0
+    assert vwb_red > 1.4 * rivals_red

@@ -1,0 +1,17 @@
+"""Bench: Figure 9 — transformations on the SRAM baseline vs the proposal.
+
+Paper shape: gains on both systems, "more pronounced in case of our NVM
+based proposal", with the optimized SRAM system ending ~8% ahead.
+"""
+
+from repro.experiments import fig9
+
+from conftest import run_once
+
+
+def test_fig9(benchmark, runner, save):
+    result = run_once(benchmark, fig9.run, runner=runner)
+    save(result)
+    avg = result.averages()
+    assert avg["nvm_proposal_gain"] > avg["baseline_gain"]
+    assert avg["baseline_gain"] > 0.0

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table I (technology comparison)."""
+
+from repro.experiments import table1
+from repro.experiments.report import render_figure
+
+from conftest import run_once
+
+
+def test_table1(benchmark, runner, save):
+    result = run_once(benchmark, table1.run, runner=runner)
+    text = save(result)
+    # The paper's exact cell values must appear.
+    for value in ("0.787ns", "3.37ns", "1.86ns", "146F^2", "42F^2", "28.35mW"):
+        assert value in text

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table/figure of the paper (or one
+ablation), asserts its headline shape, and writes the rendered rows to
+``results/<name>.txt`` so the artefacts survive the pytest capture.
+
+The :class:`~repro.experiments.runner.ExperimentRunner` is session-scoped:
+kernel traces and named-configuration runs are shared across benches,
+so the full harness costs roughly one pass over the evaluation grid.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.report import FigureResult, render_figure
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared runner over the full 12-kernel suite."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def save():
+    """Write a rendered figure to results/ and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result: FigureResult) -> str:
+        text = render_figure(result)
+        (RESULTS_DIR / f"{result.name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+        return text
+
+    return _save
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The interesting output is the figure itself; wall-clock time is
+    reported for orientation, so one round is enough and keeps the whole
+    harness to a few minutes.
+    """
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

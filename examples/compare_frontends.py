@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare every D-cache organisation on one kernel, with metrics.
+
+Runs the six configurations of the evaluation (SRAM baseline, drop-in
+NVM, NVM+VWB, NVM+L0, NVM+EMSHR, NVM+hybrid partition) on one kernel and
+prints the cycle counts next to the derived metrics (AMAT, MPKI, cycle
+shares, buffer hit rates) from :mod:`repro.analysis` — the quickest way
+to see *why* each organisation lands where it does.
+
+Run with::
+
+    python examples/compare_frontends.py [kernel] [none|full]
+"""
+
+import sys
+
+from repro import OptLevel, System, SystemConfig, build_kernel, materialize_trace, optimize
+from repro.analysis import compare_runs
+from repro.cpu.system import warm_regions_of
+
+CONFIGS = {
+    "sram": SystemConfig(technology="sram"),
+    "dropin": SystemConfig(technology="stt-mram"),
+    "vwb": SystemConfig(technology="stt-mram", frontend="vwb"),
+    "l0": SystemConfig(technology="stt-mram", frontend="l0"),
+    "emshr": SystemConfig(technology="stt-mram", frontend="emshr"),
+    "hybrid": SystemConfig(technology="stt-mram", frontend="hybrid"),
+}
+
+
+def main(kernel: str = "atax", level: str = "full") -> None:
+    program = build_kernel(kernel)
+    if level == "full":
+        program = optimize(program, OptLevel.FULL)
+    trace = materialize_trace(program)
+    warm = warm_regions_of(program)
+
+    runs = {}
+    for name, config in CONFIGS.items():
+        runs[name] = System(config).run(trace, warm_regions=warm)
+
+    baseline = runs["sram"]
+    print(f"kernel={kernel}, code={'optimized' if level == 'full' else 'unoptimized'}\n")
+    print(f"{'config':>8}  {'cycles':>10}  {'penalty':>8}")
+    for name, result in runs.items():
+        print(f"{name:>8}  {result.cycles:10.0f}  {result.penalty_vs(baseline):+7.1f}%")
+    print()
+    print(compare_runs(runs))
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(args[0] if args else "atax", args[1] if len(args) > 1 else "full")

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Technology study: area, energy, scaling and endurance of the NVM DL1.
+
+Quantifies the paper's qualitative claims ("the use of NVMs also allows
+gains in area and even energy", Section II's endurance argument against
+ReRAM/PRAM) with the analytic models:
+
+1. Table I plus derived area/cycle rows;
+2. DL1 energy of an actual simulated kernel run, SRAM vs STT-MRAM+VWB;
+3. the SRAM-vs-NVM leakage gap across technology nodes;
+4. the worst-line lifetime of STT-MRAM/ReRAM/PRAM under the kernel's
+   write traffic.
+
+Run with::
+
+    python examples/energy_endurance_study.py
+"""
+
+from repro import System, SystemConfig, build_kernel, materialize_trace
+from repro.cpu.system import warm_regions_of
+from repro.tech import (
+    ArrayGeometry,
+    EnduranceModel,
+    EnergyLedger,
+    PRAM_32NM,
+    RERAM_32NM,
+    SRAM_32NM_HP,
+    STT_MRAM_32NM,
+    build_table_one,
+    estimate_array,
+    scale_technology,
+)
+from repro.tech.compare import render_table_one
+from repro.units import kib
+
+
+def table_one() -> None:
+    print("=== Table I (with derived rows) ===")
+    print(render_table_one(build_table_one()))
+
+
+def kernel_energy(kernel: str = "atax") -> None:
+    print(f"\n=== DL1 energy for one '{kernel}' run ===")
+    program = build_kernel(kernel)
+    trace = materialize_trace(program)
+    warm = warm_regions_of(program)
+    for label, config in (
+        ("SRAM baseline", SystemConfig(technology="sram")),
+        ("STT-MRAM + VWB", SystemConfig(technology="stt-mram", frontend="vwb")),
+    ):
+        system = System(config)
+        result = system.run(trace, warm_regions=warm)
+        tech = config.resolved_technology()
+        geometry = ArrayGeometry(
+            capacity_bytes=kib(64), associativity=2, line_bytes=64, banks=config.dl1_banks
+        )
+        ledger = EnergyLedger()
+        ledger.register("dl1", estimate_array(tech, geometry))
+        stats = result.dl1_stats
+        ledger.count_read("dl1", stats["read_hits"] + stats["read_misses"])
+        ledger.count_write("dl1", stats["write_hits"] + stats["write_misses"] + stats["fills"])
+        report = ledger.report(elapsed_ns=result.cycles)
+        print(
+            f"  {label:16s}: {result.cycles:9.0f} cycles | dynamic "
+            f"{report.dynamic_nj:8.1f} nJ | leakage {report.leakage_nj:8.1f} nJ "
+            f"| total {report.total_nj:8.1f} nJ"
+        )
+
+
+def scaling_gap() -> None:
+    print("\n=== Leakage gap across nodes (64 KB array) ===")
+    print(f"{'node':>6} {'SRAM mW':>10} {'STT mW':>10} {'ratio':>7}")
+    for node in (45.0, 32.0, 22.0, 14.0):
+        sram = scale_technology(SRAM_32NM_HP, node)
+        stt = scale_technology(STT_MRAM_32NM, node)
+        print(
+            f"{node:5.0f}n {sram.leakage_mw:10.2f} {stt.leakage_mw:10.2f} "
+            f"{sram.leakage_mw / stt.leakage_mw:7.2f}"
+        )
+
+
+def endurance(kernel: str = "gemm") -> None:
+    print(f"\n=== Worst-line DL1 lifetime under '{kernel}' write traffic ===")
+    program = build_kernel(kernel)
+    trace = materialize_trace(program)
+    config = SystemConfig(technology="stt-mram", frontend="vwb", track_line_writes=True)
+    system = System(config)
+    result = system.run(trace, warm_regions=warm_regions_of(program))
+    writes = system.dl1.line_write_counts
+    elapsed_s = result.cycles * 1e-9
+    for tech in (STT_MRAM_32NM, RERAM_32NM, PRAM_32NM):
+        estimate = EnduranceModel(tech).estimate(writes, elapsed_s)
+        years = estimate.lifetime_years_worst
+        verdict = "OK for a decade" if estimate.viable_for_decade else "WEARS OUT"
+        print(f"  {tech.name:14s}: {years:12.2e} years  ({verdict})")
+
+
+if __name__ == "__main__":
+    table_one()
+    kernel_energy()
+    scaling_gap()
+    endurance()

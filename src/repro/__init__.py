@@ -1,0 +1,62 @@
+"""repro — reproduction of "System level exploration of a STT-MRAM based
+Level 1 Data-Cache" (Komalan et al., DATE 2015).
+
+The package builds the paper's whole experimental platform in Python:
+
+- :mod:`repro.tech` — SRAM/STT-MRAM technology models (Table I);
+- :mod:`repro.mem` — caches, banks, buffers, DRAM;
+- :mod:`repro.core` — the Very Wide Buffer proposal and its competitors;
+- :mod:`repro.cpu` — the in-order ARM-like core and system assembly;
+- :mod:`repro.workloads` — the PolyBench kernel subset as an affine IR;
+- :mod:`repro.transforms` — the paper's code transformations;
+- :mod:`repro.experiments` — one module per reproduced table/figure.
+
+Quickstart::
+
+    from repro import SystemConfig, System, build_kernel, materialize_trace
+
+    baseline = System(SystemConfig(technology="sram"))
+    dropin = System(SystemConfig(technology="stt-mram"))
+    trace = materialize_trace(build_kernel("gemm"))
+    penalty = dropin.run(trace).penalty_vs(baseline.run(trace))
+"""
+
+from .analysis import RunMetrics, compare_runs, metrics_of
+from .cpu.model import CPUConfig, RunResult
+from .cpu.system import System, SystemConfig, warm_regions_of
+from .core.vwb import VWBConfig, VeryWideBuffer
+from .tech.params import (
+    SRAM_32NM_HP,
+    STT_MRAM_32NM,
+    MemoryTechnology,
+    get_technology,
+)
+from .transforms.pipeline import OptLevel, optimize
+from .workloads import build_kernel, kernel_names, materialize_trace
+from .workloads.datasets import DatasetSize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RunMetrics",
+    "compare_runs",
+    "metrics_of",
+    "CPUConfig",
+    "RunResult",
+    "System",
+    "SystemConfig",
+    "warm_regions_of",
+    "VWBConfig",
+    "VeryWideBuffer",
+    "SRAM_32NM_HP",
+    "STT_MRAM_32NM",
+    "MemoryTechnology",
+    "get_technology",
+    "OptLevel",
+    "optimize",
+    "build_kernel",
+    "kernel_names",
+    "materialize_trace",
+    "DatasetSize",
+    "__version__",
+]

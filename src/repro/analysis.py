@@ -1,0 +1,94 @@
+"""Derived metrics over run results (AMAT, MPKI, traffic shares).
+
+The paper reasons in terms of total-cycle penalties; these helpers
+expose the standard architecture metrics behind them so users can see
+*why* a configuration wins: average memory access time of the D-cache
+path, misses per kilo-instruction, and where the cycles went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .cpu.model import RunResult
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary metrics of one run.
+
+    Attributes:
+        cycles: Total cycles.
+        ipc: Instructions per cycle.
+        amat_cycles: Average exposed memory-access time per demand load.
+        load_mpki: DL1 demand-load misses per kilo-instruction.
+        store_share: Fraction of cycles attributed to stores.
+        load_share: Fraction of cycles attributed to loads.
+        compute_share: Fraction of cycles attributed to arithmetic.
+        buffer_hit_rate: Front-end buffer hit rate (0 for plain).
+    """
+
+    cycles: float
+    ipc: float
+    amat_cycles: float
+    load_mpki: float
+    store_share: float
+    load_share: float
+    compute_share: float
+    buffer_hit_rate: float
+
+
+def metrics_of(result: RunResult) -> RunMetrics:
+    """Compute :class:`RunMetrics` from a :class:`RunResult`.
+
+    Raises:
+        ConfigurationError: If the run executed no instructions.
+    """
+    if result.instructions <= 0:
+        raise ConfigurationError("run executed no instructions")
+    loads = max(1, result.counts["loads"])
+    dl1 = result.dl1_stats
+    fe = result.frontend_stats
+
+    buffer_hits = fe.get("buffer_read_hits", 0) + fe.get("buffer_write_hits", 0)
+    buffer_total = buffer_hits + fe.get("buffer_read_misses", 0) + fe.get(
+        "buffer_write_misses", 0
+    )
+    misses = dl1.get("read_misses", 0) + dl1.get("write_misses", 0)
+
+    return RunMetrics(
+        cycles=result.cycles,
+        ipc=result.ipc,
+        amat_cycles=result.breakdown.get("load", 0.0) / loads,
+        load_mpki=misses / result.instructions * 1000.0,
+        store_share=result.breakdown.get("store", 0.0) / result.cycles,
+        load_share=result.breakdown.get("load", 0.0) / result.cycles,
+        compute_share=result.breakdown.get("compute", 0.0) / result.cycles,
+        buffer_hit_rate=buffer_hits / buffer_total if buffer_total else 0.0,
+    )
+
+
+def compare_runs(runs: Dict[str, RunResult]) -> str:
+    """Render a metric table over named runs (rows = metrics)."""
+    if not runs:
+        raise ConfigurationError("no runs to compare")
+    metrics = {name: metrics_of(result) for name, result in runs.items()}
+    names = list(metrics)
+    rows = [
+        ("cycles", "{:.0f}", lambda m: m.cycles),
+        ("IPC", "{:.3f}", lambda m: m.ipc),
+        ("AMAT (cycles)", "{:.2f}", lambda m: m.amat_cycles),
+        ("load MPKI", "{:.2f}", lambda m: m.load_mpki),
+        ("load cycle share", "{:.1%}", lambda m: m.load_share),
+        ("store cycle share", "{:.1%}", lambda m: m.store_share),
+        ("compute cycle share", "{:.1%}", lambda m: m.compute_share),
+        ("buffer hit rate", "{:.1%}", lambda m: m.buffer_hit_rate),
+    ]
+    width = max(len(n) for n in names + ["metric"]) + 2
+    lines = ["metric".ljust(22) + "".join(n.rjust(width) for n in names)]
+    for label, fmt, getter in rows:
+        cells = "".join(fmt.format(getter(metrics[n])).rjust(width) for n in names)
+        lines.append(label.ljust(22) + cells)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""The paper's contribution: the Very Wide Buffer D-cache organisation.
+
+Modules:
+
+- :mod:`repro.core.frontend` — the pluggable D-cache front-end interface
+  shared by all four organisations the paper evaluates;
+- :mod:`repro.core.dropin` — the plain front-end (SRAM baseline and the
+  drop-in NVM replacement of Figure 1);
+- :mod:`repro.core.vwb` — the Very Wide Buffer structure itself;
+- :mod:`repro.core.vwb_frontend` — the proposed NVM DL1 + VWB organisation
+  with the paper's load/store policy (Section IV);
+- :mod:`repro.core.l0` — the L0 filter-cache comparison point (Figure 8);
+- :mod:`repro.core.emshr` — the Enhanced-MSHR comparison point (Figure 8).
+"""
+
+from .frontend import DCacheFrontend, FrontendStats
+from .dropin import PlainFrontend
+from .vwb import VeryWideBuffer, VWBConfig
+from .vwb_frontend import VWBFrontend
+from .l0 import L0Frontend
+from .emshr import EMSHRFrontend
+from .hybrid import HybridFrontend
+
+__all__ = [
+    "DCacheFrontend",
+    "FrontendStats",
+    "PlainFrontend",
+    "VeryWideBuffer",
+    "VWBConfig",
+    "VWBFrontend",
+    "L0Frontend",
+    "EMSHRFrontend",
+    "HybridFrontend",
+]

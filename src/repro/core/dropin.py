@@ -1,0 +1,68 @@
+"""Plain D-cache front-end: the baseline and the drop-in NVM replacement.
+
+With an SRAM-latency backing cache this is the paper's baseline platform;
+with STT-MRAM latencies it is the "Drop-In STT-MRAM D-Cache" of Figure 1 —
+every load pays the 4-cycle NVM array read, which is exactly the penalty
+the VWB is designed to remove.
+
+Optionally a hardware :class:`~repro.mem.prefetcher.StridePrefetcher`
+observes the demand stream — the extension comparison point against the
+paper's software prefetching (``ablation-hwprefetch``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mem.cache import Cache
+from ..mem.prefetcher import StridePrefetcher
+from ..mem.request import Access, AccessType
+from .frontend import DCacheFrontend
+
+
+class PlainFrontend(DCacheFrontend):
+    """Forwards every access straight to the backing cache.
+
+    Args:
+        backing: The DL1 array.
+        hw_prefetcher: Optional hardware stride prefetcher fed by the
+            demand stream (off in every reproduced figure).
+    """
+
+    name = "plain"
+
+    def __init__(self, backing: Cache, hw_prefetcher: Optional[StridePrefetcher] = None) -> None:
+        super().__init__(backing)
+        self.hw_prefetcher = hw_prefetcher
+
+    def read(self, addr: int, size: int, now: float) -> float:
+        """Demand load: one backing-cache access per line touched."""
+        self.stats.buffer_read_misses += 1
+        if self.hw_prefetcher is not None:
+            self.hw_prefetcher.observe(addr, now)
+        return self.backing.access(Access(addr, size, AccessType.READ), now)
+
+    def write(self, addr: int, size: int, now: float) -> float:
+        """Demand store: write-back/write-allocate in the backing cache."""
+        self.stats.buffer_write_misses += 1
+        if self.hw_prefetcher is not None:
+            self.hw_prefetcher.observe(addr, now)
+        return self.backing.access(Access(addr, size, AccessType.WRITE), now)
+
+    def prefetch(self, addr: int, now: float) -> float:
+        """Software prefetch into the backing cache (fills its MSHRs)."""
+        self.stats.prefetches_issued += 1
+        return self.backing.prefetch(addr, now)
+
+    def reset(self) -> None:
+        """Reset the backing cache, stats, and the prefetcher table."""
+        super().reset()
+        if self.hw_prefetcher is not None:
+            self.hw_prefetcher.reset()
+
+    def clear_stats(self) -> None:
+        """Clear stats/timing; the prefetcher table holds no timestamps
+        but its counters belong to the cleared run."""
+        super().clear_stats()
+        if self.hw_prefetcher is not None:
+            self.hw_prefetcher.reset()

@@ -1,0 +1,149 @@
+"""Enhanced-MSHR (EMSHR) front-end — comparison point of Figure 8.
+
+Models the proposal of Komalan et al., "Feasibility exploration of NVM
+based I-cache through MSHR enhancements" (DATE 2014), reference [7] of
+the paper, adapted to the D-cache: the MSHR file is enlarged so that
+entries *linger* after their fill completes and keep serving the datapath
+at buffer speed until the slot is reclaimed.
+
+The structural limitation the paper exploits in Figure 8: an MSHR entry
+only ever exists for a line that **missed** in the NVM DL1.  Loads that
+hit the NVM array still pay its 4-cycle read, so EMSHR mitigates miss
+latency (a write/miss-oriented concern) but not the read-hit latency that
+dominates an L1 D-cache — hence the VWB's ~2x advantage.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..mem.cache import Cache
+from ..mem.request import Access, AccessType
+from ..units import BITS_PER_BYTE
+from .frontend import DCacheFrontend
+
+
+class _LingeringEntry:
+    """One EMSHR entry holding a filled line."""
+
+    __slots__ = ("ready_at", "dirty")
+
+    def __init__(self, ready_at: float) -> None:
+        self.ready_at = ready_at
+        self.dirty = False
+
+
+class EMSHRFrontend(DCacheFrontend):
+    """NVM DL1 with an enhanced MSHR file that serves hits from entries.
+
+    Args:
+        backing: The NVM DL1 array.
+        total_bits: Data capacity of the MSHR file (2 Kbit in Figure 8).
+        hit_cycles: Latency of a hit in a lingering entry.
+    """
+
+    name = "emshr"
+
+    def __init__(self, backing: Cache, total_bits: int = 2048, hit_cycles: int = 1) -> None:
+        super().__init__(backing)
+        line_bits = backing.config.line_bytes * BITS_PER_BYTE
+        if total_bits % line_bits != 0 or total_bits < line_bits:
+            raise ConfigurationError(
+                f"EMSHR capacity {total_bits} bits must be a multiple of the "
+                f"{line_bits}-bit cache line"
+            )
+        self._capacity = total_bits // line_bits
+        self._hit_cycles = float(hit_cycles)
+        # Insertion-ordered: eviction is FIFO, matching the DATE'14 design
+        # where entries are reclaimed oldest-first.
+        self._entries: "OrderedDict[int, _LingeringEntry]" = OrderedDict()
+
+    def read(self, addr: int, size: int, now: float) -> float:
+        """Load: lingering entry first, then the NVM DL1."""
+        total = 0.0
+        t = now
+        for line in Access(addr, size, AccessType.READ).lines(self.backing.config.line_bytes):
+            latency = self._read_line(line, t)
+            total += latency
+            t += latency
+        return total
+
+    def write(self, addr: int, size: int, now: float) -> float:
+        """Store: update a lingering entry if present, else the NVM array."""
+        total = 0.0
+        t = now
+        for line in Access(addr, size, AccessType.WRITE).lines(self.backing.config.line_bytes):
+            latency = self._write_line(line, t)
+            total += latency
+            t += latency
+        return total
+
+    def prefetch(self, addr: int, now: float) -> float:
+        """Software prefetch: allocates an entry only if the DL1 misses.
+
+        A prefetch of a line already resident in the NVM DL1 is a no-op —
+        the MSHR path is only entered on a miss, so EMSHR cannot stage
+        DL1-resident data the way the VWB promotion can.
+        """
+        self.stats.prefetches_issued += 1
+        line = self.backing.line_addr(addr)
+        if line in self._entries or self.backing.contains(line):
+            self.stats.prefetches_useless += 1
+            return 0.0
+        latency = self.backing.line_access(line, False, now)
+        self._allocate(line, now + latency, now)
+        return 0.0
+
+    def reset(self) -> None:
+        """Reset the entry file, stats and backing cache."""
+        super().reset()
+        self._entries.clear()
+
+    def clear_stats(self) -> None:
+        """Keep lingering entries (marked filled) but drop stats/timing."""
+        super().clear_stats()
+        for entry in self._entries.values():
+            entry.ready_at = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _read_line(self, line: int, now: float) -> float:
+        entry = self._entries.get(line)
+        if entry is not None:
+            wait = max(0.0, entry.ready_at - now)
+            if wait > 0:
+                self.stats.buffer_read_misses += 1
+            else:
+                self.stats.buffer_read_hits += 1
+            return wait + self._hit_cycles
+        self.stats.buffer_read_misses += 1
+        if self.backing.contains(line):
+            # NVM read hit: pays the full array read — EMSHR cannot help.
+            return self.backing.line_access(line, False, now)
+        latency = self.backing.line_access(line, False, now)
+        self._allocate(line, now + latency, now)
+        return latency
+
+    def _write_line(self, line: int, now: float) -> float:
+        entry = self._entries.get(line)
+        if entry is not None:
+            wait = max(0.0, entry.ready_at - now)
+            entry.dirty = True
+            self.stats.buffer_write_hits += 1
+            return wait + self._hit_cycles
+        self.stats.buffer_write_misses += 1
+        return self.backing.access(
+            Access(line, self.backing.config.line_bytes, AccessType.WRITE), now
+        )
+
+    def _allocate(self, line: int, ready_at: float, now: float) -> None:
+        """Install a lingering entry, reclaiming the oldest when full."""
+        while len(self._entries) >= self._capacity:
+            victim_line, victim = self._entries.popitem(last=False)
+            if victim.dirty:
+                self.stats.buffer_writebacks += 1
+                self.backing.install_line(victim_line, True, now)
+        self._entries[line] = _LingeringEntry(ready_at)
+        self.stats.promotions += 1

@@ -1,0 +1,115 @@
+"""The pluggable D-cache front-end interface.
+
+The paper evaluates four L1-D organisations on an otherwise identical
+platform:
+
+1. SRAM DL1 (baseline) — a plain cache;
+2. drop-in STT-MRAM DL1 — the same plain cache with NVM latencies;
+3. STT-MRAM DL1 + Very Wide Buffer — the proposal;
+4. STT-MRAM DL1 + L0 filter cache / + Enhanced MSHR — prior art.
+
+A *front-end* is what the CPU's load/store unit talks to.  It owns any
+small buffer structure (VWB, L0, EMSHR buffer) and a backing
+:class:`~repro.mem.cache.Cache` (the actual DL1 array).  All front-ends
+share one timing contract: ``read``/``write`` take the absolute start
+cycle and return the cycles the demand access needs; ``prefetch`` starts a
+background promotion/fill and returns the issue-visible stall (normally
+zero).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, fields
+
+from ..mem.cache import Cache
+
+
+@dataclass
+class FrontendStats:
+    """Counters specific to the front-end buffer structure.
+
+    ``buffer_hits``/``buffer_misses`` count demand accesses served by the
+    small structure (VWB, L0, or lingering MSHR entries) versus passed to
+    the backing array.  Plain front-ends leave everything at zero except
+    the pass-through counters.
+    """
+
+    buffer_read_hits: int = 0
+    buffer_read_misses: int = 0
+    buffer_write_hits: int = 0
+    buffer_write_misses: int = 0
+    promotions: int = 0
+    promotion_cycles: int = 0
+    buffer_writebacks: int = 0
+    prefetches_issued: int = 0
+    prefetches_useless: int = 0
+
+    @property
+    def buffer_hits(self) -> int:
+        """Demand hits in the front-end buffer."""
+        return self.buffer_read_hits + self.buffer_write_hits
+
+    @property
+    def buffer_accesses(self) -> int:
+        """Demand accesses seen by the front-end buffer."""
+        return (
+            self.buffer_read_hits
+            + self.buffer_read_misses
+            + self.buffer_write_hits
+            + self.buffer_write_misses
+        )
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of demand accesses served by the buffer."""
+        total = self.buffer_accesses
+        return self.buffer_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view of the raw counters."""
+        return {f.name: getattr(self, f.name) for f in fields(FrontendStats)}
+
+
+class DCacheFrontend(abc.ABC):
+    """Interface between the load/store unit and the L1-D organisation."""
+
+    #: Short name used in reports (e.g. ``"vwb"``); subclasses override.
+    name: str = "frontend"
+
+    def __init__(self, backing: Cache) -> None:
+        self.backing = backing
+        self.stats = FrontendStats()
+
+    @abc.abstractmethod
+    def read(self, addr: int, size: int, now: float) -> float:
+        """Serve a demand load; return its latency in cycles."""
+
+    @abc.abstractmethod
+    def write(self, addr: int, size: int, now: float) -> float:
+        """Serve a demand store; return the cycles until it is accepted."""
+
+    @abc.abstractmethod
+    def prefetch(self, addr: int, now: float) -> float:
+        """Start a background promotion/fill of the data at ``addr``.
+
+        Returns:
+            Issue-visible stall in cycles (normally 0; the CPU model
+            charges the instruction slot separately).
+        """
+
+    def reset(self) -> None:
+        """Reset the front-end buffer, its statistics and the backing cache."""
+        self.backing.reset()
+        self.stats = FrontendStats()
+
+    def clear_stats(self) -> None:
+        """Zero statistics and *timing* state but keep buffer contents.
+
+        Used when continuing a warm run whose clock restarts at zero:
+        any absolute cycle timestamps held by the front-end (in-flight
+        fills) must be discarded, but resident data stays resident.
+        Subclasses with in-flight state extend this.
+        """
+        self.stats = FrontendStats()
+        self.backing.clear_stats()

@@ -1,0 +1,120 @@
+"""Hybrid SRAM/NVM D-cache front-end (related-work extension).
+
+Section II of the paper surveys hybrid organisations: "almost all the
+proposals to incorporate NVMs into the traditional memory hierarchy
+consists of them being utilized along with SRAM ... so that the negative
+impacts can be limited and the positive ones maximized" (e.g. Sun et
+al.'s MRAM L1 with SRAM buffers, reference [2]).
+
+This front-end implements the canonical shape of those proposals: a
+small SRAM partition in front of the full-size NVM array.
+
+- Loads check the SRAM partition first (1-cycle hit); a miss reads the
+  NVM array and *allocates the line into the SRAM partition* (unlike the
+  VWB's wide windows, allocation is per ordinary line through the narrow
+  interface).
+- Stores allocate into the SRAM partition too (the classic
+  write-mitigation move: writes coalesce in SRAM and only reach the NVM
+  array on eviction).
+- Dirty SRAM victims are written back into the NVM array.
+
+Compared to the VWB the hybrid spends far more area (kilobytes of SRAM
+vs 2 Kbit of register file) to buy a similar read-latency shield — the
+trade-off the paper's area argument is about.  The
+``ablation-hybrid`` bench quantifies it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..mem.cache import Cache, CacheConfig
+from ..mem.request import Access, AccessType
+from .frontend import DCacheFrontend
+
+
+class _NVMBackAdapter:
+    """Routes the SRAM partition's misses/write-backs into the NVM array.
+
+    The partition sees the NVM DL1 as its next level; the NVM's own
+    misses continue to the real next level (L2) as usual.
+    """
+
+    def __init__(self, nvm: Cache) -> None:
+        self._nvm = nvm
+
+    def access(self, addr: int, is_write: bool, now: float) -> float:
+        return self._nvm.line_access(addr, is_write, now)
+
+
+class HybridFrontend(DCacheFrontend):
+    """Small SRAM partition in front of the full STT-MRAM DL1.
+
+    Args:
+        backing: The NVM DL1 array.
+        sram_bytes: Capacity of the SRAM partition (8 KB default, the
+            scale used by the hybrid-L1 proposals the paper cites).
+        sram_associativity: Ways of the partition.
+        hit_cycles: SRAM partition access time.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        backing: Cache,
+        sram_bytes: int = 8192,
+        sram_associativity: int = 2,
+        hit_cycles: int = 1,
+    ) -> None:
+        super().__init__(backing)
+        if sram_bytes <= 0:
+            raise ConfigurationError(f"SRAM partition must be non-empty: {sram_bytes}")
+        self.sram = Cache(
+            CacheConfig(
+                name="dl1-sram-partition",
+                capacity_bytes=sram_bytes,
+                associativity=sram_associativity,
+                line_bytes=backing.config.line_bytes,
+                read_hit_cycles=hit_cycles,
+                write_hit_cycles=hit_cycles,
+                mshr_entries=backing.config.mshr_entries,
+                write_buffer_entries=backing.config.write_buffer_entries,
+                write_buffer_drain_cycles=float(backing.config.write_hit_cycles),
+            ),
+            _NVMBackAdapter(backing),
+        )
+
+    def read(self, addr: int, size: int, now: float) -> float:
+        """Load: SRAM partition first; misses fill from the NVM array."""
+        if self.sram.contains(addr):
+            self.stats.buffer_read_hits += 1
+        else:
+            self.stats.buffer_read_misses += 1
+            self.stats.promotions += 1
+        return self.sram.access(Access(addr, size, AccessType.READ), now)
+
+    def write(self, addr: int, size: int, now: float) -> float:
+        """Store: write-allocate into the SRAM partition."""
+        if self.sram.contains(addr):
+            self.stats.buffer_write_hits += 1
+        else:
+            self.stats.buffer_write_misses += 1
+        return self.sram.access(Access(addr, size, AccessType.WRITE), now)
+
+    def prefetch(self, addr: int, now: float) -> float:
+        """Software prefetch into the SRAM partition."""
+        self.stats.prefetches_issued += 1
+        if self.sram.contains(addr):
+            self.stats.prefetches_useless += 1
+            return 0.0
+        return self.sram.prefetch(addr, now)
+
+    def reset(self) -> None:
+        """Reset the partition, stats and the NVM array."""
+        super().reset()
+        self.sram.reset()
+
+    def clear_stats(self) -> None:
+        """Keep contents, clear stats/timing in both partitions."""
+        super().clear_stats()
+        self.sram.clear_stats()

@@ -1,0 +1,199 @@
+"""The Very Wide Buffer (VWB) structure.
+
+Section IV of the paper: "The VWB is made of single ported cells ... a
+post-decode circuit consisting of a multiplexer is provided to select the
+appropriate word(s) ... The interface of this register file organization
+is asymmetric: wide towards the memory and narrower towards the datapath
+... It is made up of two lines of single ported cells ... Each VWB line
+has an associated tag."
+
+Mapping to the model:
+
+- the VWB holds ``n_lines`` (2 in the paper) *wide lines*;
+- each wide line covers ``line_bits`` of consecutive, aligned memory — a
+  *window* spanning ``window_bytes / cache_line_bytes`` DL1 lines (the
+  paper's default: 2 Kbit VWB = two 1 Kbit lines, each covering two 512-bit
+  DL1 lines);
+- lookup is fully associative over the (few) wide-line tags;
+- datapath reads/writes hit in one cycle through the MUX network;
+- replacement between the wide lines is LRU;
+- a dirty evicted wide line is written back to the NVM DL1.
+
+The structure is purely state + bookkeeping; promotion timing lives in
+:class:`repro.core.vwb_frontend.VWBFrontend`, which owns the interaction
+with the banked NVM array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..units import bits_to_bytes, is_power_of_two
+
+
+@dataclass(frozen=True)
+class VWBConfig:
+    """Geometry of a Very Wide Buffer.
+
+    Attributes:
+        total_bits: Total VWB capacity (the paper sweeps 1/2/4 Kbit).
+        n_lines: Number of wide lines (the paper fixes 2).
+        cache_line_bytes: DL1 line size the wide lines are built from.
+        hit_cycles: Datapath access time of the register-file cells.
+    """
+
+    total_bits: int = 2048
+    n_lines: int = 2
+    cache_line_bytes: int = 64
+    hit_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_lines <= 0:
+            raise ConfigurationError(f"VWB needs at least one line: {self.n_lines}")
+        if self.total_bits % self.n_lines != 0:
+            raise ConfigurationError(
+                f"VWB capacity {self.total_bits} bits not divisible by {self.n_lines} lines"
+            )
+        window = bits_to_bytes(self.total_bits // self.n_lines)
+        if window < self.cache_line_bytes:
+            raise ConfigurationError(
+                f"VWB line ({window} B) must cover at least one cache line "
+                f"({self.cache_line_bytes} B)"
+            )
+        if window % self.cache_line_bytes != 0:
+            raise ConfigurationError(
+                f"VWB line ({window} B) must be a whole number of cache lines"
+            )
+        if not is_power_of_two(window):
+            raise ConfigurationError(f"VWB window must be a power of two: {window} B")
+        if self.hit_cycles < 1:
+            raise ConfigurationError("VWB hit latency must be at least 1 cycle")
+
+    @property
+    def window_bytes(self) -> int:
+        """Bytes of memory covered by one wide line."""
+        return bits_to_bytes(self.total_bits // self.n_lines)
+
+    @property
+    def lines_per_window(self) -> int:
+        """DL1 cache lines covered by one wide line."""
+        return self.window_bytes // self.cache_line_bytes
+
+
+@dataclass
+class _WideLine:
+    """State of one VWB wide line."""
+
+    window_addr: Optional[int] = None
+    dirty: bool = False
+    last_touch: int = 0
+
+
+@dataclass(frozen=True)
+class EvictedWindow:
+    """Description of a wide line displaced by an allocation."""
+
+    window_addr: int
+    dirty: bool
+
+
+class VeryWideBuffer:
+    """State and bookkeeping of the VWB's wide lines.
+
+    All methods are O(``n_lines``), which is 2 in the paper — the paper
+    notes that "a fully associative search also becomes a big problem with
+    the increase in size of the VWB", which is why capacity is swept by
+    widening lines rather than adding them.
+    """
+
+    def __init__(self, config: VWBConfig) -> None:
+        self.config = config
+        self._lines: List[_WideLine] = [_WideLine() for _ in range(config.n_lines)]
+        self._clock = 0
+
+    def window_addr(self, addr: int) -> int:
+        """Aligned window base address covering ``addr``."""
+        return (addr // self.config.window_bytes) * self.config.window_bytes
+
+    def lookup(self, addr: int) -> Optional[int]:
+        """Index of the wide line holding ``addr``, or ``None``.
+
+        Does not update recency; use :meth:`touch` on an actual access.
+        """
+        window = self.window_addr(addr)
+        for i, line in enumerate(self._lines):
+            if line.window_addr == window:
+                return i
+        return None
+
+    def contains(self, addr: int) -> bool:
+        """True if ``addr`` falls inside a resident wide line."""
+        return self.lookup(addr) is not None
+
+    def touch(self, index: int, dirty: bool = False) -> None:
+        """Record a datapath access to wide line ``index``."""
+        self._clock += 1
+        line = self._lines[index]
+        line.last_touch = self._clock
+        if dirty:
+            line.dirty = True
+
+    def allocate(self, addr: int) -> Optional[EvictedWindow]:
+        """Install the window covering ``addr``, evicting the LRU line.
+
+        Returns:
+            The displaced window (with its dirty state) if a valid line
+            was evicted, else ``None``.  The caller is responsible for
+            writing a dirty evicted window back to the NVM DL1.
+        """
+        window = self.window_addr(addr)
+        existing = self.lookup(addr)
+        if existing is not None:
+            self.touch(existing)
+            return None
+        victim_index = min(range(len(self._lines)), key=lambda i: self._sort_key(i))
+        victim = self._lines[victim_index]
+        evicted = None
+        if victim.window_addr is not None:
+            evicted = EvictedWindow(window_addr=victim.window_addr, dirty=victim.dirty)
+        victim.window_addr = window
+        victim.dirty = False
+        self.touch(victim_index)
+        return evicted
+
+    def invalidate(self, addr: int) -> Optional[EvictedWindow]:
+        """Drop the wide line covering ``addr`` (if resident).
+
+        Returns:
+            The dropped window with its dirty state, or ``None``.
+        """
+        index = self.lookup(addr)
+        if index is None:
+            return None
+        line = self._lines[index]
+        dropped = EvictedWindow(window_addr=line.window_addr, dirty=line.dirty)
+        line.window_addr = None
+        line.dirty = False
+        return dropped
+
+    @property
+    def resident_windows(self) -> List[int]:
+        """Base addresses of all valid wide lines (unspecified order)."""
+        return [l.window_addr for l in self._lines if l.window_addr is not None]
+
+    def is_dirty(self, addr: int) -> bool:
+        """True if the wide line covering ``addr`` is resident and dirty."""
+        index = self.lookup(addr)
+        return index is not None and self._lines[index].dirty
+
+    def reset(self) -> None:
+        """Invalidate all wide lines."""
+        self._lines = [_WideLine() for _ in range(self.config.n_lines)]
+        self._clock = 0
+
+    def _sort_key(self, index: int) -> tuple:
+        # Prefer invalid lines (key 0), then least recently touched.
+        line = self._lines[index]
+        return (1, line.last_touch) if line.window_addr is not None else (0, 0)

@@ -1,0 +1,264 @@
+"""The proposed NVM DL1 organisation: STT-MRAM array + Very Wide Buffer.
+
+Implements the load/store policy of Section IV:
+
+Load: "The VWB is always checked for the data first during a normal read.
+On encountering a miss, the NVM DL1 is checked.  If the data is present,
+then it is read from the NVM DL1 and also written into the VWB always.
+The evicted data from the VWB is stored in the NVM DL1.  If the data is
+not present in the NVM DL1 also, then the miss is served from the next
+cache level, and the cache line containing the data block is then
+transferred into the processor and the VWB."
+
+Store: "The data block in the DL1 is only updated via the VWB if it's
+already present in it.  Otherwise, it's directly updated via the
+processor ... If it's a miss, we follow the write allocate policy for the
+data cache array and a non allocate policy for the VWB."
+
+Timing: a VWB (or fill-buffer) hit costs one datapath cycle.  A miss
+triggers a *promotion* — a wide read of the whole window through the NVM
+array's wide interface ("the promotion may take as long as 4 cache
+cycles").  Promotions occupy the NVM banks, so a demand access racing a
+promotion to the same bank stalls, exactly as the paper describes.
+
+Promotions land in a small set of *fill buffers* first — the mechanism
+behind the paper's "data can be written into and read from the VWB at the
+same time": while one wide word streams in from the array, the datapath
+keeps reading through the post-decode MUX.  A staged window serves
+demand accesses as soon as its wide read completes and is committed into
+a VWB line lazily, when its buffer slot is needed for a newer promotion.
+Software prefetches (Section V) simply start promotions early, which is
+why prefetching is the largest contributor in Figure 6.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..mem.cache import Cache
+from ..mem.request import Access, AccessType
+from .frontend import DCacheFrontend
+from .vwb import EvictedWindow, VeryWideBuffer, VWBConfig
+
+
+class _PendingWindow:
+    """A promotion staged in a fill buffer."""
+
+    __slots__ = ("result", "dirty")
+
+    def __init__(self, result) -> None:
+        self.result = result
+        self.dirty = False
+
+    @property
+    def ready_at(self) -> float:
+        """Cycle the whole wide word is staged."""
+        return self.result.ready_at
+
+
+class VWBFrontend(DCacheFrontend):
+    """NVM DL1 + Very Wide Buffer (the paper's proposal).
+
+    Args:
+        backing: The NVM DL1 array.
+        config: VWB geometry (2 Kbit, two wide lines by default).
+        fill_buffers: Wide-word staging slots between the NVM array and
+            the VWB lines, sized like an MSHR file (6 by default) so one
+            prefetched window per loop stream can be in flight at once.
+    """
+
+    name = "vwb"
+
+    def __init__(
+        self,
+        backing: Cache,
+        config: VWBConfig = VWBConfig(),
+        fill_buffers: int = 6,
+    ) -> None:
+        super().__init__(backing)
+        if fill_buffers < 1:
+            raise ConfigurationError(f"need at least one fill buffer, got {fill_buffers}")
+        self.vwb = VeryWideBuffer(config)
+        self._fill_buffers = fill_buffers
+        #: Staged promotions in FIFO order: window base -> state.
+        self._pending: "OrderedDict[int, _PendingWindow]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, size: int, now: float) -> float:
+        """Load: VWB, then fill buffers, then promote from the NVM DL1."""
+        total = 0.0
+        t = now
+        for window in self._windows_of(addr, size):
+            latency = self._read_window(window, max(addr, window), t)
+            total += latency
+            t += latency
+        return total
+
+    def write(self, addr: int, size: int, now: float) -> float:
+        """Store: update VWB/fill buffer if present; else write the array."""
+        total = 0.0
+        t = now
+        for window in self._windows_of(addr, size):
+            latency = self._write_window(window, addr, size, t)
+            total += latency
+            t += latency
+        return total
+
+    def prefetch(self, addr: int, now: float) -> float:
+        """Software prefetch: start a wide promotion into a fill buffer."""
+        self.stats.prefetches_issued += 1
+        window = self.vwb.window_addr(addr)
+        if self.vwb.contains(window) or window in self._pending:
+            self.stats.prefetches_useless += 1
+            return 0.0
+        stall = self._stage_promotion(window, now)
+        return stall
+
+    def reset(self) -> None:
+        """Reset the VWB, fill buffers, stats and the backing cache."""
+        super().reset()
+        self.vwb.reset()
+        self._pending.clear()
+
+    def clear_stats(self) -> None:
+        """Keep VWB contents but drop in-flight promotions and stats."""
+        super().clear_stats()
+        self._pending.clear()
+
+    @property
+    def pending_windows(self) -> int:
+        """Staged promotions not yet committed (exposed for tests)."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _windows_of(self, addr: int, size: int):
+        """Window base addresses an access touches, lowest first."""
+        wb = self.vwb.config.window_bytes
+        first = (addr // wb) * wb
+        last = ((addr + size - 1) // wb) * wb
+        return range(first, last + wb, wb)
+
+    def _read_window(self, window: int, addr: int, now: float) -> float:
+        hit_cycles = float(self.vwb.config.hit_cycles)
+        line = self.backing.line_addr(addr)
+        index = self.vwb.lookup(window)
+        if index is not None:
+            self.vwb.touch(index)
+            self.stats.buffer_read_hits += 1
+            return hit_cycles
+
+        staged = self._pending.get(window)
+        if staged is not None:
+            # Served straight out of the fill buffer through the
+            # post-decode MUX ("data can be written into and read from
+            # the VWB at the same time"); the window moves into a VWB
+            # line only when its buffer slot is displaced.  Waits are
+            # critical-line-first: only the requested line gates the core.
+            wait = staged.result.wait_for(line, now)
+            if wait > 0:
+                self.stats.buffer_read_misses += 1
+            else:
+                self.stats.buffer_read_hits += 1
+            return wait + hit_cycles
+
+        # True miss: demand promotion — the line is "written into the VWB
+        # always" (Section IV) and the processor receives its word as soon
+        # as the critical line of the wide read lands.
+        self.stats.buffer_read_misses += 1
+        stall = self._handle_eviction(self.vwb.allocate(window), now)
+        result = self.backing.read_lines_wide(
+            window, self.vwb.config.lines_per_window, now + stall, critical_addr=addr
+        )
+        self.stats.promotions += 1
+        self.stats.promotion_cycles += int(stall + result.latency)
+        return stall + max(hit_cycles, result.wait_for(line, now + stall))
+
+    def _write_window(self, window: int, addr: int, size: int, now: float) -> float:
+        hit_cycles = float(self.vwb.config.hit_cycles)
+        index = self.vwb.lookup(window)
+        if index is not None:
+            self.vwb.touch(index, dirty=True)
+            self.stats.buffer_write_hits += 1
+            return hit_cycles
+
+        staged = self._pending.get(window)
+        if staged is not None:
+            # Merge the store into the staged wide word once its target
+            # line arrives.
+            wait = staged.result.wait_for(self.backing.line_addr(max(addr, window)), now)
+            staged.dirty = True
+            self.stats.buffer_write_hits += 1
+            return wait + hit_cycles
+
+        # Non-allocate for the VWB: the store goes straight to the NVM
+        # array, which is write-back/write-allocate.
+        self.stats.buffer_write_misses += 1
+        span = min(size, window + self.vwb.config.window_bytes - addr)
+        start = max(addr, window)
+        return self.backing.access(Access(start, max(1, span), AccessType.WRITE), now)
+
+    def _stage_promotion(self, window: int, now: float) -> float:
+        """Start a *prefetch* wide read of ``window`` into a fill buffer.
+
+        Demand promotions commit straight into a VWB line (the paper's
+        always-promote policy); only software prefetches stage here, so
+        a loop that issues no prefetches sees exactly the two VWB lines.
+        A full fill-buffer file is drained by committing *completed*
+        promotions into VWB lines; if every buffered promotion is still
+        in flight, the prefetch is dropped — this paces the software
+        prefetch stream to what the banked NVM array can actually serve.
+
+        Returns:
+            Stall cycles visible to the requester from commit write-backs
+            (normally zero).
+        """
+        stall = 0.0
+        while len(self._pending) >= self._fill_buffers:
+            _, oldest = next(iter(self._pending.items()))
+            if oldest.ready_at > now + stall:
+                # No free fill buffer: the hint is dropped in hardware.
+                self.stats.prefetches_useless += 1
+                return stall
+            stall += self._commit_oldest(now + stall)
+        result = self.backing.read_lines_wide(
+            window, self.vwb.config.lines_per_window, now + stall
+        )
+        self.stats.promotions += 1
+        self.stats.promotion_cycles += int(stall + result.latency)
+        self._pending[window] = _PendingWindow(result)
+        return stall
+
+    def _commit_oldest(self, now: float) -> float:
+        """Displace the oldest staged window into a VWB line."""
+        window, staged = self._pending.popitem(last=False)
+        return self._install(window, staged.dirty, now)
+
+    def _install(self, window: int, dirty: bool, now: float) -> float:
+        """Allocate ``window`` in the VWB, preserving its dirty state."""
+        evicted = self.vwb.allocate(window)
+        if dirty:
+            index = self.vwb.lookup(window)
+            if index is not None:
+                self.vwb.touch(index, dirty=True)
+        return self._handle_eviction(evicted, now)
+
+    def _handle_eviction(self, evicted: Optional[EvictedWindow], now: float) -> float:
+        """Write a displaced dirty window back into the NVM DL1."""
+        if evicted is None or not evicted.dirty:
+            return 0.0
+        self.stats.buffer_writebacks += 1
+        stall = 0.0
+        line_bytes = self.vwb.config.cache_line_bytes
+        for i in range(self.vwb.config.lines_per_window):
+            stall += self.backing.install_line(
+                evicted.window_addr + i * line_bytes, True, now + stall
+            )
+        return stall

@@ -1,0 +1,6 @@
+"""The in-order CPU timing model and the full-system runner."""
+
+from .model import CPUConfig, InOrderCPU, RunResult
+from .system import System, SystemConfig
+
+__all__ = ["CPUConfig", "InOrderCPU", "RunResult", "System", "SystemConfig"]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so downstream users can catch library failures with a
+single ``except`` clause while letting genuine programming errors
+(``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator, cache, or experiment was configured inconsistently.
+
+    Examples: a cache whose size is not divisible by its line size, a VWB
+    narrower than one cache line, or a bank count that is not a power of
+    two.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state.
+
+    This indicates a bug in a model (for example, a cache fill for a line
+    that is already resident) rather than bad user input.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload/IR program is malformed.
+
+    Examples: an array reference with the wrong number of subscripts, a
+    loop bound that is negative, or a reference to an undeclared array.
+    """
+
+
+class TransformError(ReproError):
+    """A code transformation cannot be applied to the given program.
+
+    Transformations are expected to *skip* constructs they cannot handle;
+    this error signals misuse of the transformation API itself (for
+    example, a vector width of zero).
+    """

@@ -1,0 +1,53 @@
+"""Machine-readable export of experiment results (JSON / CSV).
+
+``python -m repro fig5 --json out/`` writes ``out/fig5.json`` alongside
+the text rendering; downstream plotting (matplotlib, gnuplot, a
+spreadsheet) consumes these instead of scraping the text tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Union
+
+from .report import FigureResult
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    """A JSON-ready dict of one figure: labels, series, averages, notes."""
+    return {
+        "name": result.name,
+        "title": result.title,
+        "unit": result.unit,
+        "labels": list(result.labels),
+        "series": {key: list(values) for key, values in result.series.items()},
+        "averages": result.averages(),
+        "notes": list(result.notes),
+    }
+
+
+def write_json(result: FigureResult, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write ``<directory>/<name>.json``; returns the path."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.name}.json"
+    path.write_text(json.dumps(figure_to_dict(result), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_csv(result: FigureResult, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write ``<directory>/<name>.csv`` (one row per label); returns the path."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.name}.csv"
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["benchmark"] + list(result.series))
+        for i, label in enumerate(result.labels):
+            writer.writerow([label] + [result.series[key][i] for key in result.series])
+        if result.labels:
+            avg = result.averages()
+            writer.writerow(["AVERAGE"] + [avg[key] for key in result.series])
+    return path

@@ -1,0 +1,35 @@
+"""Figure 1: performance penalty of the drop-in STT-MRAM D-cache.
+
+Paper: "may suffer up to 55% performance penalty if the NVM D-cache is
+introduced instead of the regular SRAM one" — penalties in the 40-55%
+band per kernel, relative to the SRAM D-cache baseline (= 100%).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..transforms.pipeline import OptLevel
+from .report import FigureResult
+from .runner import ExperimentRunner
+
+#: The paper's headline numbers for this figure.
+PAPER_MAX_PENALTY = 55.0
+PAPER_AVG_PENALTY = 54.0
+
+
+def run(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Drop-in NVM DL1 penalty per kernel, unoptimized code."""
+    runner = runner or ExperimentRunner()
+    penalties = runner.penalties("dropin", OptLevel.NONE)
+    avg = sum(penalties) / len(penalties)
+    return FigureResult(
+        name="fig1",
+        title="Drop-in STT-MRAM D-cache penalty vs SRAM baseline",
+        labels=list(runner.kernels),
+        series={"dropin": penalties},
+        notes=[
+            f"paper: up to ~{PAPER_MAX_PENALTY:.0f}% per kernel, ~{PAPER_AVG_PENALTY:.0f}% average",
+            f"measured: max {max(penalties):.1f}%, average {avg:.1f}%",
+        ],
+    )

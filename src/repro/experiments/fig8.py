@@ -1,0 +1,51 @@
+"""Figure 8: VWB vs equal-capacity L0 cache and Enhanced MSHR.
+
+Paper: "Our proposal offers almost twice the penalty reduction as
+compared to the other previous proposals.  This is due to the uniqueness
+of the structure and the software optimizations included to exploit it."
+
+All three structures are fully associative and 2 Kbit; all three systems
+run the same optimized code (the transformations target the memory
+system generically — only the VWB's wide, software-managed organisation
+can fully exploit them).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..transforms.pipeline import OptLevel
+from .report import FigureResult
+from .runner import ExperimentRunner
+
+
+def run(runner: Optional[ExperimentRunner] = None, level: OptLevel = OptLevel.FULL) -> FigureResult:
+    """Penalties of the three structures on optimized code."""
+    runner = runner or ExperimentRunner()
+    vwb = runner.penalties("vwb", level)
+    l0 = runner.penalties("l0", level)
+    emshr = runner.penalties("emshr", level)
+    dropin = runner.penalties("dropin", level)
+
+    def _avg(vals):
+        return sum(vals) / len(vals)
+
+    # Penalty *reduction* relative to the drop-in NVM cache, the metric
+    # behind the paper's "almost twice" claim.
+    vwb_red = _avg(dropin) - _avg(vwb)
+    l0_red = _avg(dropin) - _avg(l0)
+    emshr_red = _avg(dropin) - _avg(emshr)
+    rivals_avg = max(1e-9, (l0_red + emshr_red) / 2.0)
+    return FigureResult(
+        name="fig8",
+        title="Our proposal vs L0 cache and EMSHR (2 Kbit each, optimized code)",
+        labels=list(runner.kernels),
+        series={"vwb": vwb, "emshr": emshr, "l0": l0},
+        notes=[
+            "paper: VWB gives almost twice the penalty reduction of the "
+            "L0/EMSHR write-mitigation structures",
+            f"measured reductions vs drop-in: vwb {vwb_red:.1f}, l0 {l0_red:.1f}, "
+            f"emshr {emshr_red:.1f} points -> {vwb_red / rivals_avg:.2f}x the "
+            "rivals' average reduction",
+        ],
+    )

@@ -1,0 +1,113 @@
+"""Result containers and text rendering for the experiment suite.
+
+Every experiment returns a :class:`FigureResult`: labelled series over
+the kernel list (or a parameter sweep), plus free-text notes recording
+what the paper reports for the same figure.  :func:`render_figure` turns
+it into an aligned text table with an AVERAGE row — the closest text
+analogue of the paper's bar charts — and optional ASCII bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure.
+
+    Attributes:
+        name: Experiment id (``"fig5"``).
+        title: Human title matching the paper's caption.
+        labels: Row labels (kernels, or sweep points).
+        series: Ordered mapping column -> per-label values.
+        unit: Unit of the values (``"%"`` for penalties).
+        notes: Paper-vs-measured commentary lines.
+        average_row: Append an AVERAGE row (the paper's figures do).
+    """
+
+    name: str
+    title: str
+    labels: List[str]
+    series: "Dict[str, List[float]]"
+    unit: str = "%"
+    notes: List[str] = field(default_factory=list)
+    average_row: bool = True
+
+    def averages(self) -> Dict[str, float]:
+        """Mean of every series (empty series average to 0)."""
+        return {
+            key: (sum(vals) / len(vals) if vals else 0.0) for key, vals in self.series.items()
+        }
+
+    def series_for(self, key: str) -> List[float]:
+        """Values of one series (KeyError with available keys on miss)."""
+        if key not in self.series:
+            raise KeyError(f"no series {key!r}; available: {list(self.series)}")
+        return self.series[key]
+
+
+def _bar(value: float, scale: float, width: int = 24) -> str:
+    if scale <= 0:
+        return ""
+    filled = int(round(max(0.0, value) / scale * width))
+    return "#" * min(filled, width)
+
+
+def render_figure(result: FigureResult, bars: bool = True) -> str:
+    """Render a :class:`FigureResult` as an aligned text table.
+
+    Args:
+        result: The experiment output.
+        bars: Append an ASCII bar for the first series (visual analogue
+            of the paper's charts).
+    """
+    headers = ["benchmark"] + list(result.series)
+    labels = list(result.labels)
+    rows: List[List[str]] = []
+    for i, label in enumerate(labels):
+        row = [label]
+        for key in result.series:
+            row.append(f"{result.series[key][i]:.1f}")
+        rows.append(row)
+    if result.average_row and labels:
+        avg = result.averages()
+        rows.append(["AVERAGE"] + [f"{avg[key]:.1f}" for key in result.series])
+
+    widths = [
+        max([len(h)] + [len(r[c]) for r in rows]) for c, h in enumerate(headers)
+    ]
+    first_series = next(iter(result.series), None)
+    scale = 0.0
+    if bars and first_series is not None and result.series[first_series]:
+        scale = max((abs(v) for v in result.series[first_series]), default=0.0)
+
+    lines = [f"== {result.name}: {result.title} (values in {result.unit}) =="]
+    header_line = "  ".join(f"{h:>{w}}" if i else f"{h:<{w}}" for i, (h, w) in enumerate(zip(headers, widths)))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for r, row in enumerate(rows):
+        line = "  ".join(
+            f"{cell:>{w}}" if i else f"{cell:<{w}}" for i, (cell, w) in enumerate(zip(row, widths))
+        )
+        if bars and scale > 0 and first_series is not None and r < len(labels):
+            line += "  |" + _bar(result.series[first_series][r], scale)
+        lines.append(line)
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    labels: Sequence[str],
+    paper: Sequence[Optional[float]],
+    measured: Sequence[float],
+    title: str,
+) -> str:
+    """Side-by-side paper-vs-measured table used by EXPERIMENTS.md."""
+    lines = [title, f"{'point':<24}{'paper':>10}{'measured':>10}"]
+    for label, p, m in zip(labels, paper, measured):
+        p_txt = f"{p:.1f}" if p is not None else "n/a"
+        lines.append(f"{label:<24}{p_txt:>10}{m:>10.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Shared machinery for running kernels across platform configurations.
+
+The paper's evaluation grid is (kernel) x (D-cache organisation) x
+(optimization level).  :class:`ExperimentRunner` materialises each
+kernel/level trace once, warms the L2 with the kernel's arrays (the
+paper's gem5 runs execute PolyBench's initialisation before the measured
+kernel), and caches results keyed by configuration so the figures share
+baseline runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cpu.model import RunResult
+from ..cpu.system import System, SystemConfig, warm_regions_of
+from ..errors import ConfigurationError
+from ..transforms.pipeline import OptLevel, optimize
+from ..workloads import build_kernel, kernel_names, materialize_trace
+from ..workloads.datasets import DatasetSize
+from ..workloads.trace import TraceEvent
+
+#: The named platform configurations of the evaluation (Section VI).
+CONFIGURATIONS: Dict[str, SystemConfig] = {
+    "sram": SystemConfig(technology="sram", frontend="plain"),
+    "dropin": SystemConfig(technology="stt-mram", frontend="plain"),
+    "vwb": SystemConfig(technology="stt-mram", frontend="vwb"),
+    "l0": SystemConfig(technology="stt-mram", frontend="l0"),
+    "emshr": SystemConfig(technology="stt-mram", frontend="emshr"),
+    "hybrid": SystemConfig(technology="stt-mram", frontend="hybrid"),
+}
+
+
+def make_system(name_or_config) -> System:
+    """Build a :class:`System` from a configuration name or object."""
+    if isinstance(name_or_config, SystemConfig):
+        return System(name_or_config)
+    if name_or_config not in CONFIGURATIONS:
+        valid = ", ".join(CONFIGURATIONS)
+        raise ConfigurationError(
+            f"unknown configuration {name_or_config!r}; expected one of: {valid}"
+        )
+    return System(CONFIGURATIONS[name_or_config])
+
+
+class ExperimentRunner:
+    """Caches traces and run results across the experiment suite.
+
+    Args:
+        size: Dataset size class for every kernel (MINI reproduces the
+            paper; larger sizes feed the dataset-scaling ablation).
+        kernels: Kernel subset to evaluate (default: the full 12-kernel
+            registry, in figure order).
+    """
+
+    def __init__(
+        self,
+        size: DatasetSize = DatasetSize.MINI,
+        kernels: Optional[List[str]] = None,
+    ) -> None:
+        self.size = size
+        self.kernels = list(kernels) if kernels is not None else kernel_names()
+        self._programs: Dict[Tuple[str, OptLevel], object] = {}
+        self._traces: Dict[Tuple[str, OptLevel], List[TraceEvent]] = {}
+        self._results: Dict[Tuple, RunResult] = {}
+
+    # ------------------------------------------------------------------
+    # Workload material
+    # ------------------------------------------------------------------
+
+    def program(self, kernel: str, level: OptLevel = OptLevel.NONE):
+        """The (possibly transformed) program for a kernel, cached."""
+        key = (kernel, level)
+        if key not in self._programs:
+            base = build_kernel(kernel, self.size)
+            self._programs[key] = optimize(base, level) if level is not OptLevel.NONE else base
+        return self._programs[key]
+
+    def trace(self, kernel: str, level: OptLevel = OptLevel.NONE) -> List[TraceEvent]:
+        """The materialised event trace for a kernel/level, cached."""
+        key = (kernel, level)
+        if key not in self._traces:
+            self._traces[key] = materialize_trace(self.program(kernel, level))
+        return self._traces[key]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        config,
+        kernel: str,
+        level: OptLevel = OptLevel.NONE,
+        cache_key: Optional[str] = None,
+    ) -> RunResult:
+        """Run one kernel/level on one configuration (L2 pre-warmed).
+
+        Args:
+            config: A configuration name from :data:`CONFIGURATIONS` or a
+                :class:`SystemConfig`.
+            kernel: Kernel name.
+            level: Optimization level of the code.
+            cache_key: Override for the result-cache key when passing ad
+                hoc :class:`SystemConfig` objects (named configs cache
+                automatically; unnamed ones are cached by this key or not
+                at all).
+        """
+        if isinstance(config, str):
+            key = (config, kernel, level, self.size)
+        elif cache_key is not None:
+            key = (cache_key, kernel, level, self.size)
+        else:
+            key = None
+        if key is not None and key in self._results:
+            return self._results[key]
+        system = make_system(config)
+        trace = self.trace(kernel, level)
+        regions = warm_regions_of(self.program(kernel, level))
+        result = system.run(trace, warm_regions=regions)
+        if key is not None:
+            self._results[key] = result
+        return result
+
+    def penalty(
+        self,
+        config,
+        kernel: str,
+        level: OptLevel = OptLevel.NONE,
+        baseline_level: Optional[OptLevel] = None,
+        cache_key: Optional[str] = None,
+    ) -> float:
+        """Penalty (%) of a configuration against the SRAM baseline.
+
+        The baseline runs the same code by default (``baseline_level``
+        overrides this for gain-style comparisons).
+        """
+        base_level = level if baseline_level is None else baseline_level
+        baseline = self.run("sram", kernel, base_level)
+        return self.run(config, kernel, level, cache_key=cache_key).penalty_vs(baseline)
+
+    def penalties(
+        self,
+        config,
+        level: OptLevel = OptLevel.NONE,
+        baseline_level: Optional[OptLevel] = None,
+        cache_key: Optional[str] = None,
+    ) -> List[float]:
+        """Per-kernel penalties over the runner's kernel list."""
+        return [
+            self.penalty(config, k, level, baseline_level, cache_key=cache_key)
+            for k in self.kernels
+        ]

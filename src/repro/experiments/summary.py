@@ -1,0 +1,118 @@
+"""Automated paper-vs-measured summary (the EXPERIMENTS.md core table).
+
+``python -m repro summary`` regenerates the whole evaluation and emits
+one table pairing every headline number the paper states with the value
+this repository measures — the at-a-glance answer to "how close is the
+reproduction?".  The figures' full per-kernel tables remain the
+individual experiments' job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..transforms.pipeline import OptLevel
+from .report import FigureResult
+from .runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One paper-vs-measured pairing.
+
+    Attributes:
+        experiment: Source table/figure.
+        quantity: What is being compared.
+        paper: The paper's stated value (None when only qualitative).
+        measured: This repository's value.
+        unit: Unit of both columns.
+    """
+
+    experiment: str
+    quantity: str
+    paper: Optional[float]
+    measured: float
+    unit: str = "%"
+
+
+def build_summary(runner: Optional[ExperimentRunner] = None) -> List[SummaryRow]:
+    """Run the evaluation grid and assemble the summary rows."""
+    runner = runner or ExperimentRunner()
+
+    def avg(values):
+        return sum(values) / len(values)
+
+    dropin = runner.penalties("dropin", OptLevel.NONE)
+    vwb = runner.penalties("vwb", OptLevel.NONE)
+    vwb_opt = runner.penalties("vwb", OptLevel.FULL)
+    dropin_opt = runner.penalties("dropin", OptLevel.FULL)
+    l0_opt = runner.penalties("l0", OptLevel.FULL)
+    emshr_opt = runner.penalties("emshr", OptLevel.FULL)
+
+    rows = [
+        SummaryRow("fig1", "drop-in penalty, average", 54.0, avg(dropin)),
+        SummaryRow("fig1", "drop-in penalty, maximum", 55.0, max(dropin)),
+        SummaryRow("fig3", "VWB-only penalty, average", None, avg(vwb)),
+        SummaryRow("fig5", "optimized penalty, average", 8.0, avg(vwb_opt)),
+        SummaryRow("fig5", "optimized penalty, worst case", 8.0, max(vwb_opt)),
+    ]
+
+    vwb_red = avg(dropin_opt) - avg(vwb_opt)
+    rivals_red = avg(dropin_opt) - (avg(l0_opt) + avg(emshr_opt)) / 2.0
+    rows.append(
+        SummaryRow(
+            "fig8",
+            "reduction ratio vs rivals' average",
+            2.0,
+            vwb_red / max(1e-9, rivals_red),
+            unit="x",
+        )
+    )
+
+    edges = []
+    for kernel in runner.kernels:
+        sram_f = runner.run("sram", kernel, OptLevel.FULL).cycles
+        vwb_f = runner.run("vwb", kernel, OptLevel.FULL).cycles
+        edges.append((vwb_f - sram_f) / sram_f * 100.0)
+    rows.append(SummaryRow("fig9", "optimized SRAM edge over proposal", 8.0, avg(edges)))
+
+    from . import fig4, fig7
+
+    rows.append(
+        SummaryRow(
+            "fig4", "read share of the penalty", None, fig4.run(runner).averages()["read_share"]
+        )
+    )
+    f7 = fig7.run(runner).averages()
+    rows.append(SummaryRow("fig7", "penalty at 1 Kbit VWB", None, f7["vwb_1kbit"]))
+    rows.append(SummaryRow("fig7", "penalty at 2 Kbit VWB", None, f7["vwb_2kbit"]))
+    rows.append(SummaryRow("fig7", "penalty at 4 Kbit VWB", None, f7["vwb_4kbit"]))
+    return rows
+
+
+def render_summary(rows: List[SummaryRow]) -> str:
+    """Aligned text table of the summary rows."""
+    header = f"{'experiment':<12}{'quantity':<38}{'paper':>10}{'measured':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        paper = f"{row.paper:.1f}{row.unit}" if row.paper is not None else "n/a"
+        lines.append(
+            f"{row.experiment:<12}{row.quantity:<38}{paper:>10}"
+            f"{row.measured:>9.1f}{row.unit}"
+        )
+    return "\n".join(lines)
+
+
+def run(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Experiment-registry adapter for the summary."""
+    rows = build_summary(runner)
+    return FigureResult(
+        name="summary",
+        title="Paper vs measured, headline quantities",
+        labels=[f"{r.experiment}: {r.quantity}" for r in rows],
+        series={"measured": [r.measured for r in rows]},
+        unit="mixed",
+        notes=render_summary(rows).splitlines(),
+        average_row=False,
+    )

@@ -1,0 +1,118 @@
+"""Generic parameter sweeps over :class:`~repro.cpu.system.SystemConfig`.
+
+The named ablations cover the design axes the paper discusses; this
+module generalises them: sweep *any* ``SystemConfig`` field (or
+``cpu.<field>`` for CPU parameters) over a value list and get the usual
+penalty table back.
+
+CLI::
+
+    python -m repro sweep --param dl1_banks --values 1 2 4 8
+    python -m repro sweep --param cpu.load_use_overlap --values 0 1 1.5 2
+    python -m repro sweep --param vwb_bits --values 1024 2048 --config vwb
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+from typing import Optional, Sequence
+
+from ..cpu.model import CPUConfig
+from ..cpu.system import SystemConfig
+from ..errors import ConfigurationError
+from ..transforms.pipeline import OptLevel
+from .report import FigureResult
+from .runner import CONFIGURATIONS, ExperimentRunner
+
+
+def _coerce(raw: str, example) -> object:
+    """Parse a CLI string into the type of the field's current value."""
+    if isinstance(example, bool):
+        return raw.lower() in ("1", "true", "yes", "on")
+    if isinstance(example, int):
+        return int(raw)
+    if isinstance(example, float):
+        return float(raw)
+    return raw
+
+
+def _with_param(base: SystemConfig, param: str, value) -> SystemConfig:
+    """Return ``base`` with ``param`` (possibly ``cpu.<field>``) replaced."""
+    if param.startswith("cpu."):
+        cpu_field = param[len("cpu."):]
+        if cpu_field not in {f.name for f in fields(CPUConfig)}:
+            valid = ", ".join(f.name for f in fields(CPUConfig))
+            raise ConfigurationError(f"unknown CPU parameter {cpu_field!r}; one of: {valid}")
+        return replace(base, cpu=replace(base.cpu, **{cpu_field: value}))
+    if param not in {f.name for f in fields(SystemConfig)}:
+        valid = ", ".join(f.name for f in fields(SystemConfig))
+        raise ConfigurationError(f"unknown parameter {param!r}; one of: {valid}")
+    return replace(base, **{param: value})
+
+
+def parse_values(param: str, raw_values: Sequence[str], base: SystemConfig) -> list:
+    """Coerce CLI value strings against the parameter's current type."""
+    if param.startswith("cpu."):
+        example = getattr(base.cpu, param[len("cpu."):], None)
+    else:
+        example = getattr(base, param, None)
+    if example is None:
+        example = raw_values[0]
+    return [_coerce(v, example) if isinstance(v, str) else v for v in raw_values]
+
+
+def run_sweep(
+    param: str,
+    values: Sequence,
+    runner: Optional[ExperimentRunner] = None,
+    config: str = "vwb",
+    level: OptLevel = OptLevel.FULL,
+) -> FigureResult:
+    """Sweep one configuration parameter; penalties vs the SRAM baseline.
+
+    Args:
+        param: A :class:`SystemConfig` field name, or ``cpu.<field>``.
+        values: Values to sweep (already typed, or CLI strings).
+        runner: Shared experiment runner (kernels/sizes come from it).
+        config: Base named configuration to modify.
+        level: Code optimization level for both sides.
+    """
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    if config not in CONFIGURATIONS:
+        valid = ", ".join(CONFIGURATIONS)
+        raise ConfigurationError(f"unknown base configuration {config!r}; one of: {valid}")
+    runner = runner or ExperimentRunner()
+    base = CONFIGURATIONS[config]
+    typed = parse_values(param, list(values), base)
+
+    series = {}
+    for value in typed:
+        swept = _with_param(base, param, value)
+        # CPU parameters change the *core*, so the SRAM baseline must run
+        # on the same core for the penalty to stay an apples-to-apples
+        # memory-system comparison.
+        if param.startswith("cpu."):
+            baseline = _with_param(CONFIGURATIONS["sram"], param, value)
+            baseline_key = f"sweep-base-{param}-{value}"
+        else:
+            baseline = "sram"
+            baseline_key = None
+        penalties = []
+        for kernel in runner.kernels:
+            swept_run = runner.run(swept, kernel, level, cache_key=f"sweep-{param}-{value}")
+            base_run = runner.run(baseline, kernel, level, cache_key=baseline_key)
+            penalties.append(swept_run.penalty_vs(base_run))
+        series[f"{param}={value}"] = penalties
+    avgs = {k: sum(v) / len(v) for k, v in series.items()}
+    best = min(avgs, key=avgs.get)
+    return FigureResult(
+        name=f"sweep-{param.replace('.', '-')}",
+        title=f"Penalty sweep of {param} on the '{config}' configuration ({level.value} code)",
+        labels=list(runner.kernels),
+        series=series,
+        notes=[
+            "averages: " + ", ".join(f"{k}: {v:.1f}%" for k, v in avgs.items()),
+            f"best setting: {best}",
+        ],
+    )

@@ -1,0 +1,28 @@
+"""Table I: 64 KB SRAM vs 64 KB STT-MRAM L1 D-cache parameters."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tech.compare import build_table_one, render_table_one
+from .report import FigureResult
+from .runner import ExperimentRunner
+
+
+def run(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Regenerate Table I (the runner argument is unused but keeps the
+    experiment signature uniform)."""
+    rows = build_table_one()
+    # Encode the two technology columns as series over parameter labels;
+    # non-numeric cells are carried in the notes via the rendered table.
+    labels = [r.parameter for r in rows]
+    notes = ["full table:"] + render_table_one(rows).splitlines()
+    return FigureResult(
+        name="table1",
+        title="64KB SRAM L1 D-cache vs 64KB STT-MRAM L1 D-cache (32nm HP)",
+        labels=labels,
+        series={},
+        unit="mixed",
+        notes=notes,
+        average_row=False,
+    )

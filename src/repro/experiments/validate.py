@@ -1,0 +1,170 @@
+"""End-to-end validation of every headline claim of the paper.
+
+``python -m repro validate`` runs the full 12-kernel evaluation and
+checks each quantitative statement the paper makes, printing one
+PASS/FAIL line per claim.  This is the single command that answers "does
+this repository still reproduce the paper?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..transforms.pipeline import OptLevel
+from .report import FigureResult
+from .runner import ExperimentRunner
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One validated statement.
+
+    Attributes:
+        name: Short identifier.
+        statement: The paper's claim, quoted or paraphrased.
+        passed: Whether the measured data satisfies it.
+        detail: Measured numbers backing the verdict.
+    """
+
+    name: str
+    statement: str
+    passed: bool
+    detail: str
+
+
+def _avg(values: List[float]) -> float:
+    return sum(values) / len(values)
+
+
+def validate(runner: Optional[ExperimentRunner] = None) -> List[Claim]:
+    """Run the evaluation grid and check every headline claim."""
+    runner = runner or ExperimentRunner()
+    claims: List[Claim] = []
+
+    dropin = runner.penalties("dropin", OptLevel.NONE)
+    vwb = runner.penalties("vwb", OptLevel.NONE)
+    vwb_opt = runner.penalties("vwb", OptLevel.FULL)
+    dropin_opt = runner.penalties("dropin", OptLevel.FULL)
+    l0_opt = runner.penalties("l0", OptLevel.FULL)
+    emshr_opt = runner.penalties("emshr", OptLevel.FULL)
+
+    claims.append(
+        Claim(
+            "fig1-dropin-average",
+            "drop-in penalty averages ~54% (figure 1)",
+            45.0 <= _avg(dropin) <= 65.0,
+            f"measured average {_avg(dropin):.1f}%",
+        )
+    )
+    claims.append(
+        Claim(
+            "fig3-vwb-reduction",
+            "the VWB alone reduces the penalty significantly (figure 3)",
+            _avg(vwb) < 0.7 * _avg(dropin),
+            f"{_avg(dropin):.1f}% -> {_avg(vwb):.1f}%",
+        )
+    )
+    claims.append(
+        Claim(
+            "fig3-not-enough",
+            "...but not enough on its own (figure 3 / section IV)",
+            _avg(vwb) > 10.0,
+            f"residual {_avg(vwb):.1f}%",
+        )
+    )
+    claims.append(
+        Claim(
+            "fig5-final-penalty",
+            "transformations cut the penalty to ~8% even in the worst cases (figure 5)",
+            max(vwb_opt) < 12.0 and _avg(vwb_opt) < 10.0,
+            f"average {_avg(vwb_opt):.1f}%, worst {max(vwb_opt):.1f}%",
+        )
+    )
+    vwb_red = _avg(dropin_opt) - _avg(vwb_opt)
+    rivals_red = _avg(dropin_opt) - (_avg(l0_opt) + _avg(emshr_opt)) / 2.0
+    claims.append(
+        Claim(
+            "fig8-twice-reduction",
+            "almost twice the penalty reduction of L0/EMSHR (figure 8)",
+            vwb_red > 1.4 * max(1e-9, rivals_red),
+            f"{vwb_red:.1f} vs rivals' {rivals_red:.1f} points "
+            f"({vwb_red / max(1e-9, rivals_red):.2f}x)",
+        )
+    )
+
+    gains_sram, gains_vwb, edges = [], [], []
+    for kernel in runner.kernels:
+        sram_n = runner.run("sram", kernel, OptLevel.NONE).cycles
+        sram_f = runner.run("sram", kernel, OptLevel.FULL).cycles
+        vwb_n = runner.run("vwb", kernel, OptLevel.NONE).cycles
+        vwb_f = runner.run("vwb", kernel, OptLevel.FULL).cycles
+        gains_sram.append((sram_n - sram_f) / sram_n * 100.0)
+        gains_vwb.append((vwb_n - vwb_f) / vwb_n * 100.0)
+        edges.append((vwb_f - sram_f) / sram_f * 100.0)
+    claims.append(
+        Claim(
+            "fig9-gains",
+            "transformations help both systems, the NVM proposal more (figure 9)",
+            _avg(gains_vwb) > _avg(gains_sram) > 0.0,
+            f"gains {_avg(gains_sram):.1f}% (SRAM) vs {_avg(gains_vwb):.1f}% (proposal)",
+        )
+    )
+    claims.append(
+        Claim(
+            "fig9-sram-edge",
+            "optimized SRAM ends ~8% ahead of the optimized proposal (figure 9)",
+            0.0 < _avg(edges) < 15.0,
+            f"measured edge {_avg(edges):.1f}%",
+        )
+    )
+
+    from . import fig4, fig7
+
+    f4 = fig4.run(runner)
+    claims.append(
+        Claim(
+            "fig4-read-dominates",
+            "read latency dominates the penalty (figure 4)",
+            f4.averages()["read_share"] > 80.0,
+            f"read share {f4.averages()['read_share']:.1f}%",
+        )
+    )
+    f7 = fig7.run(runner)
+    a7 = f7.averages()
+    claims.append(
+        Claim(
+            "fig7-size-trend",
+            "bigger VWBs reduce the penalty more, with diminishing returns (figure 7)",
+            a7["vwb_1kbit"] >= a7["vwb_2kbit"] >= a7["vwb_4kbit"] - 0.5,
+            f"1K {a7['vwb_1kbit']:.1f}%, 2K {a7['vwb_2kbit']:.1f}%, "
+            f"4K {a7['vwb_4kbit']:.1f}%",
+        )
+    )
+    return claims
+
+
+def render_claims(claims: List[Claim]) -> str:
+    """One PASS/FAIL line per claim plus a verdict footer."""
+    lines = []
+    for claim in claims:
+        status = "PASS" if claim.passed else "FAIL"
+        lines.append(f"[{status}] {claim.name}: {claim.statement}")
+        lines.append(f"       {claim.detail}")
+    passed = sum(1 for c in claims if c.passed)
+    lines.append(f"\n{passed}/{len(claims)} claims reproduced")
+    return "\n".join(lines)
+
+
+def run(runner: Optional[ExperimentRunner] = None) -> FigureResult:
+    """Experiment-registry adapter: validation as a figure-like result."""
+    claims = validate(runner)
+    return FigureResult(
+        name="validate",
+        title="Headline-claim validation",
+        labels=[c.name for c in claims],
+        series={"passed": [1.0 if c.passed else 0.0 for c in claims]},
+        unit="bool",
+        notes=render_claims(claims).splitlines(),
+        average_row=False,
+    )

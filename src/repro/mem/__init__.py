@@ -1,0 +1,71 @@
+"""Memory-hierarchy substrate: caches, buffers, banks and main memory.
+
+This package implements the hardware the paper's platform is built from —
+everything *except* the paper's contribution (the Very Wide Buffer and the
+comparison front-ends live in :mod:`repro.core`):
+
+- :mod:`repro.mem.request` — access descriptors;
+- :mod:`repro.mem.stats` — hit/miss/traffic counters;
+- :mod:`repro.mem.replacement` — LRU/FIFO/PLRU/random policies;
+- :mod:`repro.mem.banks` — banked-array busy/conflict timing;
+- :mod:`repro.mem.writebuffer` — the small eviction/store write buffer;
+- :mod:`repro.mem.mainmem` — the fixed-latency DRAM model;
+- :mod:`repro.mem.mshr` — miss-status holding registers;
+- :mod:`repro.mem.cache` — the set-associative write-back cache;
+- :mod:`repro.mem.hierarchy` — wiring of IL1/DL1/L2/DRAM.
+
+Timing convention used throughout: every access takes the absolute cycle
+``now`` at which it starts and returns the number of cycles until its data
+is available (reads) or it is accepted (writes).  Models that own busy
+resources (banks, write buffers, MSHRs) remember absolute ``busy-until``
+times, which is sufficient because the modelled core is in-order and calls
+with monotonically non-decreasing ``now``.
+"""
+
+from .request import Access, AccessType
+from .stats import CacheStats
+from .replacement import (
+    ReplacementPolicy,
+    LRUPolicy,
+    FIFOPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from .banks import BankTimer
+from .writebuffer import WriteBuffer
+from .mainmem import MainMemory
+from .mshr import MSHRFile
+from .prefetcher import StridePrefetcher
+from .cache import Cache, CacheConfig
+from .hierarchy import (
+    MemoryHierarchy,
+    HierarchyConfig,
+    LineAccessAdapter,
+    default_il1_config,
+    default_l2_config,
+)
+
+__all__ = [
+    "Access",
+    "AccessType",
+    "CacheStats",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+    "BankTimer",
+    "WriteBuffer",
+    "MainMemory",
+    "MSHRFile",
+    "StridePrefetcher",
+    "Cache",
+    "CacheConfig",
+    "MemoryHierarchy",
+    "HierarchyConfig",
+    "LineAccessAdapter",
+    "default_il1_config",
+    "default_l2_config",
+]

@@ -1,0 +1,536 @@
+"""Set-associative, write-back, write-allocate cache with banked timing.
+
+This is the building block for every cache level in the reproduced
+platform: the SRAM IL1, the SRAM or STT-MRAM DL1, and the unified L2.
+Read and write hit latencies are configured independently because the
+whole point of the paper is their asymmetry in STT-MRAM (4 vs 2 cycles at
+1 GHz against SRAM's 1 cycle).
+
+Timing model
+------------
+
+Every demand access returns the number of cycles the requester must wait.
+A read hit costs the read-hit latency plus any wait for the line's bank; a
+read miss adds the next level's latency (critical-word-first: the fill
+write happens in the background and occupies the bank, but the requester
+does not wait for it).  Dirty victims go through the write buffer and only
+stall the requester when the buffer is full.  Software prefetches allocate
+an MSHR entry and complete in the background; a later demand access to an
+in-flight line waits only for the remaining fill time.
+
+The cache can also serve as the *next level* of another cache through
+:meth:`line_access`, which is how DL1 misses reach L2 and L2 misses reach
+main memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from ..errors import ConfigurationError, SimulationError
+from ..units import is_power_of_two, log2_exact
+from .banks import BankTimer
+from .mshr import MSHRFile
+from .replacement import make_policy
+from .request import Access, AccessType
+from .stats import CacheStats
+from .writebuffer import WriteBuffer
+
+
+class NextLevel(Protocol):
+    """Anything that can serve line-sized requests from a cache."""
+
+    def access(self, addr: int, is_write: bool, now: float) -> float:
+        """Serve one line at ``addr``; return latency in cycles."""
+
+
+@dataclass(frozen=True)
+class WideReadResult:
+    """Timing of one wide-interface read (a VWB promotion).
+
+    Attributes:
+        issued_at: Cycle the wide read started.
+        line_ready: Absolute cycle each line becomes available.
+    """
+
+    issued_at: float
+    line_ready: Dict[int, float]
+
+    @property
+    def ready_at(self) -> float:
+        """Cycle the whole wide word is available."""
+        return max(self.line_ready.values()) if self.line_ready else self.issued_at
+
+    @property
+    def latency(self) -> float:
+        """Cycles until the whole wide word is available."""
+        return self.ready_at - self.issued_at
+
+    def wait_for(self, line_addr: int, now: float) -> float:
+        """Remaining cycles until ``line_addr`` is available at ``now``."""
+        ready = self.line_ready.get(line_addr)
+        if ready is None:
+            ready = self.ready_at
+        return max(0.0, ready - now)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Static configuration of one cache.
+
+    Attributes:
+        name: Label used in statistics and reports (e.g. ``"dl1"``).
+        capacity_bytes: Total data capacity.
+        associativity: Ways per set.
+        line_bytes: Line size in bytes (the paper's NVM DL1 uses 64 B).
+        read_hit_cycles: Cycles for a read hit (array read time).
+        write_hit_cycles: Cycles for a write hit (array write time).
+        banks: Number of line-interleaved banks.
+        replacement: Replacement policy name (``lru``/``fifo``/``plru``/``random``).
+        mshr_entries: Outstanding-miss/prefetch capacity.
+        write_buffer_entries: Slots in the write-back buffer.
+        write_buffer_drain_cycles: Cycles to retire one write-back to the
+            next level (0 chooses the next level's write cost implicitly
+            by draining instantly; the default 6 approximates an L2 write).
+        track_line_writes: Record per-line-slot write counts (endurance).
+        replacement_seed: Seed for the random policy.
+        fast_write_cycles: AWARE-style asymmetric-write acceleration
+            (Kwon et al., ref [1] of the paper): when set, this fraction
+            of array writes completes in this many cycles instead of
+            ``write_hit_cycles`` (0 -> 1 transitions resolved through the
+            redundant block).  ``None`` (default) disables the model.
+        fast_write_fraction: Fraction of writes taking the fast path
+            when AWARE is enabled.
+    """
+
+    name: str
+    capacity_bytes: int
+    associativity: int
+    line_bytes: int
+    read_hit_cycles: int
+    write_hit_cycles: int
+    banks: int = 1
+    replacement: str = "lru"
+    mshr_entries: int = 8
+    write_buffer_entries: int = 4
+    write_buffer_drain_cycles: float = 6.0
+    track_line_writes: bool = False
+    replacement_seed: int = 0
+    fast_write_cycles: Optional[int] = None
+    fast_write_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: capacity and line size must be positive")
+        if not is_power_of_two(self.line_bytes):
+            raise ConfigurationError(f"{self.name}: line size must be a power of two")
+        if self.associativity <= 0:
+            raise ConfigurationError(f"{self.name}: associativity must be positive")
+        if self.capacity_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ConfigurationError(
+                f"{self.name}: capacity {self.capacity_bytes} is not divisible by "
+                f"line_bytes*associativity = {self.line_bytes * self.associativity}"
+            )
+        sets = self.capacity_bytes // (self.line_bytes * self.associativity)
+        if not is_power_of_two(sets):
+            raise ConfigurationError(f"{self.name}: set count {sets} must be a power of two")
+        if self.read_hit_cycles < 1 or self.write_hit_cycles < 1:
+            raise ConfigurationError(f"{self.name}: hit latencies must be at least 1 cycle")
+        if not is_power_of_two(self.banks):
+            raise ConfigurationError(f"{self.name}: bank count must be a power of two")
+        if self.fast_write_cycles is not None and self.fast_write_cycles < 1:
+            raise ConfigurationError(f"{self.name}: fast writes need at least 1 cycle")
+        if not 0.0 <= self.fast_write_fraction <= 1.0:
+            raise ConfigurationError(f"{self.name}: fast-write fraction must be in [0, 1]")
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return self.capacity_bytes // (self.line_bytes * self.associativity)
+
+
+class Cache:
+    """One level of the cache hierarchy.
+
+    Args:
+        config: Static geometry and latency parameters.
+        next_level: Where misses and write-backs go (another
+            :class:`Cache` via :class:`_LineAccessAdapter`, or a
+            :class:`~repro.mem.mainmem.MainMemory`).
+    """
+
+    def __init__(self, config: CacheConfig, next_level: NextLevel) -> None:
+        self.config = config
+        self.next_level = next_level
+        self.stats = CacheStats()
+        self._offset_bits = log2_exact(config.line_bytes)
+        self._index_bits = log2_exact(config.sets)
+        self._tags: List[List[Optional[int]]] = [
+            [None] * config.associativity for _ in range(config.sets)
+        ]
+        self._dirty: List[List[bool]] = [
+            [False] * config.associativity for _ in range(config.sets)
+        ]
+        policy = make_policy(config.replacement, config.replacement_seed)
+        self._repl = [policy.make_set(config.associativity) for _ in range(config.sets)]
+        self._banks = BankTimer(config.banks, config.line_bytes)
+        self._mshrs = MSHRFile(config.mshr_entries)
+        self._write_buffer = WriteBuffer(
+            config.write_buffer_entries, config.write_buffer_drain_cycles
+        )
+        self._line_writes: Dict[int, int] = {}
+        self._fast_write_credit = 0.0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def line_addr(self, addr: int) -> int:
+        """Line-aligned base address containing ``addr``."""
+        return (addr >> self._offset_bits) << self._offset_bits
+
+    def _index_tag(self, addr: int) -> tuple:
+        index = (addr >> self._offset_bits) & (self.config.sets - 1)
+        tag = addr >> (self._offset_bits + self._index_bits)
+        return index, tag
+
+    def _find_way(self, index: int, tag: int) -> Optional[int]:
+        for way, stored in enumerate(self._tags[index]):
+            if stored == tag:
+                return way
+        return None
+
+    def contains(self, addr: int) -> bool:
+        """True if the line holding ``addr`` is resident."""
+        index, tag = self._index_tag(addr)
+        return self._find_way(index, tag) is not None
+
+    def is_dirty(self, addr: int) -> bool:
+        """True if the line holding ``addr`` is resident and dirty."""
+        index, tag = self._index_tag(addr)
+        way = self._find_way(index, tag)
+        return way is not None and self._dirty[index][way]
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of valid lines currently stored."""
+        return sum(1 for ways in self._tags for t in ways if t is not None)
+
+    @property
+    def line_write_counts(self) -> Dict[int, int]:
+        """Per-line-slot write counts (empty unless ``track_line_writes``)."""
+        return dict(self._line_writes)
+
+    @property
+    def write_buffer(self) -> WriteBuffer:
+        """The cache's write-back buffer (exposed for statistics)."""
+        return self._write_buffer
+
+    @property
+    def mshrs(self) -> MSHRFile:
+        """The cache's MSHR file (exposed for statistics)."""
+        return self._mshrs
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    def access(self, acc: Access, now: float) -> float:
+        """Serve a demand access of arbitrary size.
+
+        Accesses spanning multiple lines are served line-by-line and
+        serialise (the datapath issues one cache access per line).
+
+        Returns:
+            Total latency in cycles.
+        """
+        if acc.type is AccessType.PREFETCH:
+            return self.prefetch(acc.addr, now)
+        total = 0.0
+        t = now
+        for line in acc.lines(self.config.line_bytes):
+            latency = self._access_line(line, acc.type.is_write, t)
+            total += latency
+            t += latency
+        return total
+
+    def line_access(self, addr: int, is_write: bool, now: float) -> float:
+        """Next-level interface: serve exactly one line at ``addr``."""
+        return self._access_line(self.line_addr(addr), is_write, now)
+
+    # Alias so a Cache satisfies the NextLevel protocol directly.
+    def access_line_as_next_level(self, addr: int, is_write: bool, now: float) -> float:
+        """Deprecated alias of :meth:`line_access`."""
+        return self.line_access(addr, is_write, now)
+
+    def prefetch(self, addr: int, now: float) -> float:
+        """Issue a non-binding software prefetch for the line of ``addr``.
+
+        Returns:
+            Cycles the issuing core spends on the prefetch (0: the tag
+            probe overlaps with the issue slot already charged by the CPU
+            model).  The fill proceeds in the background and is installed
+            lazily by the next demand access.
+        """
+        line = self.line_addr(addr)
+        if self.contains(line):
+            self.stats.prefetch_hits += 1
+            return 0.0
+        if self._mshrs.lookup(line) is not None:
+            self.stats.prefetch_hits += 1
+            return 0.0
+        self.stats.prefetch_misses += 1
+        entry = self._mshrs.allocate(line, now, ready_at=now, is_prefetch=True)
+        if entry is None:
+            # No MSHR free: the hint is dropped before consuming any
+            # next-level bandwidth.
+            return 0.0
+        next_latency = self.next_level.access(line, False, now + self.config.read_hit_cycles)
+        entry.ready_at = now + self.config.read_hit_cycles + next_latency
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Wide-interface path (used by the VWB front-end)
+    # ------------------------------------------------------------------
+
+    def read_lines_wide(
+        self, addr: int, n_lines: int, now: float, critical_addr: Optional[int] = None
+    ) -> "WideReadResult":
+        """Read ``n_lines`` consecutive lines through the wide interface.
+
+        This models the VWB promotion: the NVM array reads a full wide
+        word.  Lines in distinct banks are read in parallel, each
+        occupying its bank for one read time; lines colliding in a bank
+        serialise.  Any line not resident is fetched from the next level
+        over the narrow port, one line at a time, *critical line first*
+        when ``critical_addr`` is given — so a demand access waiting on
+        the promotion can proceed as soon as its own line lands.
+
+        Args:
+            addr: Base address, line-aligned.
+            n_lines: Number of consecutive lines (the VWB line width).
+            critical_addr: Address the requester actually needs, if any.
+
+        Returns:
+            A :class:`WideReadResult` with per-line absolute ready times.
+        """
+        if n_lines <= 0:
+            raise ConfigurationError(f"wide read needs at least one line: {n_lines}")
+        base = self.line_addr(addr)
+        lines = [base + i * self.config.line_bytes for i in range(n_lines)]
+        if critical_addr is not None:
+            critical_line = self.line_addr(critical_addr)
+            if critical_line in lines:
+                lines.remove(critical_line)
+                lines.insert(0, critical_line)
+        line_ready: Dict[int, float] = {}
+        fetch_at = now
+        resident: List[int] = []
+        for line in lines:
+            if self.contains(line) or self._mshr_ready_fill(line, now):
+                resident.append(line)
+            else:
+                # Missing lines arrive serially over the narrow L2 port.
+                latency = self._access_line(line, False, fetch_at)
+                fetch_at += latency
+                line_ready[line] = fetch_at
+        # Resident lines are read through the wide port: one array read
+        # per bank, in parallel across banks, serialised within a bank
+        # (successive reservations accumulate on its busy time).  The
+        # critical line was ordered first, so its ready time is exact.
+        for line in resident:
+            wait, finish = self._banks.reserve(line, now, float(self.config.read_hit_cycles))
+            self.stats.bank_wait_cycles += int(wait)
+            line_ready[line] = finish
+            index, tag = self._index_tag(line)
+            way = self._find_way(index, tag)
+            if way is not None:
+                self._repl[index].touch(way)
+                self.stats.read_hits += 1
+        return WideReadResult(issued_at=now, line_ready=line_ready)
+
+    def install_line(self, addr: int, dirty: bool, now: float) -> float:
+        """Accept a line written back from an upper buffer (VWB eviction).
+
+        If the line is still resident it is updated in place (an NVM array
+        write occupying its bank); if it has since been evicted, a dirty
+        line is forwarded to the next level through the write buffer and a
+        clean one is dropped.
+
+        Returns:
+            Stall cycles visible to the requester (only nonzero when the
+            write buffer is full).
+        """
+        line = self.line_addr(addr)
+        index, tag = self._index_tag(line)
+        way = self._find_way(index, tag)
+        if way is not None:
+            if dirty:
+                wait, _ = self._banks.reserve(line, now, float(self._array_write_cycles()))
+                self.stats.bank_wait_cycles += int(wait)
+                self._dirty[index][way] = True
+                self._count_line_write(index, way)
+                self.stats.write_hits += 1
+            return 0.0
+        if dirty:
+            stall = self._write_buffer.push(now)
+            self.stats.writebacks += 1
+            self.stats.writeback_stall_cycles += int(stall)
+            self.next_level.access(line, True, now + stall)
+            return stall
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def clear_stats(self) -> None:
+        """Zero the statistics and timing state but keep cache contents.
+
+        Used between a warm-up phase (PolyBench's array initialisation,
+        which the paper's gem5 runs execute before the kernel) and the
+        measured kernel run.
+        """
+        self.stats = CacheStats()
+        self._banks.reset()
+        self._mshrs.reset()
+        self._write_buffer.reset()
+        self._line_writes.clear()
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear all timing/statistics state."""
+        cfg = self.config
+        self._tags = [[None] * cfg.associativity for _ in range(cfg.sets)]
+        self._dirty = [[False] * cfg.associativity for _ in range(cfg.sets)]
+        policy = make_policy(cfg.replacement, cfg.replacement_seed)
+        self._repl = [policy.make_set(cfg.associativity) for _ in range(cfg.sets)]
+        self._banks.reset()
+        self._mshrs.reset()
+        self._write_buffer.reset()
+        self._line_writes.clear()
+        self._fast_write_credit = 0.0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _array_write_cycles(self) -> int:
+        """Cycles of the next array write, honouring the AWARE model.
+
+        The fast/slow decision is a deterministic credit accumulator so
+        runs stay reproducible: with fraction f, every 1/f-th write (on
+        average, exactly) takes the fast path.
+        """
+        cfg = self.config
+        if cfg.fast_write_cycles is None:
+            return cfg.write_hit_cycles
+        self._fast_write_credit += cfg.fast_write_fraction
+        if self._fast_write_credit >= 1.0:
+            self._fast_write_credit -= 1.0
+            return cfg.fast_write_cycles
+        return cfg.write_hit_cycles
+
+    def _access_line(self, line: int, is_write: bool, now: float) -> float:
+        index, tag = self._index_tag(line)
+        way = self._find_way(index, tag)
+        hit_cycles = self._array_write_cycles() if is_write else self.config.read_hit_cycles
+
+        if way is not None:
+            wait, _ = self._banks.reserve(line, now, float(hit_cycles))
+            self.stats.bank_wait_cycles += int(wait)
+            self._repl[index].touch(way)
+            if is_write:
+                self._dirty[index][way] = True
+                self._count_line_write(index, way)
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            return wait + hit_cycles
+
+        # Miss: first check for an in-flight fill (software prefetch).
+        entry = self._mshrs.lookup(line)
+        if entry is not None:
+            remaining = max(0.0, entry.ready_at - now)
+            self._mshrs.release(line)
+            self._fill(line, now + remaining)
+            index, tag = self._index_tag(line)
+            way = self._find_way(index, tag)
+            if is_write:
+                self.stats.write_misses += 1
+                if way is not None:
+                    self._dirty[index][way] = True
+                    self._count_line_write(index, way)
+                return remaining + self._array_write_cycles()
+            self.stats.read_misses += 1
+            return max(float(self.config.read_hit_cycles), remaining)
+
+        # True miss: fetch from the next level (write-allocate for writes).
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+        tag_check = float(self.config.read_hit_cycles)
+        next_latency = self.next_level.access(line, False, now + tag_check)
+        data_ready = now + tag_check + next_latency
+        self._fill(line, data_ready)
+        if is_write:
+            index, tag = self._index_tag(line)
+            way = self._find_way(index, tag)
+            if way is not None:
+                self._dirty[index][way] = True
+                self._count_line_write(index, way)
+            return data_ready - now + self._array_write_cycles()
+        return data_ready - now
+
+    def _mshr_ready_fill(self, line: int, now: float) -> bool:
+        """Install a completed prefetch for ``line`` if one is lingering."""
+        entry = self._mshrs.lookup(line)
+        if entry is None or entry.ready_at > now:
+            return False
+        self._mshrs.release(line)
+        self._fill(line, now)
+        return True
+
+    def _fill(self, line: int, when: float) -> None:
+        """Install ``line``, evicting a victim if needed.
+
+        The fill write occupies the line's bank starting at ``when`` (data
+        arrival); the requester does not wait for it (critical word
+        first).
+        """
+        index, tag = self._index_tag(line)
+        if self._find_way(index, tag) is not None:
+            raise SimulationError(
+                f"{self.config.name}: fill for already-resident line {line:#x}"
+            )
+        valid = [t is not None for t in self._tags[index]]
+        victim = self._repl[index].victim(valid)
+        if self._tags[index][victim] is not None:
+            self.stats.evictions += 1
+            if self._dirty[index][victim]:
+                victim_line = self._victim_addr(index, victim)
+                stall = self._write_buffer.push(when)
+                self.stats.writebacks += 1
+                self.stats.writeback_stall_cycles += int(stall)
+                self.next_level.access(victim_line, True, when + stall)
+        self._tags[index][victim] = tag
+        self._dirty[index][victim] = False
+        self._repl[index].touch(victim)
+        self.stats.fills += 1
+        self._count_line_write(index, victim)
+        wait, _ = self._banks.reserve(line, when, float(self.config.write_hit_cycles))
+        self.stats.bank_wait_cycles += int(wait)
+
+    def _victim_addr(self, index: int, way: int) -> int:
+        tag = self._tags[index][way]
+        if tag is None:
+            raise SimulationError(f"{self.config.name}: victim address of empty way")
+        return (tag << (self._offset_bits + self._index_bits)) | (index << self._offset_bits)
+
+    def _count_line_write(self, index: int, way: int) -> None:
+        if not self.config.track_line_writes:
+            return
+        slot = index * self.config.associativity + way
+        self._line_writes[slot] = self._line_writes.get(slot, 0) + 1

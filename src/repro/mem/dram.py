@@ -1,0 +1,146 @@
+"""Banked DRAM with row-buffer locality (optional main-memory model).
+
+The default :class:`~repro.mem.mainmem.MainMemory` is a fixed-latency
+channel, which is all the paper's L2-resident kernels need.  The
+dataset-scaling ablation pushes working sets toward DRAM, where
+row-buffer behaviour starts to matter; this model adds it at the usual
+first-order granularity:
+
+- the address space is striped over ``banks`` independent banks at
+  row granularity;
+- each bank has one open row; an access to it costs ``t_cas`` (row hit),
+  an access to another row costs precharge + activate + CAS
+  (``t_rp + t_rcd + t_cas``), and a closed bank skips the precharge;
+- each access occupies the shared channel for ``transfer_cycles``
+  (line transfer), serialising bursts;
+- writes are posted: the requester waits only for the channel slot.
+
+Timing uses the same absolute busy-until convention as every other
+component (monotonic ``now``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Banked-DRAM timing parameters (in CPU cycles at 1 GHz).
+
+    The defaults give ~100-cycle row-miss reads and ~40-cycle row hits,
+    bracketing the simple model's flat 100 cycles.
+    """
+
+    banks: int = 8
+    row_bytes: int = 2048
+    t_cas: float = 20.0
+    t_rcd: float = 40.0
+    t_rp: float = 40.0
+    transfer_cycles: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.banks):
+            raise ConfigurationError(f"bank count must be a power of two: {self.banks}")
+        if not is_power_of_two(self.row_bytes):
+            raise ConfigurationError(f"row size must be a power of two: {self.row_bytes}")
+        if min(self.t_cas, self.t_rcd, self.t_rp, self.transfer_cycles) < 0:
+            raise ConfigurationError("DRAM timings must be non-negative")
+
+
+class _Bank:
+    __slots__ = ("open_row", "busy_until")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.busy_until = 0.0
+
+
+class BankedMemory:
+    """Open-page banked DRAM behind the shared channel.
+
+    Satisfies the same ``access(addr, is_write, now) -> latency``
+    protocol as :class:`~repro.mem.mainmem.MainMemory`.
+    """
+
+    def __init__(self, config: DRAMConfig = DRAMConfig()) -> None:
+        self.config = config
+        self._banks: List[_Bank] = [_Bank() for _ in range(config.banks)]
+        self._channel_free_at = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total requests served."""
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of requests that hit an open row."""
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def _locate(self, addr: int) -> tuple:
+        row = addr // self.config.row_bytes
+        return self._banks[row % self.config.banks], row
+
+    def access(self, addr: int, is_write: bool, now: float) -> float:
+        """Serve one line-sized request starting at cycle ``now``."""
+        cfg = self.config
+        bank, row = self._locate(addr)
+        start = max(now, bank.busy_until, self._channel_free_at)
+
+        if bank.open_row == row:
+            self.row_hits += 1
+            array_time = cfg.t_cas
+        elif bank.open_row is None:
+            self.row_misses += 1
+            array_time = cfg.t_rcd + cfg.t_cas
+        else:
+            self.row_misses += 1
+            array_time = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+        bank.open_row = row
+
+        data_at = start + array_time
+        bank.busy_until = data_at
+        self._channel_free_at = data_at + cfg.transfer_cycles
+
+        if is_write:
+            self.writes += 1
+            # Posted write: wait for the slot, not the array.
+            return start - now + cfg.transfer_cycles
+        self.reads += 1
+        return data_at + cfg.transfer_cycles - now
+
+    def clear_stats(self) -> None:
+        """Zero counters and timing; open rows are also closed (a run
+        boundary implies refresh cycles have passed)."""
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to power-on state."""
+        for bank in self._banks:
+            bank.open_row = None
+            bank.busy_until = 0.0
+        self._channel_free_at = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for reports."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "row_hit_rate": self.row_hit_rate,
+        }

@@ -1,0 +1,123 @@
+"""Wiring of the platform's memory hierarchy.
+
+The paper's platform (Section VI): 32 KB 2-way L1 I-cache, 64 KB 2-way L1
+D-cache, 2 MB 16-way unified L2, all in front of DRAM, on a 1 GHz
+single-core ARM-like CPU.  The D-cache *front-end* (drop-in, VWB, L0 or
+EMSHR) is pluggable and lives in :mod:`repro.core`; this module builds the
+backing stores they all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..units import kib, mib
+from .cache import Cache, CacheConfig
+from .dram import BankedMemory, DRAMConfig
+from .mainmem import MainMemory
+
+
+class LineAccessAdapter:
+    """Adapts a :class:`Cache` to the :class:`~repro.mem.cache.NextLevel`
+    protocol so it can back another cache."""
+
+    def __init__(self, cache: Cache) -> None:
+        self._cache = cache
+
+    def access(self, addr: int, is_write: bool, now: float) -> float:
+        """Forward one line-sized request to the wrapped cache."""
+        return self._cache.line_access(addr, is_write, now)
+
+
+def default_il1_config() -> CacheConfig:
+    """32 KB, 2-way, 64 B-line SRAM instruction cache (always SRAM)."""
+    return CacheConfig(
+        name="il1",
+        capacity_bytes=kib(32),
+        associativity=2,
+        line_bytes=64,
+        read_hit_cycles=1,
+        write_hit_cycles=1,
+    )
+
+
+def default_l2_config() -> CacheConfig:
+    """2 MB, 16-way unified SRAM L2 with an 8-cycle access time."""
+    return CacheConfig(
+        name="l2",
+        capacity_bytes=mib(2),
+        associativity=16,
+        line_bytes=64,
+        read_hit_cycles=8,
+        write_hit_cycles=8,
+        banks=4,
+        mshr_entries=16,
+        write_buffer_entries=8,
+        write_buffer_drain_cycles=12.0,
+    )
+
+
+@dataclass
+class HierarchyConfig:
+    """Configuration of the shared (non-DL1) part of the hierarchy.
+
+    Attributes:
+        il1: Instruction-cache geometry (SRAM in every experiment).
+        l2: Unified L2 geometry (SRAM in every experiment).
+        memory_latency_cycles: DRAM access latency (simple model).
+        memory_transfer_cycles: DRAM channel occupancy per line.
+        memory_model: ``"simple"`` (flat latency, the default the
+            figures use) or ``"banked"`` (open-page row-buffer DRAM).
+        dram: Banked-DRAM timing, used when ``memory_model="banked"``.
+    """
+
+    il1: CacheConfig = field(default_factory=default_il1_config)
+    l2: CacheConfig = field(default_factory=default_l2_config)
+    memory_latency_cycles: float = 100.0
+    memory_transfer_cycles: float = 8.0
+    memory_model: str = "simple"
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+
+
+class MemoryHierarchy:
+    """The shared backing hierarchy: IL1 and L2 over main memory.
+
+    The D-cache front-end is attached separately (see
+    :mod:`repro.core.frontend`); it receives the L2 adapter as its next
+    level, exactly like the IL1 does.
+    """
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        model = config.memory_model.strip().lower()
+        if model == "simple":
+            self.memory = MainMemory(
+                latency_cycles=config.memory_latency_cycles,
+                transfer_cycles=config.memory_transfer_cycles,
+            )
+        elif model == "banked":
+            self.memory = BankedMemory(config.dram)
+        else:
+            raise ConfigurationError(
+                f"unknown memory model {config.memory_model!r}; expected simple or banked"
+            )
+        self.l2 = Cache(config.l2, self.memory)
+        self.l2_port = LineAccessAdapter(self.l2)
+        self.il1 = Cache(config.il1, self.l2_port)
+
+    def ifetch(self, addr: int, now: float) -> float:
+        """Fetch one instruction line through the IL1."""
+        return self.il1.line_access(addr, False, now)
+
+    def clear_stats(self) -> None:
+        """Zero statistics/timing everywhere but keep cache contents."""
+        self.memory.clear_stats()
+        self.l2.clear_stats()
+        self.il1.clear_stats()
+
+    def reset(self) -> None:
+        """Reset every level (used between benchmark runs)."""
+        self.memory.reset()
+        self.l2.reset()
+        self.il1.reset()

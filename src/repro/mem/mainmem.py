@@ -1,0 +1,63 @@
+"""Main-memory (DRAM) model.
+
+A fixed access latency plus a simple channel-occupancy model: requests
+serialise on the single channel at a per-line transfer cost.  For the
+PolyBench working sets used in the paper almost everything fits in the
+2 MB L2, so DRAM detail beyond this contributes nothing to the figures —
+but the occupancy term keeps streaming misses from being unrealistically
+free in the dataset-scaling ablation.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class MainMemory:
+    """Flat DRAM with fixed latency and serialised channel transfers.
+
+    Args:
+        latency_cycles: Cycles from request to first data (row activation,
+            column access, controller overheads folded together).
+        transfer_cycles: Channel occupancy per line transferred.
+    """
+
+    def __init__(self, latency_cycles: float = 100.0, transfer_cycles: float = 8.0) -> None:
+        if latency_cycles < 0 or transfer_cycles < 0:
+            raise ConfigurationError("memory latencies must be non-negative")
+        self.latency_cycles = latency_cycles
+        self.transfer_cycles = transfer_cycles
+        self._channel_free_at = 0.0
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lines read plus written."""
+        return self.reads + self.writes
+
+    def access(self, addr: int, is_write: bool, now: float) -> float:
+        """Serve one line-sized access starting at cycle ``now``.
+
+        Returns:
+            Cycles until the data is returned (reads) or accepted
+            (writes), including any wait for the channel.
+        """
+        start = max(now, self._channel_free_at)
+        self._channel_free_at = start + self.transfer_cycles
+        if is_write:
+            self.writes += 1
+            # Posted write: the requester only waits for the channel slot.
+            return start - now + self.transfer_cycles
+        self.reads += 1
+        return start - now + self.latency_cycles
+
+    def clear_stats(self) -> None:
+        """Zero counters and channel state (main memory has no contents)."""
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear channel state and counters (used between runs)."""
+        self._channel_free_at = 0.0
+        self.reads = 0
+        self.writes = 0

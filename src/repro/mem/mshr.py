@@ -1,0 +1,115 @@
+"""Miss-status holding registers (MSHRs).
+
+An MSHR file tracks outstanding line fills so that
+
+- a second miss to an in-flight line merges instead of re-requesting, and
+- software prefetches can run ahead without blocking the core.
+
+The file is also the substrate for the *Enhanced MSHR* comparison point
+(Komalan et al., DATE 2014, reference [7] of the paper), modelled in
+:mod:`repro.core.emshr`: EMSHR additionally lets completed entries linger
+and serve reads at buffer speed before being deallocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding (or lingering) fill."""
+
+    line_addr: int
+    ready_at: float
+    issued_at: float
+    is_prefetch: bool
+
+
+class MSHRFile:
+    """Bounded set of outstanding fills keyed by line address.
+
+    ``now`` must be non-decreasing across calls.  Entries whose fill has
+    completed are *lingering*: by default :meth:`reclaim_completed` frees
+    them lazily when a new allocation needs a slot, which mimics hardware
+    deallocation without a global event queue.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ConfigurationError(f"MSHR file needs at least one entry: {entries}")
+        self._capacity = entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.allocations = 0
+        self.merges = 0
+        self.full_rejections = 0
+
+    @property
+    def capacity(self) -> int:
+        """Number of MSHR slots."""
+        return self._capacity
+
+    def lookup(self, line_addr: int) -> Optional[MSHREntry]:
+        """Return the entry tracking ``line_addr``, if any."""
+        return self._entries.get(line_addr)
+
+    def allocate(
+        self, line_addr: int, now: float, ready_at: float, is_prefetch: bool
+    ) -> Optional[MSHREntry]:
+        """Try to allocate an entry for a new miss.
+
+        If an entry for the line already exists the miss *merges*: the
+        existing entry is returned (its ``ready_at`` is authoritative).
+        If the file is full after reclaiming completed entries, ``None``
+        is returned and the caller must handle the structural stall.
+        """
+        existing = self._entries.get(line_addr)
+        if existing is not None:
+            self.merges += 1
+            return existing
+        if len(self._entries) >= self._capacity:
+            self.reclaim_completed(now)
+        if len(self._entries) >= self._capacity:
+            self.full_rejections += 1
+            return None
+        entry = MSHREntry(
+            line_addr=line_addr, ready_at=ready_at, issued_at=now, is_prefetch=is_prefetch
+        )
+        self._entries[line_addr] = entry
+        self.allocations += 1
+        return entry
+
+    def release(self, line_addr: int) -> None:
+        """Explicitly deallocate the entry for ``line_addr`` (no-op if absent)."""
+        self._entries.pop(line_addr, None)
+
+    def reclaim_completed(self, now: float) -> int:
+        """Free every entry whose fill completed by ``now``.
+
+        Returns:
+            Number of entries reclaimed.
+        """
+        done = [addr for addr, e in self._entries.items() if e.ready_at <= now]
+        for addr in done:
+            del self._entries[addr]
+        return len(done)
+
+    def earliest_completion(self) -> Optional[float]:
+        """``ready_at`` of the entry finishing soonest, or ``None`` if empty."""
+        if not self._entries:
+            return None
+        return min(e.ready_at for e in self._entries.values())
+
+    def occupancy(self) -> int:
+        """Entries currently allocated (including lingering completed ones)."""
+        return len(self._entries)
+
+    def reset(self) -> None:
+        """Clear all entries and statistics."""
+        self._entries.clear()
+        self.allocations = 0
+        self.merges = 0
+        self.full_rejections = 0

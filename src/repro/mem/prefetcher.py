@@ -1,0 +1,123 @@
+"""Hardware stride prefetcher (extension).
+
+The paper relies on *software* prefetch intrinsics steered by the
+programmer.  The obvious hardware alternative — a region-based stride
+prefetcher at the DL1 — is implemented here so the harness can compare
+the two (``ablation-hwprefetch``): the hardware engine hides L2/DRAM
+miss latency like the software hints do for the plain cache, but it
+cannot stage data *into the VWB*, so it cannot remove the NVM read-hit
+latency that dominates the paper's penalty.
+
+Design (classic reference-prediction-table shape, PC-less because traces
+carry no program counters):
+
+- demand accesses are grouped into aligned 4 KB regions;
+- per region the engine remembers the last line index and the last
+  observed stride (in lines);
+- when the same stride is seen twice in a row the engine goes *steady*
+  and issues ``degree`` prefetches ``distance`` strides ahead through
+  the cache's ordinary software-prefetch port (MSHR-bounded, so a
+  saturated array drops hints instead of queueing them);
+- the table is direct-mapped with ``entries`` slots and LRU-free
+  replacement by region hash — small and cheap, like hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+class _RegionState:
+    """Tracking state for one 4 KB region."""
+
+    __slots__ = ("region", "last_line", "stride", "confirmed")
+
+    def __init__(self, region: int, line: int) -> None:
+        self.region = region
+        self.last_line = line
+        self.stride = 0
+        self.confirmed = False
+
+
+class StridePrefetcher:
+    """Region-based stride prefetcher in front of a cache's demand port.
+
+    Args:
+        cache: The cache to observe and prefetch into (its
+            :meth:`~repro.mem.cache.Cache.prefetch` port is used, so the
+            MSHR file bounds outstanding hardware fills too).
+        entries: Reference-table slots.
+        degree: Prefetches issued per steady-state trigger.
+        distance: Look-ahead, in strides.
+        region_bytes: Region granularity for stride tracking.
+    """
+
+    def __init__(
+        self,
+        cache,
+        entries: int = 16,
+        degree: int = 2,
+        distance: int = 2,
+        region_bytes: int = 4096,
+    ) -> None:
+        if entries <= 0 or degree <= 0 or distance <= 0:
+            raise ConfigurationError("prefetcher parameters must be positive")
+        if region_bytes <= 0 or region_bytes % cache.config.line_bytes != 0:
+            raise ConfigurationError(
+                f"region size {region_bytes} must be a positive multiple of the line size"
+            )
+        self._cache = cache
+        self._entries = entries
+        self.degree = degree
+        self.distance = distance
+        self._region_bytes = region_bytes
+        self._table: Dict[int, _RegionState] = {}
+        self.issued = 0
+        self.triggers = 0
+
+    def observe(self, addr: int, now: float) -> None:
+        """Feed one demand access; may issue prefetches into the cache."""
+        line_bytes = self._cache.config.line_bytes
+        line = addr // line_bytes
+        region = addr // self._region_bytes
+        slot = region % self._entries
+        state = self._table.get(slot)
+
+        if state is None or state.region != region:
+            self._table[slot] = _RegionState(region, line)
+            return
+
+        stride = line - state.last_line
+        if stride == 0:
+            return  # same line: no new information
+        if stride == state.stride:
+            state.confirmed = True
+        else:
+            state.stride = stride
+            state.confirmed = False
+        state.last_line = line
+
+        if state.confirmed:
+            self.triggers += 1
+            for k in range(1, self.degree + 1):
+                target_line = line + (self.distance + k - 1) * state.stride
+                if target_line < 0:
+                    continue
+                self._cache.prefetch(target_line * line_bytes, now)
+                self.issued += 1
+
+    def state_of(self, addr: int) -> Optional[Tuple[int, bool]]:
+        """(stride, confirmed) of the region holding ``addr`` (tests)."""
+        region = addr // self._region_bytes
+        state = self._table.get(region % self._entries)
+        if state is None or state.region != region:
+            return None
+        return state.stride, state.confirmed
+
+    def reset(self) -> None:
+        """Clear the reference table and counters."""
+        self._table.clear()
+        self.issued = 0
+        self.triggers = 0

@@ -1,0 +1,207 @@
+"""Replacement policies for set-associative caches.
+
+Each policy manufactures one small state object per cache set.  The cache
+calls :meth:`SetState.touch` on every hit/fill and :meth:`SetState.victim`
+when it needs a way to evict.  Policies never see addresses — only way
+indices — which keeps them reusable for the VWB's line pair, the L0
+cache, and MSHR files.
+
+LRU is the paper's (and gem5's) default; FIFO, tree-PLRU and random are
+provided for the replacement-policy ablation bench.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+from ..units import is_power_of_two
+
+
+class SetState(abc.ABC):
+    """Replacement bookkeeping for one cache set."""
+
+    @abc.abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a reference to ``way`` (hit or fill)."""
+
+    @abc.abstractmethod
+    def victim(self, valid: Sequence[bool]) -> int:
+        """Choose the way to evict.
+
+        Args:
+            valid: Per-way validity; invalid ways must be preferred so the
+                cache never evicts live data while empty ways exist.
+
+        Returns:
+            A way index in ``range(len(valid))``.
+        """
+
+
+class ReplacementPolicy(abc.ABC):
+    """Factory for per-set replacement state."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def make_set(self, assoc: int) -> SetState:
+        """Create state for one set of ``assoc`` ways."""
+
+
+class _LRUSet(SetState):
+    """Exact LRU: maintains ways ordered from MRU to LRU."""
+
+    def __init__(self, assoc: int) -> None:
+        self._order: List[int] = list(range(assoc))
+
+    def touch(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def victim(self, valid: Sequence[bool]) -> int:
+        for way, is_valid in enumerate(valid):
+            if not is_valid:
+                return way
+        return self._order[-1]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement (the paper's default)."""
+
+    name = "lru"
+
+    def make_set(self, assoc: int) -> SetState:
+        return _LRUSet(assoc)
+
+
+class _FIFOSet(SetState):
+    """FIFO: evict in fill order, ignoring hits."""
+
+    def __init__(self, assoc: int) -> None:
+        self._assoc = assoc
+        self._next = 0
+
+    def touch(self, way: int) -> None:
+        # FIFO ignores references; rotation happens in victim().
+        return None
+
+    def victim(self, valid: Sequence[bool]) -> int:
+        for way, is_valid in enumerate(valid):
+            if not is_valid:
+                return way
+        choice = self._next
+        self._next = (self._next + 1) % self._assoc
+        return choice
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out replacement."""
+
+    name = "fifo"
+
+    def make_set(self, assoc: int) -> SetState:
+        return _FIFOSet(assoc)
+
+
+class _RandomSet(SetState):
+    """Uniform random eviction from a seeded generator (reproducible)."""
+
+    def __init__(self, assoc: int, rng: random.Random) -> None:
+        self._assoc = assoc
+        self._rng = rng
+
+    def touch(self, way: int) -> None:
+        return None
+
+    def victim(self, valid: Sequence[bool]) -> int:
+        for way, is_valid in enumerate(valid):
+            if not is_valid:
+                return way
+        return self._rng.randrange(self._assoc)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement with a shared, seeded generator.
+
+    All sets draw from one :class:`random.Random` so a cache's eviction
+    sequence is a deterministic function of the seed and access stream.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def make_set(self, assoc: int) -> SetState:
+        return _RandomSet(assoc, self._rng)
+
+
+class _TreePLRUSet(SetState):
+    """Tree pseudo-LRU over a power-of-two number of ways."""
+
+    def __init__(self, assoc: int) -> None:
+        if not is_power_of_two(assoc):
+            raise ConfigurationError(f"tree-PLRU requires power-of-two ways, got {assoc}")
+        self._assoc = assoc
+        # One bit per internal node of a complete binary tree; bit value 0
+        # means "the LRU side is the left subtree".
+        self._bits = [0] * max(1, assoc - 1)
+
+    def touch(self, way: int) -> None:
+        if self._assoc == 1:
+            return
+        node = 0
+        lo, hi = 0, self._assoc
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # LRU side is now the right subtree
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+
+    def victim(self, valid: Sequence[bool]) -> int:
+        for way, is_valid in enumerate(valid):
+            if not is_valid:
+                return way
+        if self._assoc == 1:
+            return 0
+        node = 0
+        lo, hi = 0, self._assoc
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node] == 0:  # LRU side is the left subtree
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        return lo
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU, the usual hardware approximation of LRU."""
+
+    name = "plru"
+
+    def make_set(self, assoc: int) -> SetState:
+        return _TreePLRUSet(assoc)
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Construct a policy by short name (``lru``/``fifo``/``random``/``plru``)."""
+    key = name.strip().lower()
+    if key == "lru":
+        return LRUPolicy()
+    if key == "fifo":
+        return FIFOPolicy()
+    if key == "random":
+        return RandomPolicy(seed)
+    if key == "plru":
+        return TreePLRUPolicy()
+    raise ConfigurationError(f"unknown replacement policy {name!r}")

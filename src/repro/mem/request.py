@@ -1,0 +1,59 @@
+"""Access descriptors exchanged between the CPU model and the hierarchy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access, as seen by a cache."""
+
+    READ = "read"
+    WRITE = "write"
+    PREFETCH = "prefetch"
+    IFETCH = "ifetch"
+
+    @property
+    def is_write(self) -> bool:
+        """True for accesses that modify the addressed data."""
+        return self is AccessType.WRITE
+
+    @property
+    def is_demand(self) -> bool:
+        """True for accesses the core waits on (everything but prefetch)."""
+        return self is not AccessType.PREFETCH
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access: an address, a size in bytes, and a type.
+
+    Addresses are plain integers (byte addresses in a flat physical
+    address space); the workload interpreter lays arrays out in this space
+    and the System-call-Emulation-style platform needs no translation,
+    mirroring the paper's gem5 SE-mode setup.
+    """
+
+    addr: int
+    size: int
+    type: AccessType
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ConfigurationError(f"address must be non-negative: {self.addr}")
+        if self.size <= 0:
+            raise ConfigurationError(f"access size must be positive: {self.size}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte touched by this access."""
+        return self.addr + self.size
+
+    def lines(self, line_bytes: int) -> range:
+        """Aligned line addresses this access touches, lowest first."""
+        first = (self.addr // line_bytes) * line_bytes
+        last = ((self.end - 1) // line_bytes) * line_bytes
+        return range(first, last + line_bytes, line_bytes)

@@ -1,0 +1,75 @@
+"""Hit/miss/traffic counters for caches and buffers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by one cache (or cache-like structure).
+
+    All counters are in events except ``bank_wait_cycles``, which
+    accumulates cycles lost to bank conflicts, and ``writeback_stall_cycles``,
+    which accumulates cycles stalled on a full write buffer.
+    """
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    bank_wait_cycles: int = 0
+    writeback_stall_cycles: int = 0
+
+    @property
+    def reads(self) -> int:
+        """Demand read accesses (hits plus misses)."""
+        return self.read_hits + self.read_misses
+
+    @property
+    def writes(self) -> int:
+        """Demand write accesses (hits plus misses)."""
+        return self.write_hits + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        """Demand hits (reads plus writes; prefetches excluded)."""
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        """Demand misses (reads plus writes; prefetches excluded)."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def accesses(self) -> int:
+        """Demand accesses (hits plus misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Demand hit rate in [0, 1]; 0.0 when there were no accesses."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Demand miss rate in [0, 1]; 0.0 when there were no accesses."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        """Return a new :class:`CacheStats` with both operands' counts."""
+        merged = CacheStats()
+        for f in fields(CacheStats):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (counters only), for reports and JSON dumps."""
+        return {f.name: getattr(self, f.name) for f in fields(CacheStats)}

@@ -1,0 +1,87 @@
+"""The small write buffer between a cache and its next level.
+
+The paper's store policy: "A small write buffer is present ... to hold the
+evicted data temporarily, while being transferred to the L2 ... No write
+through is present ... and a write-back policy is implemented."
+
+The buffer accepts an entry immediately when a slot is free; entries drain
+to the next level one at a time at a fixed per-entry latency.  When full,
+the producer stalls until the oldest entry finishes draining.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ..errors import ConfigurationError
+
+
+class WriteBuffer:
+    """Fixed-capacity FIFO of in-flight write-backs.
+
+    Args:
+        entries: Number of buffer slots (must be positive).
+        drain_cycles: Cycles to retire one entry into the next level.
+
+    The implementation stores only completion times: slot ``i`` of the
+    deque holds the absolute cycle at which that write-back finishes.
+    ``now`` must be non-decreasing across calls (in-order core).
+    """
+
+    def __init__(self, entries: int, drain_cycles: float) -> None:
+        if entries <= 0:
+            raise ConfigurationError(f"write buffer needs at least one entry: {entries}")
+        if drain_cycles < 0:
+            raise ConfigurationError(f"drain latency must be non-negative: {drain_cycles}")
+        self._entries = entries
+        self._drain_cycles = drain_cycles
+        self._completions: Deque[float] = deque()
+        self.total_pushes = 0
+        self.total_stall_cycles = 0.0
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots."""
+        return self._entries
+
+    def occupancy(self, now: float) -> int:
+        """Entries still draining at cycle ``now``."""
+        self._retire(now)
+        return len(self._completions)
+
+    def push(self, now: float) -> float:
+        """Insert one write-back at cycle ``now``.
+
+        Returns:
+            Stall cycles suffered by the producer (0 when a slot is free).
+        """
+        self._retire(now)
+        stall = 0.0
+        if len(self._completions) >= self._entries:
+            # Wait for the oldest entry to drain, freeing one slot.
+            stall = self._completions[0] - now
+            now = self._completions.popleft()
+        # Drains are serialised through the single port to the next level.
+        start = max(now, self._completions[-1] if self._completions else now)
+        self._completions.append(start + self._drain_cycles)
+        self.total_pushes += 1
+        self.total_stall_cycles += stall
+        return stall
+
+    def drain_time(self, now: float) -> float:
+        """Cycles until the buffer is completely empty."""
+        self._retire(now)
+        if not self._completions:
+            return 0.0
+        return self._completions[-1] - now
+
+    def reset(self) -> None:
+        """Discard all in-flight entries and statistics."""
+        self._completions.clear()
+        self.total_pushes = 0
+        self.total_stall_cycles = 0.0
+
+    def _retire(self, now: float) -> None:
+        while self._completions and self._completions[0] <= now:
+            self._completions.popleft()

@@ -1,0 +1,51 @@
+"""Memory technology models: SRAM, STT-MRAM, ReRAM and PRAM parameters.
+
+This package provides the numbers that drive every simulation in the
+reproduction:
+
+- :mod:`repro.tech.params` — per-technology cell/array parameters and the
+  32 nm presets behind Table I of the paper;
+- :mod:`repro.tech.array_model` — an analytic (mini-CACTI-style) model that
+  derives latency/area/energy for arbitrary array geometries;
+- :mod:`repro.tech.scaling` — first-order technology-node scaling;
+- :mod:`repro.tech.energy` — leakage and dynamic-energy accounting;
+- :mod:`repro.tech.endurance` — write-endurance and lifetime estimates;
+- :mod:`repro.tech.compare` — the Table I comparison generator.
+"""
+
+from .params import (
+    MemoryTechnology,
+    TechnologyKind,
+    SRAM_32NM_HP,
+    STT_MRAM_32NM,
+    RERAM_32NM,
+    PRAM_32NM,
+    TECHNOLOGY_PRESETS,
+    get_technology,
+)
+from .array_model import ArrayGeometry, ArrayEstimate, estimate_array
+from .scaling import scale_technology
+from .energy import EnergyLedger, EnergyReport
+from .endurance import EnduranceModel, LifetimeEstimate
+from .compare import TableOneRow, build_table_one
+
+__all__ = [
+    "MemoryTechnology",
+    "TechnologyKind",
+    "SRAM_32NM_HP",
+    "STT_MRAM_32NM",
+    "RERAM_32NM",
+    "PRAM_32NM",
+    "TECHNOLOGY_PRESETS",
+    "get_technology",
+    "ArrayGeometry",
+    "ArrayEstimate",
+    "estimate_array",
+    "scale_technology",
+    "EnergyLedger",
+    "EnergyReport",
+    "EnduranceModel",
+    "LifetimeEstimate",
+    "TableOneRow",
+    "build_table_one",
+]

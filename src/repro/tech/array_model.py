@@ -1,0 +1,183 @@
+"""Analytic memory-array model (a deliberately small CACTI stand-in).
+
+The paper takes its 64 KB array numbers from silicon measurements
+(Table I).  For *other* geometries — the tiny VWB register file, the 2 MB
+L2, the size sweeps in the ablation benches — we need a way to derive
+latency, leakage, area and per-access energy from first-order scaling
+rules.  This module provides that: it anchors every estimate to the
+technology's reference 64 KB / 2-way numbers and scales with array
+geometry using the classic square-root wire-delay rule that CACTI-like
+tools reduce to at this level of abstraction.
+
+The model is intentionally simple and fully documented so its assumptions
+can be audited:
+
+- access time splits into a fixed sensing/decode component and a wire
+  component proportional to ``sqrt(bits_per_bank)``;
+- leakage is proportional to bit count (periphery folded into the per-bit
+  constant);
+- area is cell area plus a fixed fractional periphery overhead that grows
+  with associativity (comparators) and bank count (duplicated decoders);
+- dynamic energy per access is the per-bit energy times the bits moved per
+  access, plus a decoder term that grows with ``log2(rows)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import BITS_PER_BYTE, f2_to_mm2, is_power_of_two, kib
+from .params import MemoryTechnology
+
+#: Geometry all presets are anchored to: the paper's 64 KB, 2-way array.
+_REFERENCE_BYTES = kib(64)
+_REFERENCE_ASSOC = 2
+#: Fraction of the reference access time attributed to wires (H-tree +
+#: bitlines); the remainder is sensing/decode and does not scale with size.
+_WIRE_FRACTION = 0.55
+#: Fixed periphery area overhead as a fraction of cell-array area.
+_PERIPHERY_AREA_FRACTION = 0.35
+#: Extra periphery area per doubling of associativity beyond the reference.
+_ASSOC_AREA_STEP = 0.04
+#: Extra periphery area per doubling of bank count beyond one bank.
+_BANK_AREA_STEP = 0.03
+#: Decoder energy per access per address bit, in picojoules.
+_DECODE_PJ_PER_ADDRESS_BIT = 0.05
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Physical organisation of one memory array.
+
+    Attributes:
+        capacity_bytes: Total data capacity in bytes.
+        associativity: Number of ways (1 for a register file / direct map).
+        line_bytes: Bytes moved per full-line access.
+        banks: Number of independently accessible banks.
+    """
+
+    capacity_bytes: int
+    associativity: int = 1
+    line_bytes: int = 64
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(f"capacity must be positive: {self.capacity_bytes}")
+        if self.associativity <= 0:
+            raise ConfigurationError(f"associativity must be positive: {self.associativity}")
+        if self.line_bytes <= 0:
+            raise ConfigurationError(f"line size must be positive: {self.line_bytes}")
+        if not is_power_of_two(self.banks):
+            raise ConfigurationError(f"bank count must be a power of two: {self.banks}")
+        if self.capacity_bytes % self.line_bytes != 0:
+            raise ConfigurationError(
+                f"capacity {self.capacity_bytes} not divisible by line size {self.line_bytes}"
+            )
+
+    @property
+    def bits(self) -> int:
+        """Total data bits in the array."""
+        return self.capacity_bytes * BITS_PER_BYTE
+
+    @property
+    def bits_per_bank(self) -> int:
+        """Data bits in a single bank (drives the wire-delay term)."""
+        return max(1, self.bits // self.banks)
+
+    @property
+    def lines(self) -> int:
+        """Number of cache lines (or register-file rows) stored."""
+        return self.capacity_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class ArrayEstimate:
+    """Derived physical characteristics of an array in a technology.
+
+    All latencies are in nanoseconds, powers in milliwatts, energies in
+    picojoules, areas in square millimetres.
+    """
+
+    technology: str
+    geometry: ArrayGeometry
+    read_latency_ns: float
+    write_latency_ns: float
+    leakage_mw: float
+    area_mm2: float
+    read_energy_pj: float
+    write_energy_pj: float
+
+    def summary(self) -> str:
+        """One-line human-readable summary, used by the CLI."""
+        g = self.geometry
+        return (
+            f"{self.technology}: {g.capacity_bytes // 1024}KB {g.associativity}-way "
+            f"x{g.banks} banks | rd {self.read_latency_ns:.3f}ns "
+            f"wr {self.write_latency_ns:.3f}ns | {self.leakage_mw:.2f}mW leak | "
+            f"{self.area_mm2:.4f}mm^2 | rd {self.read_energy_pj:.1f}pJ "
+            f"wr {self.write_energy_pj:.1f}pJ per line"
+        )
+
+
+def _scaled_latency(reference_ns: float, geometry: ArrayGeometry) -> float:
+    """Scale a reference-geometry latency to ``geometry``.
+
+    The wire component scales with ``sqrt(bits_per_bank / reference_bits)``
+    (bitline/wordline RC grows with physical array edge length); the
+    sensing component is held constant.  Banking shortens wires, which is
+    exactly why the paper simulates a banked NVM array.
+    """
+    reference_bits = _REFERENCE_BYTES * BITS_PER_BYTE
+    wire = reference_ns * _WIRE_FRACTION
+    fixed = reference_ns - wire
+    scale = math.sqrt(geometry.bits_per_bank / reference_bits)
+    return fixed + wire * scale
+
+
+def estimate_array(tech: MemoryTechnology, geometry: ArrayGeometry) -> ArrayEstimate:
+    """Estimate latency/leakage/area/energy of an array built in ``tech``.
+
+    Anchored so that a 64 KB, 2-way, single-bank geometry reproduces the
+    technology's reference (Table I) numbers exactly.
+
+    Args:
+        tech: Technology parameters (see :mod:`repro.tech.params`).
+        geometry: Array organisation to estimate.
+
+    Returns:
+        An :class:`ArrayEstimate`.  ``read_energy_pj``/``write_energy_pj``
+        are per full-line access.
+    """
+    read_ns = _scaled_latency(tech.read_latency_ns, geometry)
+    write_ns = _scaled_latency(tech.write_latency_ns, geometry)
+
+    reference_bits = _REFERENCE_BYTES * BITS_PER_BYTE
+    leakage_mw = tech.leakage_mw * geometry.bits / reference_bits
+
+    cell_mm2 = f2_to_mm2(tech.cell_area_f2, geometry.bits, tech.feature_nm)
+    periphery = _PERIPHERY_AREA_FRACTION
+    if geometry.associativity > _REFERENCE_ASSOC:
+        periphery += _ASSOC_AREA_STEP * math.log2(geometry.associativity / _REFERENCE_ASSOC)
+    if geometry.banks > 1:
+        periphery += _BANK_AREA_STEP * math.log2(geometry.banks)
+    area_mm2 = cell_mm2 * (1.0 + periphery)
+
+    line_bits = geometry.line_bytes * BITS_PER_BYTE
+    address_bits = max(1, math.ceil(math.log2(max(2, geometry.lines))))
+    decode_pj = _DECODE_PJ_PER_ADDRESS_BIT * address_bits
+    read_energy_pj = tech.read_energy_pj_per_bit * line_bits + decode_pj
+    write_energy_pj = tech.write_energy_pj_per_bit * line_bits + decode_pj
+
+    return ArrayEstimate(
+        technology=tech.name,
+        geometry=geometry,
+        read_latency_ns=read_ns,
+        write_latency_ns=write_ns,
+        leakage_mw=leakage_mw,
+        area_mm2=area_mm2,
+        read_energy_pj=read_energy_pj,
+        write_energy_pj=write_energy_pj,
+    )

@@ -1,0 +1,116 @@
+"""Energy accounting for simulated runs.
+
+The paper defers power modelling ("power models have yet to be fully
+developed though") but argues qualitatively that the NVM DL1 wins on
+leakage and that the wide NVM array is cheaper per wide access than an
+equally wide SRAM.  This module provides the bookkeeping to quantify that
+claim as an *extension*: simulators record access counts into an
+:class:`EnergyLedger`, and :meth:`EnergyLedger.report` converts counts plus
+elapsed time into energy using per-array :class:`~repro.tech.array_model.ArrayEstimate`
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .array_model import ArrayEstimate
+
+
+@dataclass
+class _ArrayActivity:
+    """Access counters for one physical array."""
+
+    estimate: ArrayEstimate
+    reads: int = 0
+    writes: int = 0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy totals for one run, all in nanojoules.
+
+    Attributes:
+        dynamic_nj: Energy of all array reads and writes.
+        leakage_nj: Static energy integrated over the run's duration.
+        per_array_nj: Dynamic energy split by array name.
+    """
+
+    dynamic_nj: float
+    leakage_nj: float
+    per_array_nj: Dict[str, float]
+
+    @property
+    def total_nj(self) -> float:
+        """Dynamic plus leakage energy."""
+        return self.dynamic_nj + self.leakage_nj
+
+
+class EnergyLedger:
+    """Accumulates array activity during a simulation.
+
+    Usage::
+
+        ledger = EnergyLedger()
+        ledger.register("dl1", dl1_estimate)
+        ...
+        ledger.count_read("dl1")          # once per array read
+        report = ledger.report(elapsed_ns=cycles)  # 1 GHz: 1 cycle = 1 ns
+
+    Registering the same name twice replaces the estimate but keeps the
+    counters, so a ledger can be re-priced under a different technology
+    without rerunning the simulation.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, _ArrayActivity] = {}
+
+    def register(self, name: str, estimate: ArrayEstimate) -> None:
+        """Attach (or re-price) the physical estimate for array ``name``."""
+        if name in self._arrays:
+            self._arrays[name].estimate = estimate
+        else:
+            self._arrays[name] = _ArrayActivity(estimate=estimate)
+
+    def count_read(self, name: str, n: int = 1) -> None:
+        """Record ``n`` full-line reads of array ``name``."""
+        self._activity(name).reads += n
+
+    def count_write(self, name: str, n: int = 1) -> None:
+        """Record ``n`` full-line writes of array ``name``."""
+        self._activity(name).writes += n
+
+    def reads(self, name: str) -> int:
+        """Total reads recorded for ``name`` so far."""
+        return self._activity(name).reads
+
+    def writes(self, name: str) -> int:
+        """Total writes recorded for ``name`` so far."""
+        return self._activity(name).writes
+
+    def report(self, elapsed_ns: float) -> EnergyReport:
+        """Convert accumulated counts into an :class:`EnergyReport`.
+
+        Args:
+            elapsed_ns: Wall-clock duration of the simulated run in
+                nanoseconds (cycles at 1 GHz); leakage integrates over it.
+        """
+        if elapsed_ns < 0:
+            raise ConfigurationError(f"elapsed time must be non-negative: {elapsed_ns}")
+        per_array: Dict[str, float] = {}
+        dynamic_nj = 0.0
+        for name, activity in self._arrays.items():
+            est = activity.estimate
+            nj = (activity.reads * est.read_energy_pj + activity.writes * est.write_energy_pj) / 1e3
+            per_array[name] = nj
+            dynamic_nj += nj
+        # mW * ns = pJ, so the nJ conversion is a factor of 1e-6.
+        leakage_nj = sum(a.estimate.leakage_mw for a in self._arrays.values()) * elapsed_ns * 1e-6
+        return EnergyReport(dynamic_nj=dynamic_nj, leakage_nj=leakage_nj, per_array_nj=per_array)
+
+    def _activity(self, name: str) -> _ArrayActivity:
+        if name not in self._arrays:
+            raise ConfigurationError(f"array {name!r} was never registered with the ledger")
+        return self._arrays[name]

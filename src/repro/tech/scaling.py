@@ -1,0 +1,74 @@
+"""First-order technology-node scaling of memory parameters.
+
+The paper obtains its STT-MRAM numbers "by means of appropriate technology
+scaling and other optimizations" applied to published cell data.  This
+module implements the textbook constant-field scaling rules so users can
+derive presets for other nodes (e.g. 22 nm or 45 nm) and check how the
+SRAM-vs-NVM trade-off moves with scaling — the paper's motivating argument
+is precisely that SRAM leakage worsens with scaling while NVM does not.
+
+Scaling rules for a linear shrink factor ``s = new_F / old_F`` (< 1 when
+shrinking):
+
+- cell area in F^2 is unchanged by definition (absolute area scales s^2);
+- wire-dominated latency scales roughly with s (shorter wires) but sensing
+  does not improve as fast; we apply ``s ** latency_exponent`` with a
+  default exponent of 0.6;
+- dynamic energy per bit scales with s^2 (capacitance x voltage^2, with
+  voltage scaling slowing down — folded into the exponent);
+- SRAM leakage per bit *worsens* when shrinking (sub-threshold leakage
+  grows as V_th drops); NVM cell leakage stays negligible and only its
+  CMOS periphery follows the SRAM trend at reduced weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import ConfigurationError
+from .params import MemoryTechnology
+
+#: Exponent applied to the linear shrink for access latency.
+_LATENCY_EXPONENT = 0.6
+#: Exponent applied to the linear shrink for dynamic energy.
+_ENERGY_EXPONENT = 1.7
+#: Leakage growth per linear shrink for SRAM (leakage ~ s^-1.5).
+_SRAM_LEAKAGE_EXPONENT = -1.5
+#: NVM arrays only leak in their CMOS periphery: weaker dependence.
+_NVM_LEAKAGE_EXPONENT = -0.7
+
+
+def scale_technology(tech: MemoryTechnology, target_feature_nm: float) -> MemoryTechnology:
+    """Scale a technology preset to a different feature size.
+
+    Args:
+        tech: Source technology (typically one of the 32 nm presets).
+        target_feature_nm: Desired node, e.g. 22.0 or 45.0.
+
+    Returns:
+        A new :class:`MemoryTechnology` with scaled latency, energy and
+        leakage, renamed to mention the target node.  Cell area in F^2 and
+        endurance are carried over unchanged.
+
+    Raises:
+        ConfigurationError: If the target node is not positive.
+    """
+    if target_feature_nm <= 0:
+        raise ConfigurationError(f"target feature size must be positive: {target_feature_nm}")
+    if target_feature_nm == tech.feature_nm:
+        return tech
+
+    s = target_feature_nm / tech.feature_nm
+    leak_exp = _SRAM_LEAKAGE_EXPONENT if not tech.non_volatile else _NVM_LEAKAGE_EXPONENT
+
+    base_name = tech.name.split(" ")[0]
+    return replace(
+        tech,
+        name=f"{base_name} {target_feature_nm:g}nm (scaled)",
+        feature_nm=target_feature_nm,
+        read_latency_ns=tech.read_latency_ns * s**_LATENCY_EXPONENT,
+        write_latency_ns=tech.write_latency_ns * s**_LATENCY_EXPONENT,
+        read_energy_pj_per_bit=tech.read_energy_pj_per_bit * s**_ENERGY_EXPONENT,
+        write_energy_pj_per_bit=tech.write_energy_pj_per_bit * s**_ENERGY_EXPONENT,
+        leakage_mw=tech.leakage_mw * s**leak_exp,
+    )

@@ -1,0 +1,42 @@
+"""Code transformations and optimizations (Section V of the paper).
+
+The paper steers these "manually by the use of intrinsic functions";
+here they are IR-to-IR passes over
+:class:`~repro.workloads.ir.Program`:
+
+- :class:`~repro.transforms.vectorize.Vectorize` — loop vectorization of
+  unit-stride innermost loops;
+- :class:`~repro.transforms.prefetch.InsertPrefetch` — software prefetch
+  of "critical data and loop arrays to the VWB";
+- :class:`~repro.transforms.branchopt.BranchOptimize` — the paper's
+  "others": branch-less inner loops, alignment, unrolling;
+- :class:`~repro.transforms.interchange.Interchange` — loop interchange
+  on author-marked permutable nests (ablation extension);
+- :mod:`repro.transforms.pipeline` — named optimization levels combining
+  the passes, matching the configurations of Figures 5/6/9.
+
+All passes are *pure*: they clone the program and return the transformed
+copy.
+"""
+
+from .base import Transform, apply_all
+from .vectorize import Vectorize
+from .prefetch import InsertPrefetch
+from .branchopt import BranchOptimize
+from .interchange import Interchange
+from .tile import StripMine, TileNest
+from .pipeline import OptLevel, optimize, transforms_for_level
+
+__all__ = [
+    "Transform",
+    "apply_all",
+    "Vectorize",
+    "InsertPrefetch",
+    "BranchOptimize",
+    "Interchange",
+    "StripMine",
+    "TileNest",
+    "OptLevel",
+    "optimize",
+    "transforms_for_level",
+]

@@ -1,0 +1,46 @@
+"""Branch and alignment optimizations — the paper's "others" bucket.
+
+Section V: "Alignments of loops, jumps, pointers etc also help in
+reduction of penalty.  We also attempt to transform conditional jumps in
+the innermost loops to branch-less equivalents, guess branch flow
+probabilities and try to reduce number of branches taken thus improving
+code locality."
+
+Architecturally these all shrink per-iteration control overhead, which
+the trace model charges as back-edge :class:`~repro.workloads.trace.Branch`
+events and per-statement ``overhead_ops``.  The pass therefore:
+
+- unrolls innermost loops by ``unroll`` (one back-edge per ``unroll``
+  iterations — fewer taken branches, straighter code);
+- optionally extends the unroll to *all* loops (``deep=True``), modelling
+  whole-nest alignment work on larger kernels, where the paper notes the
+  "others" share grows.
+"""
+
+from __future__ import annotations
+
+from ..errors import TransformError
+from ..workloads.ir import Program
+from .base import Transform
+
+
+class BranchOptimize(Transform):
+    """Reduce taken-branch overhead via unrolling/branchless rewrites.
+
+    Args:
+        unroll: Iterations covered by one back-edge after the pass.
+        deep: Apply to every loop, not just innermost ones.
+    """
+
+    name = "others"
+
+    def __init__(self, unroll: int = 4, deep: bool = False) -> None:
+        if unroll < 2:
+            raise TransformError(f"unroll factor must be at least 2, got {unroll}")
+        self.unroll = unroll
+        self.deep = deep
+
+    def apply_to(self, program: Program) -> None:
+        loops = program.loops() if self.deep else self.innermost_loops(program)
+        for lp in loops:
+            lp.unroll = max(lp.unroll, self.unroll)

@@ -1,0 +1,62 @@
+"""Named optimization levels matching the paper's configurations.
+
+Figure 5 compares the NVM+VWB system "with and without transformations
+and optimizations"; Figure 6 breaks the gain into prefetching,
+vectorization and others; Figure 9 applies the same full pipeline to the
+SRAM baseline.  :class:`OptLevel` names those configurations:
+
+========== =======================================================
+Level      Passes applied
+========== =======================================================
+NONE       (nothing — the untransformed kernel)
+PREFETCH   InsertPrefetch only
+VECTORIZE  Vectorize only
+OTHERS     BranchOptimize only
+FULL       InsertPrefetch + Vectorize + BranchOptimize
+========== =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from ..errors import TransformError
+from ..workloads.ir import Program
+from .base import Transform, apply_all
+from .branchopt import BranchOptimize
+from .prefetch import InsertPrefetch
+from .vectorize import Vectorize
+
+
+class OptLevel(enum.Enum):
+    """Named transformation bundles used throughout the experiments."""
+
+    NONE = "none"
+    PREFETCH = "prefetch"
+    VECTORIZE = "vectorize"
+    OTHERS = "others"
+    FULL = "full"
+
+
+def transforms_for_level(level: OptLevel) -> List[Transform]:
+    """The pass list for a level (empty for :attr:`OptLevel.NONE`)."""
+    if level is OptLevel.NONE:
+        return []
+    if level is OptLevel.PREFETCH:
+        return [InsertPrefetch()]
+    if level is OptLevel.VECTORIZE:
+        return [Vectorize()]
+    if level is OptLevel.OTHERS:
+        return [BranchOptimize()]
+    if level is OptLevel.FULL:
+        return [InsertPrefetch(), Vectorize(), BranchOptimize()]
+    raise TransformError(f"unknown optimization level {level!r}")
+
+
+def optimize(program: Program, level: OptLevel) -> Program:
+    """Apply an optimization level to a program (pure)."""
+    passes = transforms_for_level(level)
+    if not passes:
+        return program.clone()
+    return apply_all(program, passes)

@@ -1,0 +1,102 @@
+"""Loop tiling (strip-mine + nest) — future-work extension.
+
+The paper closes Section V noting that "a systematic approach is being
+looked into to facilitate and best exploit the above mentioned code
+transformations".  Cache blocking is the canonical next transformation
+for the dense kernels it evaluates: tiling a reduction dimension keeps
+a working-set tile resident in the DL1 across outer iterations, cutting
+the L2 traffic that grows with dataset size.
+
+:class:`StripMine` splits one counted loop::
+
+    for i in [0, N)            for it in [0, N/T)
+        body          ->           for i in [it*T, it*T + T)
+                                       body
+
+Only loops with *constant* bounds whose trip count is divisible by the
+tile size are transformed (the IR's affine bounds cannot express the
+``min()`` a remainder tile needs); others are skipped, which is safe.
+:class:`TileNest` strip-mines several loop variables of a perfect nest
+in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..errors import TransformError
+from ..workloads.affine import Var
+from ..workloads.ir import Loop, Node, Program
+from .base import Transform
+
+
+class StripMine(Transform):
+    """Strip-mine every eligible loop over ``var_name`` by ``tile``.
+
+    Args:
+        var_name: Name of the loop variable to split.
+        tile: Tile size (iterations per strip).
+    """
+
+    name = "strip-mine"
+
+    def __init__(self, var_name: str, tile: int) -> None:
+        if tile < 2:
+            raise TransformError(f"tile size must be at least 2, got {tile}")
+        if not var_name:
+            raise TransformError("strip-mine needs a loop variable name")
+        self.var_name = var_name
+        self.tile = tile
+
+    def apply_to(self, program: Program) -> None:
+        program.body[:] = [self._rewrite(node) for node in program.body]
+
+    def _rewrite(self, node: Node) -> Node:
+        if not isinstance(node, Loop):
+            return node
+        node.body[:] = [self._rewrite(child) for child in node.body]
+        if node.var.name != self.var_name or not self._eligible(node):
+            return node
+        trip = node.upper.const - node.lower.const
+        outer_var = Var(f"{node.var.name}__tile")
+        inner = Loop(
+            node.var,
+            outer_var * self.tile + node.lower.const,
+            outer_var * self.tile + node.lower.const + self.tile,
+            node.body,
+            permutable=node.permutable,
+        )
+        inner.vector_width = node.vector_width
+        inner.unroll = node.unroll
+        inner.prefetch = list(node.prefetch)
+        return Loop(outer_var, 0, trip // self.tile, [inner])
+
+    def _eligible(self, node: Loop) -> bool:
+        if not node.lower.is_constant or not node.upper.is_constant:
+            return False
+        trip = node.upper.const - node.lower.const
+        return trip > self.tile and trip % self.tile == 0
+
+
+class TileNest(Transform):
+    """Strip-mine several variables of a nest in one pass.
+
+    Args:
+        tiles: Map of loop-variable name -> tile size.
+    """
+
+    name = "tile"
+
+    def __init__(self, tiles: Dict[str, int]) -> None:
+        if not tiles:
+            raise TransformError("tiling needs at least one (variable, tile) pair")
+        self._passes = [StripMine(name, tile) for name, tile in tiles.items()]
+
+    def apply_to(self, program: Program) -> None:
+        for strip in self._passes:
+            strip.apply_to(program)
+
+
+def tiled_variables(program: Program) -> Sequence[str]:
+    """Names of tile-controller loops present in a program (reporting)."""
+    return [lp.var.name for lp in program.loops() if lp.var.name.endswith("__tile")]

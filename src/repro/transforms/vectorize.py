@@ -1,0 +1,54 @@
+"""Loop vectorization (Section V: "essentially loop vectorization").
+
+Marks innermost loops for SIMD execution when every reference they touch
+is either loop-invariant (stride 0, register-allocated by scalar
+replacement) or unit-stride — the profile an ARM NEON compiler accepts
+without gather/scatter support.  The interpreter then processes the loop
+in ``width``-iteration chunks: one wide access per unit-stride reference,
+one arithmetic charge per chunk, one back-edge per chunk — "one operation
+on multiple pairs of operands at once".
+"""
+
+from __future__ import annotations
+
+from ..errors import TransformError
+from ..workloads.ir import Loop, Program
+from .base import Transform
+
+
+class Vectorize(Transform):
+    """Vectorize eligible innermost loops.
+
+    Args:
+        width: SIMD lanes (4 matches 128-bit NEON over 32-bit floats).
+        allow_gather: Also vectorize loops containing strided references,
+            modelling an ISA with gather/scatter (off by default — the
+            paper's ARM-like platform has none).
+    """
+
+    name = "vectorize"
+
+    def __init__(self, width: int = 4, allow_gather: bool = False) -> None:
+        if width < 2:
+            raise TransformError(f"vector width must be at least 2, got {width}")
+        self.width = width
+        self.allow_gather = allow_gather
+
+    def apply_to(self, program: Program) -> None:
+        for lp in self.innermost_loops(program):
+            if self._eligible(lp):
+                lp.vector_width = self.width
+
+    def _eligible(self, lp: Loop) -> bool:
+        for statement in lp.statements():
+            for ref in statement.refs:
+                stride = ref.stride_elements(lp.var)
+                if stride in (0, 1):
+                    continue
+                if not self.allow_gather:
+                    return False
+        return True
+
+    def eligible_loops(self, program: Program) -> int:
+        """Count the loops this pass would vectorize (reporting helper)."""
+        return sum(1 for lp in self.innermost_loops(program) if self._eligible(lp))

@@ -1,0 +1,117 @@
+"""Unit helpers shared across the technology and timing models.
+
+The simulator works internally in *CPU cycles* (the platform is a 1 GHz
+ARM-like core, so one cycle is one nanosecond by default) and in *bytes*
+for capacities.  The paper quotes latencies in nanoseconds, capacities in
+kilobytes and kilobits, and cell areas in F^2, so this module centralises
+the conversions and keeps rounding policy in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ConfigurationError
+
+#: Number of bits in a byte; named to avoid magic numbers in capacity math.
+BITS_PER_BYTE = 8
+
+#: Default CPU clock of the platform modelled in the paper (Section VI).
+DEFAULT_CLOCK_HZ = 1_000_000_000
+
+
+def ns_to_cycles(latency_ns: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> int:
+    """Convert a latency in nanoseconds to a whole number of CPU cycles.
+
+    The result is rounded *up*: a 3.37 ns STT-MRAM read on a 1 GHz core
+    occupies 4 cycles, exactly as the paper assumes ("read access time of
+    the STT-MRAM cache to be four times that of the SRAM cache").
+
+    Args:
+        latency_ns: Access latency in nanoseconds; must be non-negative.
+        clock_hz: Core clock frequency in hertz.
+
+    Returns:
+        The smallest integer cycle count covering ``latency_ns``; at least
+        1 for any positive latency.
+
+    Raises:
+        ConfigurationError: If the latency is negative or the clock is not
+            positive.
+    """
+    if latency_ns < 0:
+        raise ConfigurationError(f"latency must be non-negative, got {latency_ns} ns")
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock must be positive, got {clock_hz} Hz")
+    if latency_ns == 0:
+        return 0
+    cycle_ns = 1e9 / clock_hz
+    return max(1, math.ceil(latency_ns / cycle_ns - 1e-9))
+
+
+def cycles_to_ns(cycles: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Convert a cycle count back to nanoseconds at the given clock."""
+    if clock_hz <= 0:
+        raise ConfigurationError(f"clock must be positive, got {clock_hz} Hz")
+    return cycles * 1e9 / clock_hz
+
+
+def kib(n: float) -> int:
+    """Return ``n`` kibibytes expressed in bytes (e.g. ``kib(64)`` = 65536)."""
+    return int(n * 1024)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` mebibytes expressed in bytes."""
+    return int(n * 1024 * 1024)
+
+
+def kbit(n: float) -> int:
+    """Return ``n`` kilobits expressed in *bits* (e.g. ``kbit(2)`` = 2048).
+
+    The paper sizes the Very Wide Buffer in kilobits ("at-least 2KBit of
+    data"), so VWB capacities flow through this helper.
+    """
+    return int(n * 1024)
+
+
+def bits_to_bytes(bits: int) -> int:
+    """Convert a bit count to bytes, requiring whole-byte alignment."""
+    if bits % BITS_PER_BYTE != 0:
+        raise ConfigurationError(f"bit count {bits} is not a whole number of bytes")
+    return bits // BITS_PER_BYTE
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power-of-two ``value``; raise otherwise.
+
+    Cache geometry (sets, line size, banks) must be a power of two so tag,
+    index and offset fields can be carved from the address by shifting.
+    """
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def f2_to_mm2(cell_area_f2: float, bits: int, feature_nm: float) -> float:
+    """Convert a per-bit cell area in F^2 to a total array area in mm^2.
+
+    This is the standard technology-independent area metric used by
+    Table I of the paper (SRAM 146 F^2 vs STT-MRAM 42 F^2 at 32 nm).
+    The result covers the cell array only; peripheral overhead is added by
+    the analytic array model.
+
+    Args:
+        cell_area_f2: Area of one bit cell in units of F^2.
+        bits: Number of bits in the array.
+        feature_nm: Feature size F in nanometres.
+    """
+    if cell_area_f2 <= 0 or bits <= 0 or feature_nm <= 0:
+        raise ConfigurationError("cell area, bit count, and feature size must be positive")
+    f_mm = feature_nm * 1e-6
+    return cell_area_f2 * bits * f_mm * f_mm

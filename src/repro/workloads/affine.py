@@ -1,0 +1,161 @@
+"""Affine index expressions over loop variables.
+
+PolyBench kernels are affine programs: every array subscript and loop
+bound is a linear combination of enclosing loop variables plus a
+constant.  :class:`Affine` represents such expressions symbolically so
+the interpreter can evaluate addresses and the transformation passes can
+compute strides exactly.
+
+:class:`Var` is a named loop variable; arithmetic on it builds
+:class:`Affine` values with natural syntax::
+
+    i, j = Var("i"), Var("j")
+    expr = 2 * i + j + 3        # Affine({i: 2, j: 1}, 3)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from ..errors import WorkloadError
+
+Number = int
+AffineLike = Union["Affine", "Var", int]
+
+
+class Var:
+    """A named integer loop variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise WorkloadError("loop variable needs a non-empty name")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    # Vars are identified by name so kernels can re-create them freely.
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+    # Arithmetic promotes to Affine.
+    def _affine(self) -> "Affine":
+        return Affine({self: 1}, 0)
+
+    def __add__(self, other: AffineLike) -> "Affine":
+        return self._affine() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: AffineLike) -> "Affine":
+        return self._affine() - other
+
+    def __rsub__(self, other: AffineLike) -> "Affine":
+        return (-1 * self._affine()) + other
+
+    def __mul__(self, factor: int) -> "Affine":
+        return self._affine() * factor
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Affine":
+        return self._affine() * -1
+
+
+class Affine:
+    """An affine expression ``sum(coeff_v * v) + const`` over :class:`Var`.
+
+    Immutable; all arithmetic returns new instances.  Coefficients with
+    value zero are dropped so equal expressions compare equal.
+    """
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Mapping[Var, int], const: int) -> None:
+        self.coeffs: Dict[Var, int] = {v: c for v, c in coeffs.items() if c != 0}
+        self.const = const
+
+    @staticmethod
+    def of(value: AffineLike) -> "Affine":
+        """Coerce an int, :class:`Var` or :class:`Affine` to :class:`Affine`."""
+        if isinstance(value, Affine):
+            return value
+        if isinstance(value, Var):
+            return Affine({value: 1}, 0)
+        if isinstance(value, int):
+            return Affine({}, value)
+        raise WorkloadError(f"cannot build an affine expression from {value!r}")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Evaluate under ``env`` mapping variable *names* to values.
+
+        Raises:
+            WorkloadError: If a variable is unbound.
+        """
+        total = self.const
+        for var, coeff in self.coeffs.items():
+            if var.name not in env:
+                raise WorkloadError(f"unbound loop variable {var.name!r}")
+            total += coeff * env[var.name]
+        return total
+
+    def coefficient(self, var: Var) -> int:
+        """Coefficient of ``var`` (0 when absent) — the stride in index space."""
+        return self.coeffs.get(var, 0)
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the expression mentions no variables."""
+        return not self.coeffs
+
+    def variables(self) -> frozenset:
+        """The set of variables with nonzero coefficients."""
+        return frozenset(self.coeffs)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: AffineLike) -> "Affine":
+        o = Affine.of(other)
+        coeffs = dict(self.coeffs)
+        for v, c in o.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + c
+        return Affine(coeffs, self.const + o.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: AffineLike) -> "Affine":
+        return self + (Affine.of(other) * -1)
+
+    def __rsub__(self, other: AffineLike) -> "Affine":
+        return (self * -1) + other
+
+    def __mul__(self, factor: int) -> "Affine":
+        if not isinstance(factor, int):
+            raise WorkloadError(f"affine expressions scale by integers only, got {factor!r}")
+        return Affine({v: c * factor for v, c in self.coeffs.items()}, self.const * factor)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Affine":
+        return self * -1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Affine):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.coeffs.items()), self.const))
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v.name}" for v, c in sorted(self.coeffs.items(), key=lambda x: x[0].name)]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)

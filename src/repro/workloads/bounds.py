@@ -1,0 +1,210 @@
+"""Static array-bounds checking of IR programs.
+
+An affine program's subscripts are linear in its loop variables, so the
+extreme value of every subscript over a loop nest occurs at a corner of
+the iteration space.  This checker walks the nest tracking a
+conservative interval for each variable and verifies every reference
+stays inside its array — the workload-level analogue of a compiler's
+``-fsanitize=bounds``, catching kernel-authoring mistakes (an off-by-one
+stencil bound, a transposed subscript) before they silently skew a
+figure's address stream.
+
+The first pass is interval analysis: a loop's bound interval is
+evaluated over the enclosing variables' intervals.  Intervals lose the
+*coupling* between variables (``j < k`` makes ``r[k-j-1]`` safe even
+though the uncoupled intervals overlap zero), so flagged references are
+re-checked by exact enumeration of the iteration space, up to a point
+budget; only confirmed violations survive.  Beyond the budget a flagged
+reference is reported unconfirmed (``confirmed=False``).
+Empty iteration spaces produce no accesses and therefore no violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .affine import Affine
+from .ir import Loop, Node, Program, Ref, Statement
+
+Interval = Tuple[int, int]  # inclusive
+
+
+def _affine_interval(expr: Affine, env: Dict[str, Interval]) -> Interval:
+    """Interval of an affine expression over variable intervals."""
+    lo = hi = expr.const
+    for var, coeff in expr.coeffs.items():
+        v_lo, v_hi = env[var.name]
+        if coeff >= 0:
+            lo += coeff * v_lo
+            hi += coeff * v_hi
+        else:
+            lo += coeff * v_hi
+            hi += coeff * v_lo
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class BoundsViolation:
+    """One (possibly) out-of-bounds reference.
+
+    Attributes:
+        array: Array name.
+        dimension: Offending subscript position.
+        subscript_range: Possible subscript values (inclusive interval).
+        extent: The dimension's valid extent.
+        context: Rendered reference for the report.
+        confirmed: True when exact enumeration reproduced the violation;
+            False when only the conservative interval pass flagged it
+            (iteration space too large to enumerate).
+    """
+
+    array: str
+    dimension: int
+    subscript_range: Interval
+    extent: int
+    context: str
+    confirmed: bool = True
+
+    def __str__(self) -> str:
+        lo, hi = self.subscript_range
+        kind = "spans" if self.confirmed else "may span"
+        return (
+            f"{self.context}: dimension {self.dimension} {kind} [{lo}, {hi}] "
+            f"but {self.array} extends [0, {self.extent - 1}]"
+        )
+
+
+#: Default iteration-point budget for the exact confirmation pass.
+EXACT_CHECK_BUDGET = 2_000_000
+
+
+def _exact_subscript_range(
+    program: Program, target: Ref, dim: int, budget: int
+) -> "Tuple[Interval, bool] | Tuple[None, bool]":
+    """Exact min/max of one subscript by walking the iteration space.
+
+    Returns:
+        ``((lo, hi), True)`` on success; ``(None, False)`` when the
+        budget is exhausted or the reference never executes.
+    """
+    expr = target.indices[dim]
+    state = {"points": 0, "lo": None, "hi": None}
+
+    def visit(node: Node, env: Dict[str, int]) -> bool:
+        if isinstance(node, Statement):
+            if target in node.refs:
+                value = expr.evaluate(env)
+                state["lo"] = value if state["lo"] is None else min(state["lo"], value)
+                state["hi"] = value if state["hi"] is None else max(state["hi"], value)
+            return True
+        assert isinstance(node, Loop)
+        lo = node.lower.evaluate(env)
+        hi = node.upper.evaluate(env)
+        for v in range(lo, hi):
+            state["points"] += 1
+            if state["points"] > budget:
+                return False
+            env[node.var.name] = v
+            for child in node.body:
+                if not visit(child, env):
+                    return False
+        env.pop(node.var.name, None)
+        return True
+
+    env: Dict[str, int] = {}
+    for node in program.body:
+        if not visit(node, env):
+            return None, False
+    if state["lo"] is None:
+        return None, True  # never executed: vacuously in bounds
+    return (state["lo"], state["hi"]), True
+
+
+def check_bounds(
+    program: Program, exact_budget: int = EXACT_CHECK_BUDGET
+) -> List[BoundsViolation]:
+    """Statically verify every reference of ``program`` is in bounds.
+
+    Args:
+        program: The program to check.
+        exact_budget: Iteration-point budget for confirming flagged
+            references by enumeration (0 disables confirmation and
+            reports every interval-pass flag, unconfirmed).
+
+    Returns:
+        All confirmed violations, plus unconfirmed ones where the budget
+        prevented enumeration (empty for a provably correct program).
+    """
+    flagged: List[tuple] = []
+    seen: set = set()
+
+    def check_ref(ref: Ref, env: Dict[str, Interval]) -> None:
+        for dim, (expr, extent) in enumerate(zip(ref.indices, ref.array.shape)):
+            lo, hi = _affine_interval(expr, env)
+            if lo < 0 or hi >= extent:
+                key = (ref.array.name, dim, lo, hi)
+                if key in seen:
+                    continue
+                seen.add(key)
+                flagged.append((ref, dim, (lo, hi), extent))
+
+    def visit(node: Node, env: Dict[str, Interval]) -> None:
+        if isinstance(node, Statement):
+            for ref in node.refs:
+                check_ref(ref, env)
+            return
+        assert isinstance(node, Loop)
+        lo_lo, _ = _affine_interval(node.lower, env)
+        _, up_hi = _affine_interval(node.upper, env)
+        if up_hi <= lo_lo:
+            return  # provably empty: no iterations, no accesses
+        # Variable interval over all non-empty instances.
+        child_env = dict(env)
+        child_env[node.var.name] = (lo_lo, up_hi - 1)
+        for child in node.body:
+            visit(child, child_env)
+
+    for node in program.body:
+        visit(node, {})
+
+    violations: List[BoundsViolation] = []
+    for ref, dim, interval, extent in flagged:
+        confirmed = True
+        final_interval = interval
+        if exact_budget > 0:
+            exact, ok = _exact_subscript_range(program, ref, dim, exact_budget)
+            if ok and exact is None:
+                continue  # reference never executes
+            if ok:
+                if exact[0] >= 0 and exact[1] < extent:
+                    continue  # interval pass was conservative: in bounds
+                final_interval = exact
+            else:
+                confirmed = False
+        else:
+            confirmed = False
+        violations.append(
+            BoundsViolation(
+                array=ref.array.name,
+                dimension=dim,
+                subscript_range=final_interval,
+                extent=extent,
+                context=repr(ref),
+                confirmed=confirmed,
+            )
+        )
+    return violations
+
+
+def assert_in_bounds(program: Program) -> None:
+    """Raise :class:`~repro.errors.WorkloadError` on any violation."""
+    from ..errors import WorkloadError
+
+    violations = check_bounds(program)
+    if violations:
+        details = "; ".join(str(v) for v in violations[:5])
+        raise WorkloadError(
+            f"program {program.name!r} has {len(violations)} out-of-bounds "
+            f"reference(s): {details}"
+        )

@@ -1,0 +1,234 @@
+"""The workload interpreter: affine IR -> architectural event trace.
+
+This is the stand-in for the compiler+ISA layer of the paper's gem5
+setup.  Walking a :class:`~repro.workloads.ir.Program` produces the event
+stream an ARM compiler would emit for the kernel at ``-O2``:
+
+- one :class:`~repro.workloads.trace.Load`/``Store`` per array reference
+  execution, with exact byte addresses from the row-major layout;
+- *scalar replacement* of loop-invariant references in innermost loops
+  (an accumulator like ``C[i][j]`` in a ``k``-loop is loaded once before
+  the loop and stored once after, like a register-allocated temporary);
+- one :class:`~repro.workloads.trace.Compute` per statement execution
+  covering its arithmetic and addressing work;
+- one taken :class:`~repro.workloads.trace.Branch` per loop back-edge.
+
+Transformation annotations change the emission:
+
+- ``vector_width = W`` processes the loop in chunks of W iterations:
+  stride-1 references become single W-element vector accesses, arithmetic
+  and back-edges are charged once per chunk (SIMD), and references with
+  other strides fall back to per-lane accesses (a gather/scatter);
+- ``unroll = U`` charges one back-edge per U iterations/chunks;
+- ``prefetch = [(ref, distance)]`` emits a software
+  :class:`~repro.workloads.trace.Prefetch` for the reference's address
+  ``distance`` iterations ahead, de-duplicated at
+  :attr:`TraceConfig.prefetch_block_bytes` granularity so one hint is
+  issued per new buffer window, like hand-placed prefetch intrinsics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import WorkloadError
+from .ir import Loop, Node, Program, Ref, Statement
+from .trace import Branch, Compute, Load, Prefetch, Store, TraceEvent
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of the IR-to-trace lowering.
+
+    Attributes:
+        prefetch_block_bytes: De-duplication granularity for emitted
+            prefetches — one hint per new block a stream enters.  The
+            default (64 B, one cache line) serves every front-end: the
+            VWB de-duplicates redundant hints internally at window
+            granularity, while plain caches need one hint per line.
+        scalar_replacement: Hoist loop-invariant references out of
+            innermost loops (on, like any optimising compiler).
+        layout_base: Base address for array layout when the program has
+            not been laid out yet.
+    """
+
+    prefetch_block_bytes: int = 64
+    scalar_replacement: bool = True
+    layout_base: int = 0x10_0000
+
+
+def generate_trace(program: Program, config: TraceConfig = TraceConfig()) -> Iterator[TraceEvent]:
+    """Yield the architectural events of one execution of ``program``."""
+    if any(a.base_addr is None for a in program.arrays):
+        program.layout(base_addr=config.layout_base)
+    env: Dict[str, int] = {}
+    for node in program.body:
+        yield from _run_node(node, env, config)
+
+
+def materialize_trace(program: Program, config: TraceConfig = TraceConfig()) -> List[TraceEvent]:
+    """Generate the whole trace as a list (reused across configurations)."""
+    return list(generate_trace(program, config))
+
+
+# ----------------------------------------------------------------------
+# Tree walk
+# ----------------------------------------------------------------------
+
+
+def _run_node(node: Node, env: Dict[str, int], cfg: TraceConfig) -> Iterator[TraceEvent]:
+    if isinstance(node, Statement):
+        yield from _run_statement(node, env)
+        return
+    if node.is_innermost:
+        yield from _run_innermost(node, env, cfg)
+        return
+    lo = node.lower.evaluate(env)
+    hi = node.upper.evaluate(env)
+    branch_every = max(1, node.unroll)
+    for i, v in enumerate(range(lo, hi)):
+        env[node.var.name] = v
+        for child in node.body:
+            yield from _run_node(child, env, cfg)
+        if (i + 1) % branch_every == 0 or v == hi - 1:
+            yield Branch(taken=v != hi - 1)
+    env.pop(node.var.name, None)
+
+
+def _run_statement(node: Statement, env: Dict[str, int]) -> Iterator[TraceEvent]:
+    """Execute one statement outside any innermost-loop specialisation."""
+    for ref in node.reads:
+        yield Load(ref.addr(env), ref.array.elem_bytes)
+    yield Compute(node.flops + node.overhead_ops)
+    for ref in node.writes:
+        yield Store(ref.addr(env), ref.array.elem_bytes)
+
+
+# ----------------------------------------------------------------------
+# Innermost-loop specialisation
+# ----------------------------------------------------------------------
+
+
+def _split_refs(
+    node: Loop, cfg: TraceConfig
+) -> Tuple[List[Ref], List[Ref], List[Tuple[Statement, List[Ref], List[Ref]]]]:
+    """Partition references into hoisted (loop-invariant) and per-iteration.
+
+    Returns:
+        ``(preloads, poststores, per_stmt)`` where ``per_stmt`` holds, for
+        each statement, the read and write refs that remain inside the
+        loop.  Hoisted refs are de-duplicated across statements by
+        (array, subscripts).
+    """
+    preloads: List[Ref] = []
+    poststores: List[Ref] = []
+    seen_loads: set = set()
+    seen_stores: set = set()
+    per_stmt: List[Tuple[Statement, List[Ref], List[Ref]]] = []
+    for statement in node.statements():
+        inner_reads: List[Ref] = []
+        inner_writes: List[Ref] = []
+        for ref in statement.reads:
+            if cfg.scalar_replacement and ref.stride_elements(node.var) == 0:
+                key = (id(ref.array), ref.indices)
+                if key not in seen_loads:
+                    seen_loads.add(key)
+                    preloads.append(ref)
+            else:
+                inner_reads.append(ref)
+        for ref in statement.writes:
+            if cfg.scalar_replacement and ref.stride_elements(node.var) == 0:
+                key = (id(ref.array), ref.indices)
+                if key not in seen_stores:
+                    seen_stores.add(key)
+                    poststores.append(ref)
+            else:
+                inner_writes.append(ref)
+        per_stmt.append((statement, inner_reads, inner_writes))
+    return preloads, poststores, per_stmt
+
+
+def _run_innermost(node: Loop, env: Dict[str, int], cfg: TraceConfig) -> Iterator[TraceEvent]:
+    lo = node.lower.evaluate(env)
+    hi = node.upper.evaluate(env)
+    if hi <= lo:
+        return
+    preloads, poststores, per_stmt = _split_refs(node, cfg)
+
+    # Hoisted loads execute once, before the loop (scalar replacement).
+    env[node.var.name] = lo
+    for ref in preloads:
+        yield Load(ref.addr(env), ref.array.elem_bytes)
+
+    width = max(1, node.vector_width)
+    branch_every = max(1, node.unroll)
+    last_prefetch_block: Dict[int, int] = {}
+
+    chunk_index = 0
+    v = lo
+    while v < hi:
+        chunk = min(width, hi - v)
+        env[node.var.name] = v
+
+        # Software prefetches run ahead of the demand stream.  The first
+        # iteration also prefetches its *own* data — the paper's "cutting
+        # initial delay time to fetch critical data to the VWB" — which
+        # keeps the fill-buffer pipeline in phase from the start.
+        for pf_index, (ref, distance) in enumerate(node.prefetch):
+            saved = env[node.var.name]
+            targets = (v, min(v + distance, hi - 1)) if v == lo else (min(v + distance, hi - 1),)
+            for target in targets:
+                env[node.var.name] = target
+                addr = ref.addr(env)
+                block = addr // cfg.prefetch_block_bytes
+                if last_prefetch_block.get(pf_index) != block:
+                    last_prefetch_block[pf_index] = block
+                    yield Prefetch(addr)
+            env[node.var.name] = saved
+
+        for statement, reads, writes in per_stmt:
+            for ref in reads:
+                yield from _emit_access(ref, node, env, v, chunk, Load)
+            yield Compute(statement.flops + statement.overhead_ops)
+            for ref in writes:
+                yield from _emit_access(ref, node, env, v, chunk, Store)
+
+        chunk_index += 1
+        last = v + chunk >= hi
+        if chunk_index % branch_every == 0 or last:
+            yield Branch(taken=not last)
+        v += chunk
+
+    # Hoisted stores execute once, after the loop.
+    env[node.var.name] = lo
+    for ref in poststores:
+        yield Store(ref.addr(env), ref.array.elem_bytes)
+    env.pop(node.var.name, None)
+
+
+def _emit_access(
+    ref: Ref, node: Loop, env: Dict[str, int], v: int, chunk: int, factory
+) -> Iterator[TraceEvent]:
+    """Emit the access(es) for one reference over one chunk of iterations.
+
+    A chunk of one iteration is the scalar case; wider chunks model SIMD:
+    stride-1 refs become a single wide access, other strides become
+    per-lane accesses (gather/scatter).
+    """
+    elem = ref.array.elem_bytes
+    if chunk == 1:
+        yield factory(ref.addr(env), elem)
+        return
+    stride = ref.stride_elements(node.var)
+    if stride == 0:
+        yield factory(ref.addr(env), elem)
+        return
+    if stride == 1:
+        yield factory(ref.addr(env), chunk * elem)
+        return
+    saved = env[node.var.name]
+    for lane in range(chunk):
+        env[node.var.name] = v + lane
+        yield factory(ref.addr(env), elem)
+    env[node.var.name] = saved

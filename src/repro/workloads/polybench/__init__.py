@@ -1,0 +1,102 @@
+"""The PolyBench kernel subset used in the paper's evaluation.
+
+Each module exposes ``build(size: DatasetSize = DatasetSize.MINI) ->
+Program`` (and ``BASE_DIMS``).  The registry maps the paper-style kernel
+names to those builders.
+
+The subset mixes access behaviours deliberately:
+
+- unit-stride innermost loops (``gemm``, ``atax``, ``bicg``, ``gesummv``,
+  ``syrk``, ``syr2k``) that the VWB's wide windows and vectorization love;
+- column-major/strided innermost references (``mvt``, ``gemver``,
+  ``trmm``, ``2mm``, ``3mm``, ``doitgen``) where promotions buy less and
+  software prefetch matters more — the spread behind the per-benchmark
+  variation in Figures 1/3/5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ...errors import WorkloadError
+from ..datasets import DatasetSize
+from ..ir import Program
+from . import (
+    atax,
+    bicg,
+    cholesky,
+    conv2d,
+    doitgen,
+    durbin,
+    gemm,
+    gemver,
+    gesummv,
+    jacobi1d,
+    jacobi2d,
+    lu,
+    mvt,
+    seidel2d,
+    symm,
+    syr2k,
+    syrk,
+    three_mm,
+    trisolv,
+    trmm,
+    two_mm,
+)
+
+#: Registry: paper-style kernel name -> builder (the evaluated subset).
+KERNELS: Dict[str, Callable[..., Program]] = {
+    "gemm": gemm.build,
+    "atax": atax.build,
+    "bicg": bicg.build,
+    "mvt": mvt.build,
+    "gesummv": gesummv.build,
+    "gemver": gemver.build,
+    "syrk": syrk.build,
+    "syr2k": syr2k.build,
+    "trmm": trmm.build,
+    "2mm": two_mm.build,
+    "3mm": three_mm.build,
+    "doitgen": doitgen.build,
+}
+
+#: Additional kernels beyond the paper's figures (stencils, solvers);
+#: available to ``build_kernel`` and ``--kernels`` but excluded from the
+#: default figure suite so the reproduced artefacts match the paper's.
+EXTRA_KERNELS: Dict[str, Callable[..., Program]] = {
+    "jacobi-1d": jacobi1d.build,
+    "jacobi-2d": jacobi2d.build,
+    "trisolv": trisolv.build,
+    "cholesky": cholesky.build,
+    "symm": symm.build,
+    "seidel-2d": seidel2d.build,
+    "conv2d": conv2d.build,
+    "lu": lu.build,
+    "durbin": durbin.build,
+}
+
+
+def kernel_names(include_extras: bool = False) -> List[str]:
+    """Registered kernel names, in registry (figure) order.
+
+    Args:
+        include_extras: Also list the non-paper extra kernels.
+    """
+    names = list(KERNELS)
+    if include_extras:
+        names.extend(EXTRA_KERNELS)
+    return names
+
+
+def build_kernel(name: str, size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build a kernel by name (paper subset or extras).
+
+    Raises:
+        WorkloadError: For unknown names, listing the valid ones.
+    """
+    builder = KERNELS.get(name) or EXTRA_KERNELS.get(name)
+    if builder is None:
+        valid = ", ".join(kernel_names(include_extras=True))
+        raise WorkloadError(f"unknown kernel {name!r}; expected one of: {valid}")
+    return builder(size)

@@ -1,0 +1,61 @@
+"""PolyBench ``atax``: y = A^T (A x).
+
+Two unit-stride inner loops over the rows of ``A`` with a scalar
+accumulator (``tmp``) in the first — a streaming, read-dominated kernel
+where the VWB promotion amortises well.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions; the 120x120 matrix (~56 KB) nearly fills the DL1.
+BASE_DIMS = {"m": 120, "n": 120}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the atax program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    m, n = dims["m"], dims["n"]
+    i, j = Var("i"), Var("j")
+    a = Array("A", (m, n))
+    x = Array("x", (n,))
+    y = Array("y", (n,))
+    tmp = Array("tmp", (1,))
+    body = [
+        loop(j, n, [stmt(writes=[y[j]], flops=0, label="init_y")]),
+        loop(
+            i,
+            m,
+            [
+                stmt(writes=[tmp[0]], flops=0, label="init_tmp"),
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(
+                            reads=[tmp[0], a[i, j], x[j]],
+                            writes=[tmp[0]],
+                            flops=2,
+                            label="dot",
+                        )
+                    ],
+                ),
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(
+                            reads=[y[j], a[i, j], tmp[0]],
+                            writes=[y[j]],
+                            flops=2,
+                            label="axpy",
+                        )
+                    ],
+                ),
+            ],
+        ),
+    ]
+    return Program("atax", body)

@@ -1,0 +1,56 @@
+"""PolyBench ``bicg``: s = A^T r and q = A p (BiCG sub-kernel).
+
+One pass over ``A`` updates two vectors: ``s[j]`` (unit stride) and the
+accumulator ``q[i]`` (loop-invariant).  ``r[i]`` is also invariant, so
+the hot loop carries three unit-stride streams (``s``, ``A``, ``p``).
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 120, "m": 120}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the bicg program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n, m = dims["n"], dims["m"]
+    i, j = Var("i"), Var("j")
+    a = Array("A", (n, m))
+    s = Array("s", (m,))
+    q = Array("q", (n,))
+    p = Array("p", (m,))
+    r = Array("r", (n,))
+    body = [
+        loop(i, m, [stmt(writes=[s[i]], flops=0, label="init_s")]),
+        loop(
+            i,
+            n,
+            [
+                stmt(writes=[q[i]], flops=0, label="init_q"),
+                loop(
+                    j,
+                    m,
+                    [
+                        stmt(
+                            reads=[s[j], r[i], a[i, j]],
+                            writes=[s[j]],
+                            flops=2,
+                            label="s_update",
+                        ),
+                        stmt(
+                            reads=[q[i], a[i, j], p[j]],
+                            writes=[q[i]],
+                            flops=2,
+                            label="q_update",
+                        ),
+                    ],
+                ),
+            ],
+        ),
+    ]
+    return Program("bicg", body)

@@ -1,0 +1,75 @@
+"""PolyBench ``cholesky``: in-place Cholesky factorisation (simplified).
+
+Extra kernel: doubly triangular loop nest with an in-place update —
+reads and writes alias within the same array, producing the suite's most
+irregular reuse pattern.  The square-root is charged as a multi-cycle
+arithmetic op.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 40}
+
+#: Cycles charged for the per-row square root / division step.
+SQRT_FLOPS = 12
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the cholesky program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n = dims["n"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (n, n))
+    body = [
+        loop(
+            i,
+            n,
+            [
+                # for j < i: A[i][j] = (A[i][j] - sum_k A[i][k]*A[j][k]) / A[j][j]
+                loop(
+                    j,
+                    i,
+                    [
+                        loop(
+                            k,
+                            j,
+                            [
+                                stmt(
+                                    reads=[a[i, j], a[i, k], a[j, k]],
+                                    writes=[a[i, j]],
+                                    flops=2,
+                                    label="row_update",
+                                )
+                            ],
+                        ),
+                        stmt(
+                            reads=[a[i, j], a[j, j]],
+                            writes=[a[i, j]],
+                            flops=1,
+                            label="scale",
+                        ),
+                    ],
+                ),
+                # diagonal: A[i][i] = sqrt(A[i][i] - sum_k A[i][k]^2)
+                loop(
+                    k,
+                    i,
+                    [
+                        stmt(
+                            reads=[a[i, i], a[i, k]],
+                            writes=[a[i, i]],
+                            flops=2,
+                            label="diag_update",
+                        )
+                    ],
+                ),
+                stmt(reads=[a[i, i]], writes=[a[i, i]], flops=SQRT_FLOPS, label="sqrt"),
+            ],
+        )
+    ]
+    return Program("cholesky", body)

@@ -1,0 +1,46 @@
+"""2-D convolution (3x3 kernel over a single-channel image).
+
+Extra kernel (beyond PolyBench): the motivating embedded workload class
+the paper's introduction gestures at ("heavy, robust or data intensive
+applications").  The 3x3 weights are loop-invariant across the two inner
+image loops (register-allocated), while the image rows stream through
+three neighbour lines at once — VWB-friendly, and heavily
+vectorizable.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"h": 40, "w": 40}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the conv2d program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    h, w = dims["h"], dims["w"]
+    i, j = Var("i"), Var("j")
+    image = Array("image", (h, w))
+    out = Array("out", (h, w))
+    weights = Array("weights", (3, 3))
+    reads = [weights[r, c] for r in range(3) for c in range(3)]
+    reads += [image[i + r - 1, j + c - 1] for r in range(3) for c in range(3)]
+    body = [
+        loop(
+            i,
+            h - 1,
+            [
+                loop(
+                    j,
+                    w - 1,
+                    [stmt(reads=reads, writes=[out[i, j]], flops=17, label="conv")],
+                    lower=1,
+                )
+            ],
+            lower=1,
+        )
+    ]
+    return Program("conv2d", body)

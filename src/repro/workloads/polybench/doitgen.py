@@ -1,0 +1,65 @@
+"""PolyBench ``doitgen``: multiresolution analysis kernel.
+
+``sum[p] += A[r][q][s] * C4[s][p]`` with ``s`` innermost: ``A`` streams
+at unit stride while ``C4[s][p]`` walks a column (stride NP), followed by
+a write-back pass into ``A`` — the only 3-D array and the only kernel
+whose hot array is also its output.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"nr": 8, "nq": 8, "np": 24}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the doitgen program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    nr, nq, np_ = dims["nr"], dims["nq"], dims["np"]
+    r, q, p, s = Var("r"), Var("q"), Var("p"), Var("s")
+    a = Array("A", (nr, nq, np_))
+    c4 = Array("C4", (np_, np_))
+    sum_ = Array("sum", (np_,))
+    body = [
+        loop(
+            r,
+            nr,
+            [
+                loop(
+                    q,
+                    nq,
+                    [
+                        loop(
+                            p,
+                            np_,
+                            [
+                                stmt(writes=[sum_[p]], flops=0, label="init_sum"),
+                                loop(
+                                    s,
+                                    np_,
+                                    [
+                                        stmt(
+                                            reads=[sum_[p], a[r, q, s], c4[s, p]],
+                                            writes=[sum_[p]],
+                                            flops=2,
+                                            label="mac",
+                                        )
+                                    ],
+                                ),
+                            ],
+                        ),
+                        loop(
+                            p,
+                            np_,
+                            [stmt(reads=[sum_[p]], writes=[a[r, q, p]], flops=0, label="copy_back")],
+                        ),
+                    ],
+                )
+            ],
+        )
+    ]
+    return Program("doitgen", body)

@@ -1,0 +1,66 @@
+"""PolyBench ``durbin`` (simplified): Levinson-Durbin recursion.
+
+Extra kernel: the suite's only *reverse-indexed* inner loop — the dot
+product reads ``r[k-j-1]`` backwards while ``y[j]`` runs forward, so one
+stream has stride −1 and defeats the forward-only prefetch heuristics.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Loop, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 120}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the durbin program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n = dims["n"]
+    k, j = Var("k"), Var("j")
+    r = Array("r", (n,))
+    y = Array("y", (n,))
+    z = Array("z", (n,))
+    acc = Array("acc", (1,))
+    body = [
+        Loop(
+            k,
+            1,
+            n,
+            [
+                stmt(writes=[acc[0]], flops=0, label="zero"),
+                # Backward dot product: r walks with stride -1.
+                loop(
+                    j,
+                    k,
+                    [
+                        stmt(
+                            reads=[acc[0], r[k - j - 1], y[j]],
+                            writes=[acc[0]],
+                            flops=2,
+                            label="dot",
+                        )
+                    ],
+                ),
+                stmt(reads=[acc[0], r[k]], writes=[acc[0]], flops=3, label="alpha"),
+                # In-place update via the scratch vector.
+                loop(
+                    j,
+                    k,
+                    [
+                        stmt(
+                            reads=[y[j], acc[0], y[k - j - 1]],
+                            writes=[z[j]],
+                            flops=2,
+                            label="reflect",
+                        )
+                    ],
+                ),
+                loop(j, k, [stmt(reads=[z[j]], writes=[y[j]], flops=0, label="copy")]),
+                stmt(reads=[acc[0]], writes=[y[k]], flops=1, label="store_alpha"),
+            ],
+        )
+    ]
+    return Program("durbin", body)

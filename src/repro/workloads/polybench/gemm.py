@@ -1,0 +1,53 @@
+"""PolyBench ``gemm``: C = alpha*A*B + beta*C.
+
+Loop structure follows PolyBench 4.2 (j innermost in both phases), which
+makes ``C`` and ``B`` unit-stride in the hot loop and leaves ``A[i][k]``
+loop-invariant (register-allocated by scalar replacement) — the friendly
+case for both vectorization and the VWB's wide windows.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions; SMALL/LARGE scale each linearly.
+BASE_DIMS = {"ni": 24, "nj": 24, "nk": 24}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the gemm program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    ni, nj, nk = dims["ni"], dims["nj"], dims["nk"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (ni, nk))
+    b = Array("B", (nk, nj))
+    c = Array("C", (ni, nj))
+    body = loop(
+        i,
+        ni,
+        [
+            loop(j, nj, [stmt(reads=[c[i, j]], writes=[c[i, j]], flops=1, label="beta_scale")]),
+            loop(
+                k,
+                nk,
+                [
+                    loop(
+                        j,
+                        nj,
+                        [
+                            stmt(
+                                reads=[c[i, j], a[i, k], b[k, j]],
+                                writes=[c[i, j]],
+                                flops=2,
+                                label="mac",
+                            )
+                        ],
+                    )
+                ],
+                permutable=True,
+            ),
+        ],
+    )
+    return Program("gemm", [body])

@@ -1,0 +1,85 @@
+"""PolyBench ``gemver``: BLAS-style vector/matrix update chain.
+
+Four phases: a rank-2 update of ``A`` (unit stride), a transposed
+matrix-vector product (column walk, stride N), a vector add, and a
+regular matrix-vector product — the most phase-diverse kernel in the
+suite, exercising both VWB-friendly and VWB-hostile patterns in one run.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 90}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the gemver program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n = dims["n"]
+    i, j = Var("i"), Var("j")
+    a = Array("A", (n, n))
+    u1, v1 = Array("u1", (n,)), Array("v1", (n,))
+    u2, v2 = Array("u2", (n,)), Array("v2", (n,))
+    w, x, y, z = Array("w", (n,)), Array("x", (n,)), Array("y", (n,)), Array("z", (n,))
+    body = [
+        loop(
+            i,
+            n,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(
+                            reads=[a[i, j], u1[i], v1[j], u2[i], v2[j]],
+                            writes=[a[i, j]],
+                            flops=4,
+                            label="rank2_update",
+                        )
+                    ],
+                )
+            ],
+        ),
+        loop(
+            i,
+            n,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(
+                            reads=[x[i], a[j, i], y[j]],
+                            writes=[x[i]],
+                            flops=3,
+                            label="at_x",
+                        )
+                    ],
+                )
+            ],
+        ),
+        loop(i, n, [stmt(reads=[x[i], z[i]], writes=[x[i]], flops=1, label="x_plus_z")]),
+        loop(
+            i,
+            n,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(
+                            reads=[w[i], a[i, j], x[j]],
+                            writes=[w[i]],
+                            flops=3,
+                            label="a_x",
+                        )
+                    ],
+                )
+            ],
+        ),
+    ]
+    return Program("gemver", body)

@@ -1,0 +1,56 @@
+"""PolyBench ``gesummv``: y = alpha*A*x + beta*B*x.
+
+Two matrices are streamed simultaneously in the unit-stride inner loop,
+doubling the demand-read bandwidth relative to a single-matrix kernel —
+the heaviest read mix in the suite.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 100}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the gesummv program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n = dims["n"]
+    i, j = Var("i"), Var("j")
+    a = Array("A", (n, n))
+    b = Array("B", (n, n))
+    x = Array("x", (n,))
+    y = Array("y", (n,))
+    tmp = Array("tmp", (n,))
+    body = [
+        loop(
+            i,
+            n,
+            [
+                stmt(writes=[tmp[i], y[i]], flops=0, label="init"),
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(
+                            reads=[tmp[i], a[i, j], x[j]],
+                            writes=[tmp[i]],
+                            flops=2,
+                            label="a_mac",
+                        ),
+                        stmt(
+                            reads=[y[i], b[i, j], x[j]],
+                            writes=[y[i]],
+                            flops=2,
+                            label="b_mac",
+                        ),
+                    ],
+                ),
+                stmt(reads=[tmp[i], y[i]], writes=[y[i]], flops=3, label="combine"),
+            ],
+        )
+    ]
+    return Program("gesummv", body)

@@ -1,0 +1,60 @@
+"""PolyBench ``jacobi-1d``: three-point stencil over time steps.
+
+Extra kernel (not in the paper's figures): a neighbour-access pattern
+the dense-linear-algebra subset lacks — each iteration reads ``A[i-1]``,
+``A[i]``, ``A[i+1]``, so consecutive VWB windows overlap and the
+promotion stream is perfectly sequential.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 400, "tsteps": 20}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the jacobi-1d program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n, tsteps = dims["n"], dims["tsteps"]
+    t, i = Var("t"), Var("i")
+    a = Array("A", (n,))
+    b = Array("B", (n,))
+    body = [
+        loop(
+            t,
+            tsteps,
+            [
+                loop(
+                    i,
+                    n - 1,
+                    [
+                        stmt(
+                            reads=[a[i - 1], a[i], a[i + 1]],
+                            writes=[b[i]],
+                            flops=3,
+                            label="stencil",
+                        )
+                    ],
+                    lower=1,
+                ),
+                loop(
+                    i,
+                    n - 1,
+                    [
+                        stmt(
+                            reads=[b[i - 1], b[i], b[i + 1]],
+                            writes=[a[i]],
+                            flops=3,
+                            label="stencil_back",
+                        )
+                    ],
+                    lower=1,
+                ),
+            ],
+        )
+    ]
+    return Program("jacobi-1d", body)

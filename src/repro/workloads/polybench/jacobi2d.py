@@ -1,0 +1,50 @@
+"""PolyBench ``jacobi-2d``: five-point stencil over time steps.
+
+Extra kernel: mixes a unit-stride row walk with +/- one-row neighbours,
+so each inner iteration touches three cache-line streams at row-stride
+distance — a pattern between the suite's pure-streaming and
+column-walking extremes.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 40, "tsteps": 6}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the jacobi-2d program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n, tsteps = dims["n"], dims["tsteps"]
+    t, i, j = Var("t"), Var("i"), Var("j")
+    a = Array("A", (n, n))
+    b = Array("B", (n, n))
+
+    def sweep(src, dst, label):
+        return loop(
+            i,
+            n - 1,
+            [
+                loop(
+                    j,
+                    n - 1,
+                    [
+                        stmt(
+                            reads=[src[i, j], src[i, j - 1], src[i, j + 1], src[i - 1, j], src[i + 1, j]],
+                            writes=[dst[i, j]],
+                            flops=5,
+                            label=label,
+                        )
+                    ],
+                    lower=1,
+                )
+            ],
+            lower=1,
+        )
+
+    body = [loop(t, tsteps, [sweep(a, b, "fwd"), sweep(b, a, "bwd")])]
+    return Program("jacobi-2d", body)

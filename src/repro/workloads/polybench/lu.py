@@ -1,0 +1,60 @@
+"""PolyBench ``lu``: in-place LU decomposition (no pivoting).
+
+Extra kernel: a doubly-triangular elimination whose inner loop's base
+row changes every outer step — the richest mix of shrinking trip counts
+and in-place updates in the suite.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Loop, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 32}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the lu program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n = dims["n"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (n, n))
+    body = [
+        loop(
+            k,
+            n,
+            [
+                # Scale the column below the pivot.
+                Loop(
+                    i,
+                    k + 1,
+                    n,
+                    [stmt(reads=[a[i, k], a[k, k]], writes=[a[i, k]], flops=1, label="scale")],
+                ),
+                # Rank-1 update of the trailing submatrix.
+                Loop(
+                    i,
+                    k + 1,
+                    n,
+                    [
+                        Loop(
+                            j,
+                            k + 1,
+                            n,
+                            [
+                                stmt(
+                                    reads=[a[i, j], a[i, k], a[k, j]],
+                                    writes=[a[i, j]],
+                                    flops=2,
+                                    label="update",
+                                )
+                            ],
+                        )
+                    ],
+                ),
+            ],
+        )
+    ]
+    return Program("lu", body)

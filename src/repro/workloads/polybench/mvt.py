@@ -1,0 +1,66 @@
+"""PolyBench ``mvt``: x1 = x1 + A y1 and x2 = x2 + A^T y2.
+
+The first phase streams rows of ``A`` (unit stride); the second walks
+*columns* (``A[j][i]``, stride N), which defeats vectorization and makes
+software prefetching the only lever — a deliberately NVM-hostile phase.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 110}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the mvt program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n = dims["n"]
+    i, j = Var("i"), Var("j")
+    a = Array("A", (n, n))
+    x1 = Array("x1", (n,))
+    x2 = Array("x2", (n,))
+    y1 = Array("y1", (n,))
+    y2 = Array("y2", (n,))
+    body = [
+        loop(
+            i,
+            n,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(
+                            reads=[x1[i], a[i, j], y1[j]],
+                            writes=[x1[i]],
+                            flops=2,
+                            label="row_mac",
+                        )
+                    ],
+                )
+            ],
+        ),
+        loop(
+            i,
+            n,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(
+                            reads=[x2[i], a[j, i], y2[j]],
+                            writes=[x2[i]],
+                            flops=2,
+                            label="col_mac",
+                        )
+                    ],
+                )
+            ],
+        ),
+    ]
+    return Program("mvt", body)

@@ -1,0 +1,57 @@
+"""PolyBench ``seidel-2d``: in-place Gauss-Seidel nine-point stencil.
+
+Extra kernel: unlike ``jacobi-2d`` the update is *in place* — the stencil
+reads values written earlier in the same sweep, so every inner iteration
+mixes loads of just-stored lines with loads of not-yet-touched ones.
+The VWB's dirty-window write-back path gets exercised continuously.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 40, "tsteps": 4}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the seidel-2d program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n, tsteps = dims["n"], dims["tsteps"]
+    t, i, j = Var("t"), Var("i"), Var("j")
+    a = Array("A", (n, n))
+    body = [
+        loop(
+            t,
+            tsteps,
+            [
+                loop(
+                    i,
+                    n - 1,
+                    [
+                        loop(
+                            j,
+                            n - 1,
+                            [
+                                stmt(
+                                    reads=[
+                                        a[i - 1, j - 1], a[i - 1, j], a[i - 1, j + 1],
+                                        a[i, j - 1], a[i, j], a[i, j + 1],
+                                        a[i + 1, j - 1], a[i + 1, j], a[i + 1, j + 1],
+                                    ],
+                                    writes=[a[i, j]],
+                                    flops=9,
+                                    label="seidel",
+                                )
+                            ],
+                            lower=1,
+                        )
+                    ],
+                    lower=1,
+                )
+            ],
+        )
+    ]
+    return Program("seidel-2d", body)

@@ -1,0 +1,71 @@
+"""PolyBench ``symm`` (simplified rectangular form): C = alpha*A*B + beta*C
+with A symmetric.
+
+Extra kernel: exploits the symmetry ``A[i][j] == A[j][i]`` by reading the
+stored lower triangle both row-wise (unit stride) and column-wise
+(stride N) *in the same inner loop* — a half-friendly, half-hostile
+stream mix no other kernel exhibits.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"m": 24, "n": 24}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the symm program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    m, n = dims["m"], dims["n"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (m, m))
+    b = Array("B", (m, n))
+    c = Array("C", (m, n))
+    body = [
+        loop(
+            i,
+            m,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        stmt(reads=[c[i, j]], writes=[c[i, j]], flops=1, label="beta_scale"),
+                        # Lower-triangle contribution: row walk of A.
+                        loop(
+                            k,
+                            i,
+                            [
+                                stmt(
+                                    reads=[c[i, j], a[i, k], b[k, j]],
+                                    writes=[c[i, j]],
+                                    flops=2,
+                                    label="row_mac",
+                                )
+                            ],
+                        ),
+                        # Upper-triangle contribution via symmetry: the
+                        # same elements read column-wise (A[k][i]).
+                        loop(
+                            k,
+                            m,
+                            [
+                                stmt(
+                                    reads=[c[i, j], a[k, i], b[k, j]],
+                                    writes=[c[i, j]],
+                                    flops=2,
+                                    label="col_mac",
+                                )
+                            ],
+                            lower=i,
+                        ),
+                    ],
+                )
+            ],
+        )
+    ]
+    return Program("symm", body)

@@ -1,0 +1,58 @@
+"""PolyBench ``syr2k`` (rectangular form): C = alpha*(A*B^T + B*A^T) + beta*C.
+
+Like :mod:`repro.workloads.polybench.syrk` but with four unit-stride
+streams in the reduction loop — the widest vector-friendly statement in
+the suite.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 18, "m": 20}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the syr2k program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n, m = dims["n"], dims["m"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (n, m))
+    b = Array("B", (n, m))
+    c = Array("C", (n, n))
+    body = [
+        loop(
+            i,
+            n,
+            [loop(j, n, [stmt(reads=[c[i, j]], writes=[c[i, j]], flops=1, label="beta_scale")])],
+        ),
+        loop(
+            i,
+            n,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        loop(
+                            k,
+                            m,
+                            [
+                                stmt(
+                                    reads=[c[i, j], a[i, k], b[j, k], b[i, k], a[j, k]],
+                                    writes=[c[i, j]],
+                                    flops=5,
+                                    label="mac2",
+                                )
+                            ],
+                        )
+                    ],
+                    permutable=True,
+                )
+            ],
+        ),
+    ]
+    return Program("syr2k", body)

@@ -1,0 +1,57 @@
+"""PolyBench ``syrk`` (rectangular form): C = alpha*A*A^T + beta*C.
+
+Written with the reduction loop innermost so both ``A[i][k]`` and
+``A[j][k]`` stream at unit stride and the accumulator ``C[i][j]`` is
+register-allocated — a vectorizable reduction.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 20, "m": 24}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the syrk program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n, m = dims["n"], dims["m"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (n, m))
+    c = Array("C", (n, n))
+    body = [
+        loop(
+            i,
+            n,
+            [loop(j, n, [stmt(reads=[c[i, j]], writes=[c[i, j]], flops=1, label="beta_scale")])],
+        ),
+        loop(
+            i,
+            n,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        loop(
+                            k,
+                            m,
+                            [
+                                stmt(
+                                    reads=[c[i, j], a[i, k], a[j, k]],
+                                    writes=[c[i, j]],
+                                    flops=3,
+                                    label="mac",
+                                )
+                            ],
+                        )
+                    ],
+                    permutable=True,
+                )
+            ],
+        ),
+    ]
+    return Program("syrk", body)

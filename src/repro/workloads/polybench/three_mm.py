@@ -1,0 +1,65 @@
+"""PolyBench ``3mm``: G = (A*B) * (C*D).
+
+Three chained matrix products in the natural ``k``-innermost form (column
+walks on the right operands), stressing the same strided pattern as
+``2mm`` over a larger phase count.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Loop, Program, loop, stmt
+
+
+def _matmul(i, j, k, out, lhs, rhs, ni: int, nj: int, nk: int, label: str) -> Loop:
+    """One ``out = lhs * rhs`` nest with the reduction loop innermost."""
+    return loop(
+        i,
+        ni,
+        [
+            loop(
+                j,
+                nj,
+                [
+                    stmt(writes=[out[i, j]], flops=0, label=f"{label}_init"),
+                    loop(
+                        k,
+                        nk,
+                        [
+                            stmt(
+                                reads=[out[i, j], lhs[i, k], rhs[k, j]],
+                                writes=[out[i, j]],
+                                flops=2,
+                                label=f"{label}_mac",
+                            )
+                        ],
+                    ),
+                ],
+            )
+        ],
+    )
+
+
+#: MINI dimensions.
+BASE_DIMS = {"ni": 16, "nj": 16, "nk": 16, "nl": 16, "nm": 16}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the 3mm program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    ni, nj, nk, nl, nm = dims["ni"], dims["nj"], dims["nk"], dims["nl"], dims["nm"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (ni, nk))
+    b = Array("B", (nk, nj))
+    c = Array("C", (nj, nm))
+    d = Array("D", (nm, nl))
+    e = Array("E", (ni, nj))
+    f = Array("F", (nj, nl))
+    g = Array("G", (ni, nl))
+    body = [
+        _matmul(i, j, k, e, a, b, ni, nj, nk, "e"),
+        _matmul(i, j, k, f, c, d, nj, nl, nm, "f"),
+        _matmul(i, j, k, g, e, f, ni, nl, nj, "g"),
+    ]
+    return Program("3mm", body)

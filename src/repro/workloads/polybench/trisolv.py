@@ -1,0 +1,48 @@
+"""PolyBench ``trisolv``: forward substitution, L x = b.
+
+Extra kernel: a triangular reduction whose inner trip count grows with
+the outer iteration and whose per-row work is data-dependent — the
+hardest case for fixed-distance software prefetching.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"n": 120}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the trisolv program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    n = dims["n"]
+    i, j = Var("i"), Var("j")
+    l = Array("L", (n, n))
+    x = Array("x", (n,))
+    b = Array("b", (n,))
+    body = [
+        loop(
+            i,
+            n,
+            [
+                stmt(reads=[b[i]], writes=[x[i]], flops=0, label="seed"),
+                loop(
+                    j,
+                    i,
+                    [
+                        stmt(
+                            reads=[x[i], l[i, j], x[j]],
+                            writes=[x[i]],
+                            flops=2,
+                            label="reduce",
+                        )
+                    ],
+                ),
+                stmt(reads=[x[i], l[i, i]], writes=[x[i]], flops=1, label="divide"),
+            ],
+        )
+    ]
+    return Program("trisolv", body)

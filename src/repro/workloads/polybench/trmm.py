@@ -1,0 +1,54 @@
+"""PolyBench ``trmm``: B = alpha * A * B with A unit lower triangular.
+
+The reduction loop runs over ``k in [i+1, M)`` — a *triangular* bound —
+and both inner references (``A[k][i]``, ``B[k][j]``) walk columns at
+stride N.  Nothing here vectorizes; this is the kernel where the "others"
+(branch/alignment) transformations do relatively most work.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"m": 36, "n": 36}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the trmm program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    m, n = dims["m"], dims["n"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (m, m))
+    b = Array("B", (m, n))
+    body = [
+        loop(
+            i,
+            m,
+            [
+                loop(
+                    j,
+                    n,
+                    [
+                        loop(
+                            k,
+                            m,
+                            [
+                                stmt(
+                                    reads=[b[i, j], a[k, i], b[k, j]],
+                                    writes=[b[i, j]],
+                                    flops=2,
+                                    label="tri_mac",
+                                )
+                            ],
+                            lower=i + 1,
+                        ),
+                        stmt(reads=[b[i, j]], writes=[b[i, j]], flops=1, label="alpha_scale"),
+                    ],
+                )
+            ],
+        )
+    ]
+    return Program("trmm", body)

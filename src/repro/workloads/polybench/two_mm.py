@@ -1,0 +1,81 @@
+"""PolyBench ``2mm``: D = alpha*A*B*C + beta*D via tmp = alpha*A*B.
+
+Kept in PolyBench's natural ``k``-innermost form, so ``B[k][j]`` and
+``C[k][j]`` walk columns at stride NJ/NL: each inner iteration touches a
+new cache line, making this (with ``3mm``) the most promotion-hungry
+kernel — the one where drop-in NVM hurts most and prefetching pays most.
+"""
+
+from __future__ import annotations
+
+from ..affine import Var
+from ..datasets import DatasetSize, scale_for
+from ..ir import Array, Program, loop, stmt
+
+#: MINI dimensions.
+BASE_DIMS = {"ni": 18, "nj": 18, "nk": 18, "nl": 18}
+
+
+def build(size: DatasetSize = DatasetSize.MINI) -> Program:
+    """Build the 2mm program for the given dataset size."""
+    dims = scale_for(BASE_DIMS, size)
+    ni, nj, nk, nl = dims["ni"], dims["nj"], dims["nk"], dims["nl"]
+    i, j, k = Var("i"), Var("j"), Var("k")
+    a = Array("A", (ni, nk))
+    b = Array("B", (nk, nj))
+    c = Array("C", (nj, nl))
+    d = Array("D", (ni, nl))
+    tmp = Array("tmp", (ni, nj))
+    body = [
+        loop(
+            i,
+            ni,
+            [
+                loop(
+                    j,
+                    nj,
+                    [
+                        stmt(writes=[tmp[i, j]], flops=0, label="init_tmp"),
+                        loop(
+                            k,
+                            nk,
+                            [
+                                stmt(
+                                    reads=[tmp[i, j], a[i, k], b[k, j]],
+                                    writes=[tmp[i, j]],
+                                    flops=2,
+                                    label="ab_mac",
+                                )
+                            ],
+                        ),
+                    ],
+                )
+            ],
+        ),
+        loop(
+            i,
+            ni,
+            [
+                loop(
+                    j,
+                    nl,
+                    [
+                        stmt(reads=[d[i, j]], writes=[d[i, j]], flops=1, label="beta_scale"),
+                        loop(
+                            k,
+                            nj,
+                            [
+                                stmt(
+                                    reads=[d[i, j], tmp[i, k], c[k, j]],
+                                    writes=[d[i, j]],
+                                    flops=2,
+                                    label="tc_mac",
+                                )
+                            ],
+                        ),
+                    ],
+                )
+            ],
+        ),
+    ]
+    return Program("2mm", body)

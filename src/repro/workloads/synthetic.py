@@ -1,0 +1,145 @@
+"""Synthetic access-pattern generators (stress workloads).
+
+The PolyBench kernels are affine and regular; these generators produce
+the irregular extremes the cache and VWB models should also be sane on:
+
+- :func:`streaming` — pure sequential sweep (best case for wide
+  promotions);
+- :func:`strided` — fixed-stride walk (the mvt/trmm column pattern in
+  isolation, with a tunable stride);
+- :func:`random_access` — uniform random touches over a working set
+  (worst case for any locality structure; seeded, reproducible);
+- :func:`pointer_chase` — a dependent chain visiting every line of the
+  working set exactly once per round in a scrambled order (classic
+  latency probe: no spatial locality, perfect reuse across rounds);
+- :func:`hot_cold` — a small hot set hit with probability ``p`` mixed
+  with a large cold set (a cache-friendliness dial).
+
+Each returns a plain event list compatible with everything a kernel
+trace feeds (System.run, reuse profiling, trace files).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..errors import WorkloadError
+from .trace import Branch, Compute, Load, Store, TraceEvent
+
+#: Base address synthetic working sets are laid out at.
+BASE_ADDR = 0x20_0000
+
+
+def _footer(events: List[TraceEvent], compute_per_access: int) -> List[TraceEvent]:
+    return events
+
+
+def _mix(addresses, compute_per_access: int, write_every: int) -> List[TraceEvent]:
+    events: List[TraceEvent] = []
+    for n, addr in enumerate(addresses):
+        if write_every and (n + 1) % write_every == 0:
+            events.append(Store(addr, 4))
+        else:
+            events.append(Load(addr, 4))
+        if compute_per_access:
+            events.append(Compute(compute_per_access))
+        events.append(Branch(taken=True))
+    if events and isinstance(events[-1], Branch):
+        events[-1] = Branch(taken=False)
+    return events
+
+
+def streaming(
+    bytes_total: int = 65536,
+    rounds: int = 2,
+    compute_per_access: int = 2,
+    write_every: int = 0,
+) -> List[TraceEvent]:
+    """Sequential 4-byte sweep over ``bytes_total``, repeated ``rounds``."""
+    if bytes_total <= 0 or rounds <= 0:
+        raise WorkloadError("streaming needs a positive size and round count")
+    addresses = [
+        BASE_ADDR + offset
+        for _ in range(rounds)
+        for offset in range(0, bytes_total, 4)
+    ]
+    return _mix(addresses, compute_per_access, write_every)
+
+
+def strided(
+    stride_bytes: int = 256,
+    accesses: int = 4096,
+    compute_per_access: int = 2,
+    write_every: int = 0,
+) -> List[TraceEvent]:
+    """Fixed-stride walk of ``accesses`` touches."""
+    if stride_bytes <= 0 or accesses <= 0:
+        raise WorkloadError("strided needs a positive stride and access count")
+    addresses = [BASE_ADDR + n * stride_bytes for n in range(accesses)]
+    return _mix(addresses, compute_per_access, write_every)
+
+
+def random_access(
+    working_set_bytes: int = 262144,
+    accesses: int = 8192,
+    compute_per_access: int = 2,
+    write_every: int = 4,
+    seed: int = 0,
+) -> List[TraceEvent]:
+    """Uniform random 4-byte touches over a working set (seeded)."""
+    if working_set_bytes < 4 or accesses <= 0:
+        raise WorkloadError("random_access needs a working set and access count")
+    rng = random.Random(seed)
+    slots = working_set_bytes // 4
+    addresses = [BASE_ADDR + rng.randrange(slots) * 4 for _ in range(accesses)]
+    return _mix(addresses, compute_per_access, write_every)
+
+
+def pointer_chase(
+    working_set_bytes: int = 65536,
+    rounds: int = 4,
+    line_bytes: int = 64,
+    compute_per_access: int = 0,
+    seed: int = 0,
+) -> List[TraceEvent]:
+    """Dependent-chain walk: every line once per round, scrambled order.
+
+    The permutation is a seeded shuffle, so consecutive accesses share
+    no spatial locality while rounds repeat the identical sequence —
+    the pattern that isolates pure load-to-load latency.
+    """
+    if working_set_bytes < line_bytes or rounds <= 0:
+        raise WorkloadError("pointer_chase needs at least one line and one round")
+    rng = random.Random(seed)
+    lines = list(range(working_set_bytes // line_bytes))
+    rng.shuffle(lines)
+    addresses = [
+        BASE_ADDR + line * line_bytes for _ in range(rounds) for line in lines
+    ]
+    return _mix(addresses, compute_per_access, write_every=0)
+
+
+def hot_cold(
+    hot_bytes: int = 2048,
+    cold_bytes: int = 1 << 20,
+    accesses: int = 8192,
+    hot_probability: float = 0.9,
+    compute_per_access: int = 2,
+    seed: int = 0,
+) -> List[TraceEvent]:
+    """Mix of a small hot set (probability ``hot_probability``) and a
+    large cold set."""
+    if not 0.0 <= hot_probability <= 1.0:
+        raise WorkloadError(f"hot probability must be in [0, 1]: {hot_probability}")
+    if hot_bytes < 4 or cold_bytes < 4 or accesses <= 0:
+        raise WorkloadError("hot_cold needs positive region sizes and accesses")
+    rng = random.Random(seed)
+    cold_base = BASE_ADDR + hot_bytes
+    addresses = []
+    for _ in range(accesses):
+        if rng.random() < hot_probability:
+            addresses.append(BASE_ADDR + rng.randrange(hot_bytes // 4) * 4)
+        else:
+            addresses.append(cold_base + rng.randrange(cold_bytes // 4) * 4)
+    return _mix(addresses, compute_per_access, write_every=4)

@@ -1,0 +1,115 @@
+"""Architectural trace events produced by the workload interpreter.
+
+A trace is a flat sequence of events in program order.  Events are tiny
+``__slots__`` classes rather than dataclasses: kernel traces run to
+hundreds of thousands of events per run, and construction cost dominates
+trace generation time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+class TraceEvent:
+    """Base class for all trace events."""
+
+    __slots__ = ()
+
+
+class Compute(TraceEvent):
+    """``ops`` cycles worth of datapath work (ALU/FPU, address generation)."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: int) -> None:
+        self.ops = ops
+
+    def __repr__(self) -> str:
+        return f"Compute({self.ops})"
+
+
+class Branch(TraceEvent):
+    """A (conditional) branch; ``taken`` back-edges close loop iterations."""
+
+    __slots__ = ("taken",)
+
+    def __init__(self, taken: bool = True) -> None:
+        self.taken = taken
+
+    def __repr__(self) -> str:
+        return f"Branch(taken={self.taken})"
+
+
+class Load(TraceEvent):
+    """A demand load of ``size`` bytes at ``addr``."""
+
+    __slots__ = ("addr", "size")
+
+    def __init__(self, addr: int, size: int) -> None:
+        self.addr = addr
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"Load({self.addr:#x}, {self.size})"
+
+
+class Store(TraceEvent):
+    """A demand store of ``size`` bytes at ``addr``."""
+
+    __slots__ = ("addr", "size")
+
+    def __init__(self, addr: int, size: int) -> None:
+        self.addr = addr
+        self.size = size
+
+    def __repr__(self) -> str:
+        return f"Store({self.addr:#x}, {self.size})"
+
+
+class Prefetch(TraceEvent):
+    """A software prefetch hint for the data at ``addr``."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+    def __repr__(self) -> str:
+        return f"Prefetch({self.addr:#x})"
+
+
+def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Count events by kind; useful in tests and workload reports.
+
+    Returns:
+        A dict with keys ``loads``, ``stores``, ``prefetches``,
+        ``branches``, ``compute_events``, ``compute_ops``,
+        ``load_bytes`` and ``store_bytes``.
+    """
+    counts = {
+        "loads": 0,
+        "stores": 0,
+        "prefetches": 0,
+        "branches": 0,
+        "compute_events": 0,
+        "compute_ops": 0,
+        "load_bytes": 0,
+        "store_bytes": 0,
+    }
+    for ev in events:
+        kind = type(ev)
+        if kind is Load:
+            counts["loads"] += 1
+            counts["load_bytes"] += ev.size
+        elif kind is Store:
+            counts["stores"] += 1
+            counts["store_bytes"] += ev.size
+        elif kind is Compute:
+            counts["compute_events"] += 1
+            counts["compute_ops"] += ev.ops
+        elif kind is Branch:
+            counts["branches"] += 1
+        elif kind is Prefetch:
+            counts["prefetches"] += 1
+    return counts

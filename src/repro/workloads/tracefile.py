@@ -1,0 +1,95 @@
+"""Trace serialisation: save/load architectural event streams.
+
+Traces are the interchange format between the workload layer and the
+timing model, so persisting them enables
+
+- replaying the exact same stream across simulator versions (regression
+  pinning),
+- importing traces produced by external tools (a real gem5 run, a Pin
+  tool) into this platform, and
+- shipping trace corpora without shipping the generator.
+
+Format: one event per line, whitespace-separated, ``#`` comments::
+
+    # repro-trace v1
+    L 100040 4        # load  addr size
+    S 100140 8        # store addr size
+    C 3               # compute ops
+    B 1               # branch taken(1)/not(0)
+    P 100180          # prefetch addr
+
+Addresses and sizes are decimal.  The writer emits a header line; the
+reader accepts files with or without it.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, List, Union
+
+from ..errors import WorkloadError
+from .trace import Branch, Compute, Load, Prefetch, Store, TraceEvent
+
+HEADER = "# repro-trace v1"
+
+
+def dump_trace(events: Iterable[TraceEvent], stream: IO[str]) -> int:
+    """Write events to a text stream; returns the number written."""
+    stream.write(HEADER + "\n")
+    count = 0
+    for ev in events:
+        kind = type(ev)
+        if kind is Load:
+            stream.write(f"L {ev.addr} {ev.size}\n")
+        elif kind is Store:
+            stream.write(f"S {ev.addr} {ev.size}\n")
+        elif kind is Compute:
+            stream.write(f"C {ev.ops}\n")
+        elif kind is Branch:
+            stream.write(f"B {1 if ev.taken else 0}\n")
+        elif kind is Prefetch:
+            stream.write(f"P {ev.addr}\n")
+        else:
+            raise WorkloadError(f"cannot serialise event {ev!r}")
+        count += 1
+    return count
+
+
+def save_trace(events: Iterable[TraceEvent], path: Union[str, "object"]) -> int:
+    """Write events to ``path``; returns the number written."""
+    with open(path, "w", encoding="ascii") as f:
+        return dump_trace(events, f)
+
+
+def parse_trace(stream: IO[str]) -> Iterator[TraceEvent]:
+    """Yield events from a text stream (see module docstring for format).
+
+    Raises:
+        WorkloadError: On malformed lines, with the line number.
+    """
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        kind = fields[0].upper()
+        try:
+            if kind == "L" and len(fields) == 3:
+                yield Load(int(fields[1]), int(fields[2]))
+            elif kind == "S" and len(fields) == 3:
+                yield Store(int(fields[1]), int(fields[2]))
+            elif kind == "C" and len(fields) == 2:
+                yield Compute(int(fields[1]))
+            elif kind == "B" and len(fields) == 2:
+                yield Branch(bool(int(fields[1])))
+            elif kind == "P" and len(fields) == 2:
+                yield Prefetch(int(fields[1]))
+            else:
+                raise ValueError("bad field count or kind")
+        except ValueError as exc:
+            raise WorkloadError(f"malformed trace line {lineno}: {raw.rstrip()!r}") from exc
+
+
+def load_trace(path: Union[str, "object"]) -> List[TraceEvent]:
+    """Read a whole trace file into a list."""
+    with open(path, "r", encoding="ascii") as f:
+        return list(parse_trace(f))

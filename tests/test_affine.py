@@ -1,0 +1,122 @@
+"""Affine expressions, with hypothesis algebra properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.affine import Affine, Var
+
+i, j, k = Var("i"), Var("j"), Var("k")
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("i") == Var("i")
+        assert Var("i") != Var("j")
+
+    def test_hashable(self):
+        assert len({Var("i"), Var("i"), Var("j")}) == 2
+
+    def test_requires_name(self):
+        with pytest.raises(WorkloadError):
+            Var("")
+
+
+class TestConstruction:
+    def test_var_plus_int(self):
+        expr = i + 3
+        assert expr.coefficient(i) == 1
+        assert expr.const == 3
+
+    def test_scalar_multiply(self):
+        expr = 2 * i
+        assert expr.coefficient(i) == 2
+
+    def test_mixed(self):
+        expr = 2 * i + j - 5
+        assert expr.coefficient(i) == 2
+        assert expr.coefficient(j) == 1
+        assert expr.const == -5
+
+    def test_rsub(self):
+        expr = 10 - i
+        assert expr.coefficient(i) == -1
+        assert expr.const == 10
+
+    def test_negation(self):
+        expr = -(i + 1)
+        assert expr.coefficient(i) == -1
+        assert expr.const == -1
+
+    def test_zero_coefficients_dropped(self):
+        expr = i - i + 4
+        assert expr.is_constant
+        assert expr.const == 4
+
+    def test_of_coercion(self):
+        assert Affine.of(5).const == 5
+        assert Affine.of(i).coefficient(i) == 1
+        expr = i + 1
+        assert Affine.of(expr) is expr
+
+    def test_of_rejects_junk(self):
+        with pytest.raises(WorkloadError):
+            Affine.of("x")
+
+    def test_non_integer_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            (i + 1) * 1.5
+
+
+class TestEvaluate:
+    def test_evaluate(self):
+        expr = 2 * i + j + 3
+        assert expr.evaluate({"i": 4, "j": 5}) == 16
+
+    def test_unbound_variable(self):
+        with pytest.raises(WorkloadError, match="i"):
+            (i + 1).evaluate({})
+
+    def test_variables(self):
+        assert (i + j).variables() == frozenset({i, j})
+        assert Affine.of(7).variables() == frozenset()
+
+    def test_equality_and_hash(self):
+        assert (i + 1) == (1 + i)
+        assert hash(i + 1) == hash(1 + i)
+        assert (i + 1) != (i + 2)
+
+    def test_repr_readable(self):
+        assert "i" in repr(2 * i + 1)
+
+
+_envs = st.fixed_dictionaries({"i": st.integers(-50, 50), "j": st.integers(-50, 50)})
+_exprs = st.builds(
+    lambda a, b, c: a * i + b * j + c,
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.integers(-100, 100),
+)
+
+
+class TestAlgebraProperties:
+    @given(_exprs, _exprs, _envs)
+    @settings(max_examples=50, deadline=None)
+    def test_addition_is_pointwise(self, e1, e2, env):
+        assert (e1 + e2).evaluate(env) == e1.evaluate(env) + e2.evaluate(env)
+
+    @given(_exprs, _exprs, _envs)
+    @settings(max_examples=50, deadline=None)
+    def test_subtraction_is_pointwise(self, e1, e2, env):
+        assert (e1 - e2).evaluate(env) == e1.evaluate(env) - e2.evaluate(env)
+
+    @given(_exprs, st.integers(-7, 7), _envs)
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_is_pointwise(self, e, factor, env):
+        assert (e * factor).evaluate(env) == factor * e.evaluate(env)
+
+    @given(_exprs, _exprs)
+    @settings(max_examples=50, deadline=None)
+    def test_addition_commutes(self, e1, e2):
+        assert (e1 + e2) == (e2 + e1)

@@ -1,0 +1,65 @@
+"""Derived run metrics."""
+
+import pytest
+
+from repro.analysis import compare_runs, metrics_of
+from repro.cpu.system import System, SystemConfig
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def runs(gemm_trace):
+    return {
+        "sram": System(SystemConfig(technology="sram")).run(gemm_trace),
+        "dropin": System(SystemConfig(technology="stt-mram")).run(gemm_trace),
+        "vwb": System(SystemConfig(technology="stt-mram", frontend="vwb")).run(gemm_trace),
+    }
+
+
+class TestMetrics:
+    def test_amat_orders_configurations(self, runs):
+        sram = metrics_of(runs["sram"])
+        dropin = metrics_of(runs["dropin"])
+        vwb = metrics_of(runs["vwb"])
+        assert dropin.amat_cycles > vwb.amat_cycles
+        assert dropin.amat_cycles > sram.amat_cycles
+
+    def test_ipc_matches_result(self, runs):
+        m = metrics_of(runs["sram"])
+        assert m.ipc == pytest.approx(runs["sram"].ipc)
+
+    def test_shares_bounded(self, runs):
+        for result in runs.values():
+            m = metrics_of(result)
+            assert 0.0 <= m.load_share <= 1.0
+            assert 0.0 <= m.store_share <= 1.0
+            assert 0.0 <= m.compute_share <= 1.0
+            assert m.load_share + m.store_share + m.compute_share <= 1.01
+
+    def test_vwb_buffer_hit_rate_high(self, runs):
+        assert metrics_of(runs["vwb"]).buffer_hit_rate > 0.8
+
+    def test_plain_buffer_hit_rate_zero(self, runs):
+        assert metrics_of(runs["sram"]).buffer_hit_rate == 0.0
+
+    def test_mpki_positive(self, runs):
+        assert metrics_of(runs["sram"]).load_mpki > 0.0
+
+    def test_rejects_empty_run(self):
+        from repro.cpu.model import RunResult
+
+        empty = RunResult(cycles=0.0, instructions=0, breakdown={}, counts={"loads": 0})
+        with pytest.raises(ConfigurationError):
+            metrics_of(empty)
+
+
+class TestCompareRuns:
+    def test_renders_table(self, runs):
+        text = compare_runs(runs)
+        assert "AMAT" in text
+        assert "sram" in text and "vwb" in text
+        assert "IPC" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            compare_runs({})

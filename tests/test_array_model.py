@@ -1,0 +1,103 @@
+"""Analytic array model: anchoring, scaling trends, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.array_model import ArrayGeometry, estimate_array
+from repro.tech.params import SRAM_32NM_HP, STT_MRAM_32NM
+from repro.units import kib
+
+REFERENCE = ArrayGeometry(capacity_bytes=kib(64), associativity=2, line_bytes=64)
+
+
+class TestAnchoring:
+    """A 64 KB 2-way single-bank array reproduces Table I exactly."""
+
+    @pytest.mark.parametrize("tech", [SRAM_32NM_HP, STT_MRAM_32NM])
+    def test_read_latency_anchored(self, tech):
+        est = estimate_array(tech, REFERENCE)
+        assert est.read_latency_ns == pytest.approx(tech.read_latency_ns)
+
+    @pytest.mark.parametrize("tech", [SRAM_32NM_HP, STT_MRAM_32NM])
+    def test_write_latency_anchored(self, tech):
+        est = estimate_array(tech, REFERENCE)
+        assert est.write_latency_ns == pytest.approx(tech.write_latency_ns)
+
+    @pytest.mark.parametrize("tech", [SRAM_32NM_HP, STT_MRAM_32NM])
+    def test_leakage_anchored(self, tech):
+        est = estimate_array(tech, REFERENCE)
+        assert est.leakage_mw == pytest.approx(tech.leakage_mw)
+
+
+class TestScalingTrends:
+    def test_smaller_array_is_faster(self):
+        small = ArrayGeometry(capacity_bytes=kib(8), line_bytes=64)
+        est_small = estimate_array(STT_MRAM_32NM, small)
+        est_ref = estimate_array(STT_MRAM_32NM, REFERENCE)
+        assert est_small.read_latency_ns < est_ref.read_latency_ns
+
+    def test_banking_reduces_latency(self):
+        banked = ArrayGeometry(capacity_bytes=kib(64), associativity=2, line_bytes=64, banks=4)
+        est_banked = estimate_array(STT_MRAM_32NM, banked)
+        est_ref = estimate_array(STT_MRAM_32NM, REFERENCE)
+        assert est_banked.read_latency_ns < est_ref.read_latency_ns
+
+    def test_leakage_proportional_to_capacity(self):
+        double = ArrayGeometry(capacity_bytes=kib(128), associativity=2, line_bytes=64)
+        est = estimate_array(SRAM_32NM_HP, double)
+        assert est.leakage_mw == pytest.approx(2 * SRAM_32NM_HP.leakage_mw)
+
+    def test_banking_adds_area(self):
+        banked = ArrayGeometry(capacity_bytes=kib(64), associativity=2, line_bytes=64, banks=8)
+        est_banked = estimate_array(STT_MRAM_32NM, banked)
+        est_ref = estimate_array(STT_MRAM_32NM, REFERENCE)
+        assert est_banked.area_mm2 > est_ref.area_mm2
+
+    def test_associativity_adds_area(self):
+        wide = ArrayGeometry(capacity_bytes=kib(64), associativity=16, line_bytes=64)
+        est_wide = estimate_array(STT_MRAM_32NM, wide)
+        est_ref = estimate_array(STT_MRAM_32NM, REFERENCE)
+        assert est_wide.area_mm2 > est_ref.area_mm2
+
+    def test_stt_array_smaller_than_sram(self):
+        sram = estimate_array(SRAM_32NM_HP, REFERENCE)
+        stt = estimate_array(STT_MRAM_32NM, REFERENCE)
+        assert stt.area_mm2 < sram.area_mm2 / 3.0
+
+    def test_wide_line_costs_more_energy(self):
+        wide = ArrayGeometry(capacity_bytes=kib(64), associativity=2, line_bytes=128)
+        est_wide = estimate_array(STT_MRAM_32NM, wide)
+        est_ref = estimate_array(STT_MRAM_32NM, REFERENCE)
+        assert est_wide.read_energy_pj > est_ref.read_energy_pj
+
+    def test_nvm_write_energy_exceeds_read(self):
+        est = estimate_array(STT_MRAM_32NM, REFERENCE)
+        assert est.write_energy_pj > est.read_energy_pj
+
+
+class TestGeometryValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ArrayGeometry(capacity_bytes=0)
+
+    def test_rejects_non_power_of_two_banks(self):
+        with pytest.raises(ConfigurationError):
+            ArrayGeometry(capacity_bytes=1024, banks=3)
+
+    def test_rejects_capacity_not_divisible_by_line(self):
+        with pytest.raises(ConfigurationError):
+            ArrayGeometry(capacity_bytes=1000, line_bytes=64)
+
+    def test_bits(self):
+        assert REFERENCE.bits == kib(64) * 8
+
+    def test_lines(self):
+        assert REFERENCE.lines == kib(64) // 64
+
+    def test_bits_per_bank(self):
+        banked = ArrayGeometry(capacity_bytes=kib(64), line_bytes=64, banks=4)
+        assert banked.bits_per_bank == kib(64) * 8 // 4
+
+    def test_summary_mentions_technology(self):
+        est = estimate_array(STT_MRAM_32NM, REFERENCE)
+        assert "STT-MRAM" in est.summary()

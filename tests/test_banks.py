@@ -1,0 +1,97 @@
+"""Banked-array conflict timing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.banks import BankTimer
+
+
+class TestBankMapping:
+    def test_line_interleaving(self):
+        timer = BankTimer(banks=4, line_bytes=64)
+        assert timer.bank_of(0) == 0
+        assert timer.bank_of(64) == 1
+        assert timer.bank_of(128) == 2
+        assert timer.bank_of(192) == 3
+        assert timer.bank_of(256) == 0
+
+    def test_same_line_same_bank(self):
+        timer = BankTimer(banks=4, line_bytes=64)
+        assert timer.bank_of(10) == timer.bank_of(63)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            BankTimer(banks=3, line_bytes=64)
+
+
+class TestReserve:
+    def test_idle_bank_no_wait(self):
+        timer = BankTimer(banks=2, line_bytes=64)
+        wait, finish = timer.reserve(0, now=10.0, occupancy=4.0)
+        assert wait == 0.0
+        assert finish == 14.0
+
+    def test_busy_bank_waits(self):
+        timer = BankTimer(banks=2, line_bytes=64)
+        timer.reserve(0, now=0.0, occupancy=4.0)
+        wait, finish = timer.reserve(0, now=1.0, occupancy=4.0)
+        assert wait == 3.0
+        assert finish == 8.0
+
+    def test_different_banks_overlap(self):
+        timer = BankTimer(banks=2, line_bytes=64)
+        timer.reserve(0, now=0.0, occupancy=4.0)
+        wait, _ = timer.reserve(64, now=0.0, occupancy=4.0)
+        assert wait == 0.0
+
+    def test_next_free(self):
+        timer = BankTimer(banks=1, line_bytes=64)
+        timer.reserve(0, now=0.0, occupancy=5.0)
+        assert timer.next_free(0, now=2.0) == 3.0
+        assert timer.next_free(0, now=9.0) == 0.0
+
+    def test_negative_occupancy_rejected(self):
+        timer = BankTimer(banks=1, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            timer.reserve(0, 0.0, -1.0)
+
+    def test_reset(self):
+        timer = BankTimer(banks=1, line_bytes=64)
+        timer.reserve(0, now=0.0, occupancy=100.0)
+        timer.reset()
+        wait, _ = timer.reserve(0, now=0.0, occupancy=1.0)
+        assert wait == 0.0
+
+
+class TestReserveRange:
+    def test_parallel_lines_in_distinct_banks(self):
+        timer = BankTimer(banks=4, line_bytes=64)
+        wait, finish = timer.reserve_range(0, 2, now=0.0, occupancy_per_line=4.0)
+        assert wait == 0.0
+        assert finish == 4.0  # both lines read in parallel
+
+    def test_colliding_lines_serialise(self):
+        timer = BankTimer(banks=1, line_bytes=64)
+        wait, finish = timer.reserve_range(0, 2, now=0.0, occupancy_per_line=4.0)
+        assert finish == 8.0  # one bank: two serialized reads
+
+    def test_range_blocks_following_access(self):
+        timer = BankTimer(banks=4, line_bytes=64)
+        timer.reserve_range(0, 2, now=0.0, occupancy_per_line=4.0)
+        wait, _ = timer.reserve(64, now=1.0, occupancy=1.0)
+        assert wait == 3.0  # bank 1 busy until cycle 4
+
+    def test_wait_reflects_prior_occupancy(self):
+        timer = BankTimer(banks=4, line_bytes=64)
+        timer.reserve(0, now=0.0, occupancy=6.0)
+        wait, finish = timer.reserve_range(0, 2, now=0.0, occupancy_per_line=4.0)
+        assert wait == 6.0  # line 0's bank busy
+        assert finish == 10.0
+
+    def test_rejects_zero_lines(self):
+        timer = BankTimer(banks=2, line_bytes=64)
+        with pytest.raises(ConfigurationError):
+            timer.reserve_range(0, 0, 0.0, 1.0)
+
+    def test_banks_property(self):
+        assert BankTimer(banks=8, line_bytes=64).banks == 8

@@ -1,0 +1,140 @@
+"""Static bounds checking of IR programs."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import build_kernel, kernel_names
+from repro.workloads.affine import Var
+from repro.workloads.bounds import assert_in_bounds, check_bounds
+from repro.workloads.ir import Array, Loop, Program, loop, stmt
+
+i, j = Var("i"), Var("j")
+
+
+class TestDetection:
+    def test_clean_program(self):
+        x = Array("x", (16,))
+        prog = Program("ok", [loop(i, 16, [stmt(reads=[x[i]], flops=1)])])
+        assert check_bounds(prog) == []
+
+    def test_off_by_one_upper(self):
+        x = Array("x", (16,))
+        prog = Program("bad", [loop(i, 17, [stmt(reads=[x[i]], flops=1)])])
+        violations = check_bounds(prog)
+        assert len(violations) == 1
+        assert violations[0].subscript_range == (0, 16)
+        assert violations[0].extent == 16
+
+    def test_negative_subscript(self):
+        x = Array("x", (16,))
+        prog = Program("bad", [loop(i, 16, [stmt(reads=[x[i - 1]], flops=1)])])
+        violations = check_bounds(prog)
+        assert violations and violations[0].subscript_range[0] == -1
+
+    def test_stencil_with_correct_bounds_clean(self):
+        x = Array("x", (16,))
+        prog = Program(
+            "stencil",
+            [loop(i, 15, [stmt(reads=[x[i - 1], x[i], x[i + 1]], flops=1)], lower=1)],
+        )
+        assert check_bounds(prog) == []
+
+    def test_transposed_subscript_on_rectangular_array(self):
+        a = Array("A", (4, 16))
+        prog = Program(
+            "bad",
+            [loop(i, 4, [loop(j, 16, [stmt(reads=[a[j, i]], flops=1)])])],
+        )
+        violations = check_bounds(prog)
+        assert violations
+        assert violations[0].dimension == 0
+
+    def test_triangular_bounds_exact(self):
+        a = Array("A", (8, 8))
+        inner = Loop(j, i + 1, 8, [stmt(reads=[a[i, j]], flops=1)])
+        prog = Program("tri", [loop(i, 8, [inner])])
+        assert check_bounds(prog) == []
+
+    def test_empty_loop_produces_no_violation(self):
+        x = Array("x", (4,))
+        prog = Program("empty", [Loop(i, 10, 10, [stmt(reads=[x[i]], flops=1)])])
+        assert check_bounds(prog) == []
+
+    def test_duplicate_violations_deduplicated(self):
+        x = Array("x", (4,))
+        prog = Program(
+            "dup",
+            [
+                loop(
+                    i,
+                    8,
+                    [stmt(reads=[x[i]], flops=1), stmt(reads=[x[i]], flops=1)],
+                )
+            ],
+        )
+        assert len(check_bounds(prog)) == 1
+
+    def test_violation_str(self):
+        x = Array("x", (4,))
+        prog = Program("bad", [loop(i, 8, [stmt(reads=[x[i]], flops=1)])])
+        text = str(check_bounds(prog)[0])
+        assert "x" in text and "[0, 7]" in text and "[0, 3]" in text
+
+
+class TestExactConfirmation:
+    def _coupled_prog(self, n=16):
+        """r[k-j-1] with j < k: safe, but interval analysis can't see it."""
+        from repro.workloads.ir import stmt as _stmt
+
+        k = Var("k")
+        r = Array("r", (n,))
+        inner = Loop(j, 0, k, [_stmt(reads=[r[k - j - 1]], flops=1)])
+        return Program("coupled", [Loop(k, 1, n, [inner])])
+
+    def test_coupled_subscript_dismissed_by_enumeration(self):
+        assert check_bounds(self._coupled_prog()) == []
+
+    def test_coupled_subscript_flagged_without_budget(self):
+        violations = check_bounds(self._coupled_prog(), exact_budget=0)
+        assert violations
+        assert not violations[0].confirmed
+        assert "may span" in str(violations[0])
+
+    def test_real_violation_survives_enumeration(self):
+        x = Array("x", (8,))
+        prog = Program("bad", [loop(i, 9, [stmt(reads=[x[i]], flops=1)])])
+        violations = check_bounds(prog)
+        assert violations and violations[0].confirmed
+        # Enumeration tightens the reported range to the actual one.
+        assert violations[0].subscript_range == (0, 8)
+
+    def test_budget_exhaustion_reports_unconfirmed(self):
+        # Force the interval pass to flag, then starve the enumerator.
+        from repro.workloads.ir import stmt as _stmt
+
+        k = Var("k")
+        r = Array("r", (64,))
+        inner = Loop(j, 0, k, [_stmt(reads=[r[k - j - 1]], flops=1)])
+        prog = Program("big", [Loop(k, 1, 64, [inner])])
+        violations = check_bounds(prog, exact_budget=10)
+        assert violations and not violations[0].confirmed
+
+
+class TestAssertHelper:
+    def test_passes_clean(self):
+        x = Array("x", (8,))
+        assert_in_bounds(Program("ok", [loop(i, 8, [stmt(reads=[x[i]], flops=1)])]))
+
+    def test_raises_with_context(self):
+        x = Array("x", (4,))
+        prog = Program("bad", [loop(i, 8, [stmt(reads=[x[i]], flops=1)])])
+        with pytest.raises(WorkloadError, match="out-of-bounds"):
+            assert_in_bounds(prog)
+
+
+class TestAllKernelsInBounds:
+    """Every shipped kernel — paper subset and extras — must be clean."""
+
+    @pytest.mark.parametrize("name", kernel_names(include_extras=True))
+    def test_kernel(self, name):
+        assert check_bounds(build_kernel(name)) == []

@@ -1,0 +1,180 @@
+"""Set-associative cache: functional behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+from repro.mem.request import Access, AccessType
+
+
+def make_cache(**overrides):
+    defaults = dict(
+        name="t",
+        capacity_bytes=1024,
+        associativity=2,
+        line_bytes=64,
+        read_hit_cycles=1,
+        write_hit_cycles=1,
+    )
+    defaults.update(overrides)
+    return Cache(CacheConfig(**defaults), MainMemory(latency_cycles=100.0, transfer_cycles=0.0))
+
+
+class TestConfigValidation:
+    def test_sets_computed(self):
+        assert make_cache().config.sets == 8
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(line_bytes=48)
+
+    def test_rejects_indivisible_capacity(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(capacity_bytes=1000)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(capacity_bytes=1024 + 128 * 3, associativity=1)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(read_hit_cycles=0)
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(banks=3)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        assert cache.stats.read_misses == 1
+        cache.access(Access(0, 4, AccessType.READ), 200.0)
+        assert cache.stats.read_hits == 1
+
+    def test_spatial_hit_within_line(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(60, 4, AccessType.READ), 200.0)
+        assert cache.stats.read_hits == 1
+
+    def test_distinct_lines_miss(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(64, 4, AccessType.READ), 200.0)
+        assert cache.stats.read_misses == 2
+
+    def test_contains(self):
+        cache = make_cache()
+        assert not cache.contains(0)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        assert cache.contains(0)
+        assert cache.contains(63)
+        assert not cache.contains(64)
+
+    def test_crossing_access_counts_both_lines(self):
+        cache = make_cache()
+        cache.access(Access(60, 8, AccessType.READ), 0.0)
+        assert cache.stats.read_misses == 2
+        assert cache.contains(0) and cache.contains(64)
+
+    def test_resident_lines(self):
+        cache = make_cache()
+        for i in range(4):
+            cache.access(Access(i * 64, 4, AccessType.READ), i * 300.0)
+        assert cache.resident_lines == 4
+
+
+class TestWritePolicy:
+    def test_write_allocate(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.WRITE), 0.0)
+        assert cache.stats.write_misses == 1
+        assert cache.contains(0)
+        assert cache.is_dirty(0)
+
+    def test_write_hit_sets_dirty(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        assert not cache.is_dirty(0)
+        cache.access(Access(0, 4, AccessType.WRITE), 200.0)
+        assert cache.is_dirty(0)
+
+    def test_writeback_on_dirty_eviction(self):
+        cache = make_cache(associativity=1)  # 16 sets, direct-mapped
+        cache.access(Access(0, 4, AccessType.WRITE), 0.0)
+        # Same set: 16 sets x 64 B = 1024 B stride.
+        cache.access(Access(1024, 4, AccessType.READ), 500.0)
+        assert cache.stats.evictions == 1
+        assert cache.stats.writebacks == 1
+        assert cache.next_level.writes == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = make_cache(associativity=1)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(1024, 4, AccessType.READ), 500.0)
+        assert cache.stats.evictions == 1
+        assert cache.stats.writebacks == 0
+
+    def test_no_write_through(self):
+        cache = make_cache()
+        for t in range(5):
+            cache.access(Access(0, 4, AccessType.WRITE), t * 100.0)
+        # One allocation fetch; no per-write traffic to the next level.
+        assert cache.next_level.writes == 0
+        assert cache.next_level.reads == 1
+
+
+class TestLRUWithinSet:
+    def test_evicts_lru_way(self):
+        cache = make_cache()  # 8 sets, 2-way; set stride = 512 B
+        cache.access(Access(0, 4, AccessType.READ), 0.0)  # way A
+        cache.access(Access(512, 4, AccessType.READ), 200.0)  # way B
+        cache.access(Access(0, 4, AccessType.READ), 400.0)  # touch A
+        cache.access(Access(1024, 4, AccessType.READ), 600.0)  # evicts B
+        assert cache.contains(0)
+        assert not cache.contains(512)
+        assert cache.contains(1024)
+
+
+class TestMaintenance:
+    def test_reset_clears_contents_and_stats(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.WRITE), 0.0)
+        cache.reset()
+        assert not cache.contains(0)
+        assert cache.stats.accesses == 0
+        assert cache.resident_lines == 0
+
+    def test_clear_stats_keeps_contents(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.clear_stats()
+        assert cache.contains(0)
+        assert cache.stats.accesses == 0
+
+    def test_duplicate_fill_is_simulation_error(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        with pytest.raises(SimulationError):
+            cache._fill(0, 100.0)
+
+    def test_line_write_tracking(self):
+        cache = make_cache(track_line_writes=True)
+        cache.access(Access(0, 4, AccessType.WRITE), 0.0)
+        cache.access(Access(0, 4, AccessType.WRITE), 100.0)
+        counts = cache.line_write_counts
+        assert sum(counts.values()) >= 2
+
+    def test_line_write_tracking_off_by_default(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.WRITE), 0.0)
+        assert cache.line_write_counts == {}
+
+    def test_line_addr(self):
+        cache = make_cache()
+        assert cache.line_addr(100) == 64
+        assert cache.line_addr(64) == 64
+        assert cache.line_addr(63) == 0

@@ -1,0 +1,138 @@
+"""Property-based cache verification against a reference model.
+
+The reference model is an order-of-magnitude simpler simulator: a dict of
+sets, each holding an MRU-ordered list of (tag, dirty).  For any access
+stream, the real cache's hit/miss classification and final contents must
+match it exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+from repro.mem.request import Access, AccessType
+
+
+class ReferenceCache:
+    """Dict-based LRU write-back/write-allocate reference model."""
+
+    def __init__(self, sets: int, assoc: int, line_bytes: int) -> None:
+        self.sets = sets
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.contents = {s: [] for s in range(sets)}  # MRU-first [tag, dirty]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int, is_write: bool) -> None:
+        line = addr // self.line_bytes
+        index = line % self.sets
+        tag = line // self.sets
+        ways = self.contents[index]
+        for entry in ways:
+            if entry[0] == tag:
+                self.hits += 1
+                ways.remove(entry)
+                entry[1] = entry[1] or is_write
+                ways.insert(0, entry)
+                return
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop()
+        ways.insert(0, [tag, is_write])
+
+    def resident(self, addr: int) -> bool:
+        line = addr // self.line_bytes
+        return any(e[0] == line // self.sets for e in self.contents[line % self.sets])
+
+    def dirty(self, addr: int) -> bool:
+        line = addr // self.line_bytes
+        for e in self.contents[line % self.sets]:
+            if e[0] == line // self.sets:
+                return e[1]
+        return False
+
+
+def make_pair(sets=4, assoc=2, line_bytes=64):
+    cache = Cache(
+        CacheConfig(
+            name="p",
+            capacity_bytes=sets * assoc * line_bytes,
+            associativity=assoc,
+            line_bytes=line_bytes,
+            read_hit_cycles=1,
+            write_hit_cycles=1,
+        ),
+        MainMemory(latency_cycles=10.0, transfer_cycles=0.0),
+    )
+    return cache, ReferenceCache(sets, assoc, line_bytes)
+
+
+_accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4095),  # address (64 lines)
+        st.booleans(),  # is_write
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestAgainstReferenceModel:
+    @given(_accesses)
+    @settings(max_examples=80, deadline=None)
+    def test_hit_miss_classification_matches(self, stream):
+        cache, ref = make_pair()
+        t = 0.0
+        for addr, is_write in stream:
+            kind = AccessType.WRITE if is_write else AccessType.READ
+            t += cache.access(Access(addr, 1, kind), t) + 10.0
+            ref.access(addr, is_write)
+        assert cache.stats.hits == ref.hits
+        assert cache.stats.misses == ref.misses
+
+    @given(_accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_final_contents_match(self, stream):
+        cache, ref = make_pair()
+        t = 0.0
+        for addr, is_write in stream:
+            kind = AccessType.WRITE if is_write else AccessType.READ
+            t += cache.access(Access(addr, 1, kind), t) + 10.0
+            ref.access(addr, is_write)
+        for addr in range(0, 4096, 64):
+            assert cache.contains(addr) == ref.resident(addr), hex(addr)
+            if ref.resident(addr):
+                assert cache.is_dirty(addr) == ref.dirty(addr), hex(addr)
+
+    @given(_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_fills_equal_misses(self, stream):
+        cache, ref = make_pair()
+        t = 0.0
+        for addr, is_write in stream:
+            kind = AccessType.WRITE if is_write else AccessType.READ
+            t += cache.access(Access(addr, 1, kind), t) + 10.0
+        assert cache.stats.fills == cache.stats.misses
+
+    @given(_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_resident_never_exceeds_capacity(self, stream):
+        cache, ref = make_pair()
+        t = 0.0
+        for addr, is_write in stream:
+            kind = AccessType.WRITE if is_write else AccessType.READ
+            t += cache.access(Access(addr, 1, kind), t) + 10.0
+            assert cache.resident_lines <= 8  # 4 sets x 2 ways
+
+    @given(_accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_latencies_positive_and_time_monotonic(self, stream):
+        cache, _ = make_pair()
+        t = 0.0
+        for addr, is_write in stream:
+            kind = AccessType.WRITE if is_write else AccessType.READ
+            latency = cache.access(Access(addr, 1, kind), t)
+            assert latency >= 1.0
+            t += latency

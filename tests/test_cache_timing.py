@@ -1,0 +1,162 @@
+"""Set-associative cache: timing semantics."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+from repro.mem.request import Access, AccessType
+
+
+def make_cache(read=4, write=2, banks=1, mem_latency=100.0, **overrides):
+    defaults = dict(
+        name="t",
+        capacity_bytes=4096,
+        associativity=2,
+        line_bytes=64,
+        read_hit_cycles=read,
+        write_hit_cycles=write,
+        banks=banks,
+    )
+    defaults.update(overrides)
+    return Cache(
+        CacheConfig(**defaults), MainMemory(latency_cycles=mem_latency, transfer_cycles=0.0)
+    )
+
+
+class TestHitLatency:
+    def test_read_hit_latency(self):
+        cache = make_cache(read=4)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        latency = cache.access(Access(0, 4, AccessType.READ), 1000.0)
+        assert latency == 4.0
+
+    def test_write_hit_latency(self):
+        cache = make_cache(write=2)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        latency = cache.access(Access(0, 4, AccessType.WRITE), 1000.0)
+        assert latency == 2.0
+
+    def test_miss_latency_is_tag_plus_next_level(self):
+        cache = make_cache(read=4, mem_latency=100.0)
+        latency = cache.access(Access(0, 4, AccessType.READ), 0.0)
+        assert latency == 104.0  # tag check + memory; fill off critical path
+
+    def test_write_miss_latency_includes_allocate_and_write(self):
+        cache = make_cache(read=4, write=2, mem_latency=100.0)
+        latency = cache.access(Access(0, 4, AccessType.WRITE), 0.0)
+        assert latency == 106.0  # tag + fetch + array write
+
+
+class TestBankConflicts:
+    def test_back_to_back_same_bank_stalls(self):
+        cache = make_cache(read=4, banks=4)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(0, 4, AccessType.READ), 5000.0)  # warm, hit at t=5000
+        # Immediately hit the same line again: bank busy until 5004.
+        latency = cache.access(Access(8, 4, AccessType.READ), 5001.0)
+        assert latency == pytest.approx(3.0 + 4.0)
+        assert cache.stats.bank_wait_cycles == 3
+
+    def test_different_banks_no_stall(self):
+        cache = make_cache(read=4, banks=4)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(64, 4, AccessType.READ), 1000.0)
+        cache.access(Access(0, 4, AccessType.READ), 5000.0)
+        latency = cache.access(Access(64, 4, AccessType.READ), 5001.0)
+        assert latency == 4.0
+
+
+class TestPrefetchTiming:
+    def test_prefetch_costs_nothing_to_issue(self):
+        cache = make_cache()
+        assert cache.prefetch(0, 0.0) == 0.0
+        assert cache.stats.prefetch_misses == 1
+
+    def test_prefetch_hides_full_latency_when_early(self):
+        cache = make_cache(read=4, mem_latency=100.0)
+        cache.prefetch(0, 0.0)
+        latency = cache.access(Access(0, 4, AccessType.READ), 500.0)
+        assert latency == 4.0  # lazy fill then ordinary hit
+        assert cache.contains(0)
+
+    def test_prefetch_partially_hides_latency(self):
+        cache = make_cache(read=4, mem_latency=100.0)
+        cache.prefetch(0, 0.0)  # ready at 104
+        latency = cache.access(Access(0, 4, AccessType.READ), 50.0)
+        assert latency == 54.0  # waits the remaining fill time
+
+    def test_prefetch_of_resident_line_is_noop(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.prefetch(0, 500.0)
+        assert cache.stats.prefetch_hits == 1
+        assert cache.stats.prefetch_misses == 0
+
+    def test_duplicate_prefetch_merges(self):
+        cache = make_cache()
+        cache.prefetch(0, 0.0)
+        cache.prefetch(0, 1.0)
+        assert cache.stats.prefetch_misses == 1
+        assert cache.stats.prefetch_hits == 1
+
+
+class TestWideRead:
+    def test_wide_read_of_resident_lines_is_one_array_read(self):
+        cache = make_cache(read=4, banks=4)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(64, 4, AccessType.READ), 1000.0)
+        result = cache.read_lines_wide(0, 2, 5000.0)
+        assert result.latency == 4.0  # both banks in parallel
+
+    def test_wide_read_single_bank_serialises(self):
+        cache = make_cache(read=4, banks=1)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(64, 4, AccessType.READ), 1000.0)
+        result = cache.read_lines_wide(0, 2, 5000.0)
+        assert result.latency == 8.0
+
+    def test_wide_read_fetches_missing_lines(self):
+        cache = make_cache(read=4, mem_latency=100.0, banks=4)
+        result = cache.read_lines_wide(0, 2, 0.0)
+        assert cache.contains(0) and cache.contains(64)
+        assert result.latency >= 200.0  # two serialized narrow fetches
+
+    def test_critical_line_first(self):
+        cache = make_cache(read=4, mem_latency=100.0, banks=4)
+        result = cache.read_lines_wide(0, 2, 0.0, critical_addr=70)
+        # Line 64 fetched first, line 0 second.
+        assert result.line_ready[64] < result.line_ready[0]
+        assert result.wait_for(64, 0.0) < result.wait_for(0, 0.0)
+
+    def test_wait_for_past_time_is_zero(self):
+        cache = make_cache(read=4, banks=4)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(64, 4, AccessType.READ), 1000.0)
+        result = cache.read_lines_wide(0, 2, 5000.0)
+        assert result.wait_for(0, 1e9) == 0.0
+
+
+class TestInstallLine:
+    def test_install_dirty_resident_updates_in_place(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        stall = cache.install_line(0, True, 1000.0)
+        assert stall == 0.0
+        assert cache.is_dirty(0)
+
+    def test_install_clean_resident_is_noop(self):
+        cache = make_cache()
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.install_line(0, False, 1000.0)
+        assert not cache.is_dirty(0)
+
+    def test_install_dirty_absent_forwards_to_next_level(self):
+        cache = make_cache()
+        cache.install_line(0, True, 0.0)
+        assert not cache.contains(0)
+        assert cache.next_level.writes == 1
+
+    def test_install_clean_absent_dropped(self):
+        cache = make_cache()
+        cache.install_line(0, False, 0.0)
+        assert cache.next_level.writes == 0

@@ -1,0 +1,40 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import PAPER_EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table1" in out and "all" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "STT-MRAM" in out
+        assert "3.37ns" in out
+
+    def test_figure_with_kernel_subset(self, capsys):
+        assert main(["fig1", "--kernels", "gemm", "--no-bars"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out
+        assert "#" not in out.split("note:")[0]
+
+    def test_bars_rendered_by_default(self, capsys):
+        assert main(["fig1", "--kernels", "gemm"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_paper_experiments_cover_figures(self):
+        assert set(PAPER_EXPERIMENTS) == {
+            "table1", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        }
+
+    def test_size_option(self, capsys):
+        assert main(["fig1", "--kernels", "syrk", "--size", "MINI"]) == 0

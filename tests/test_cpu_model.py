@@ -1,0 +1,176 @@
+"""The in-order CPU timing model."""
+
+import pytest
+
+from repro.core.dropin import PlainFrontend
+from repro.cpu.model import CPUConfig, InOrderCPU
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.mem.mainmem import MainMemory
+from repro.workloads.trace import Branch, Compute, Load, Prefetch, Store
+
+
+def make_cpu(read=4, write=2, overlap=1.0, store_buffer=2, **cpu_overrides):
+    backing = Cache(
+        CacheConfig(
+            name="dl1",
+            capacity_bytes=4096,
+            associativity=2,
+            line_bytes=64,
+            read_hit_cycles=read,
+            write_hit_cycles=write,
+        ),
+        MainMemory(latency_cycles=100.0, transfer_cycles=0.0),
+    )
+    config = CPUConfig(
+        load_use_overlap=overlap,
+        store_buffer_entries=store_buffer,
+        **cpu_overrides,
+    )
+    return InOrderCPU(config, PlainFrontend(backing))
+
+
+class TestEventCosts:
+    def test_compute_costs_its_ops(self):
+        cpu = make_cpu()
+        result = cpu.run([Compute(5), Compute(3)])
+        assert result.cycles == 8.0
+        assert result.instructions == 8
+
+    def test_branch_cost(self):
+        cpu = make_cpu()
+        result = cpu.run([Branch(), Branch(taken=False)])
+        assert result.cycles == 2.0
+        assert result.counts["branches"] == 2
+
+    def test_mispredict_penalty_on_loop_exit(self):
+        cpu = make_cpu(branch_mispredict_cycles=8.0)
+        result = cpu.run([Branch(), Branch(), Branch(taken=False)])
+        assert result.cycles == 3.0 + 8.0
+
+    def test_mispredict_validation(self):
+        with pytest.raises(ConfigurationError):
+            CPUConfig(branch_mispredict_cycles=-1.0)
+
+    def test_load_hit_exposed_latency(self):
+        # Warm the line, insulate with compute, then hit: the hit's
+        # exposed latency is read latency minus the pipeline overlap.
+        miss_only = make_cpu(read=4, overlap=1.0).run([Load(0, 4), Compute(50)])
+        with_hit = make_cpu(read=4, overlap=1.0).run([Load(0, 4), Compute(50), Load(8, 4)])
+        assert with_hit.cycles - miss_only.cycles == 3.0  # 4 - 1 overlap
+
+    def test_load_never_below_one_cycle(self):
+        miss_only = make_cpu(read=1, overlap=2.0).run([Load(0, 4), Compute(50)])
+        with_hit = make_cpu(read=1, overlap=2.0).run([Load(0, 4), Compute(50), Load(8, 4)])
+        assert with_hit.cycles - miss_only.cycles == 1.0
+
+    def test_prefetch_issue_cost(self):
+        cpu = make_cpu(prefetch_issue_cycles=0.5)
+        result = cpu.run([Prefetch(0)])
+        assert result.cycles == 0.5
+        assert result.counts["prefetches"] == 1
+
+    def test_breakdown_sums_to_total(self):
+        cpu = make_cpu()
+        result = cpu.run([Load(0, 4), Compute(2), Branch(), Prefetch(64)])
+        assert sum(result.breakdown.values()) == pytest.approx(result.cycles)
+
+
+class TestStoreBuffer:
+    def test_store_issue_is_one_cycle(self):
+        # A store to a warm line: one issue cycle; the 2-cycle array
+        # write drains behind trailing compute.
+        base = make_cpu(write=2).run([Load(0, 4), Compute(50)])
+        result = make_cpu(write=2).run([Load(0, 4), Store(8, 4), Compute(50)])
+        assert result.cycles - base.cycles == 1.0
+
+    def test_full_buffer_stalls(self):
+        base = make_cpu(write=50, store_buffer=2).run([Load(0, 4)])
+        result = make_cpu(write=50, store_buffer=2).run(
+            [Load(0, 4)] + [Store(8, 4)] * 3
+        )
+        # Third store waits for the first drain (50 cycles each).
+        assert result.cycles - base.cycles > 50.0
+
+    def test_final_drain_counted(self):
+        base = make_cpu(write=20, store_buffer=4).run([Load(0, 4)])
+        result = make_cpu(write=20, store_buffer=4).run([Load(0, 4), Store(8, 4)])
+        # The run ends only when the store buffer is empty.
+        assert result.cycles - base.cycles >= 20.0
+
+    def test_sparse_stores_hidden(self):
+        base = make_cpu(write=2, store_buffer=4).run([Load(0, 4)])
+        events = [Load(0, 4)]
+        for _ in range(10):
+            events.extend([Store(8, 4), Compute(10)])
+        result = make_cpu(write=2, store_buffer=4).run(events)
+        # Each store costs ~1 issue cycle; drains hide under the compute.
+        assert result.cycles - base.cycles == pytest.approx(10 * 11.0, rel=0.05)
+
+
+class TestIFetch:
+    def test_requires_hierarchy(self):
+        with pytest.raises(ConfigurationError):
+            InOrderCPU(
+                CPUConfig(model_ifetch=True),
+                PlainFrontend(
+                    Cache(
+                        CacheConfig(
+                            name="d",
+                            capacity_bytes=1024,
+                            associativity=2,
+                            line_bytes=64,
+                            read_hit_cycles=1,
+                            write_hit_cycles=1,
+                        ),
+                        MainMemory(),
+                    )
+                ),
+            )
+
+    def test_ifetch_adds_cycles(self):
+        hierarchy = MemoryHierarchy(HierarchyConfig())
+        backing = Cache(
+            CacheConfig(
+                name="dl1",
+                capacity_bytes=4096,
+                associativity=2,
+                line_bytes=64,
+                read_hit_cycles=1,
+                write_hit_cycles=1,
+            ),
+            hierarchy.l2_port,
+        )
+        on = InOrderCPU(CPUConfig(model_ifetch=True), PlainFrontend(backing), hierarchy)
+        result_on = on.run([Compute(100)])
+        assert result_on.breakdown["ifetch"] > 0
+        assert result_on.cycles > 100.0
+
+
+class TestRunResult:
+    def test_ipc(self):
+        cpu = make_cpu()
+        result = cpu.run([Compute(10)])
+        assert result.ipc == pytest.approx(1.0)
+
+    def test_penalty_vs(self):
+        cpu = make_cpu()
+        base = cpu.run([Compute(100)])
+        slow = cpu.run([Compute(150)])
+        assert slow.penalty_vs(base) == pytest.approx(50.0)
+
+    def test_penalty_vs_empty_baseline_rejected(self):
+        cpu = make_cpu()
+        base = cpu.run([])
+        other = cpu.run([Compute(1)])
+        with pytest.raises(ConfigurationError):
+            other.penalty_vs(base)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CPUConfig(load_use_overlap=-1.0)
+        with pytest.raises(ConfigurationError):
+            CPUConfig(store_buffer_entries=0)
+        with pytest.raises(ConfigurationError):
+            CPUConfig(code_bytes=0)

@@ -1,0 +1,85 @@
+"""Property tests over both main-memory models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.dram import BankedMemory, DRAMConfig
+from repro.mem.mainmem import MainMemory
+
+_requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 20),
+        st.booleans(),
+        st.floats(min_value=0.0, max_value=10.0),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+def _drive(memory, stream):
+    latencies = []
+    t = 0.0
+    for addr, is_write, gap in stream:
+        latency = memory.access(addr, is_write, t)
+        latencies.append(latency)
+        t += latency + gap
+    return latencies
+
+
+class TestMemoryModelContract:
+    @given(_requests)
+    @settings(max_examples=50, deadline=None)
+    def test_banked_latencies_bounded(self, stream):
+        cfg = DRAMConfig()
+        memory = BankedMemory(cfg)
+        worst_array = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+        for (addr, is_write, _), latency in zip(stream, _drive(memory, stream)):
+            assert latency >= cfg.transfer_cycles - 1e-9
+            if not is_write:
+                assert latency >= cfg.t_cas
+            # With serialised calls, a request waits at most for one
+            # in-flight *posted write*'s array work plus its own full
+            # activate sequence and the channel slots.
+            assert latency <= 2 * worst_array + 2 * cfg.transfer_cycles + 1e-9
+
+    @given(_requests)
+    @settings(max_examples=50, deadline=None)
+    def test_banked_deterministic(self, stream):
+        a = _drive(BankedMemory(), stream)
+        b = _drive(BankedMemory(), stream)
+        assert a == b
+
+    @given(_requests)
+    @settings(max_examples=50, deadline=None)
+    def test_counters_match_stream(self, stream):
+        memory = BankedMemory()
+        _drive(memory, stream)
+        assert memory.reads == sum(1 for _, w, _ in stream if not w)
+        assert memory.writes == sum(1 for _, w, _ in stream if w)
+        assert memory.row_hits + memory.row_misses == len(stream)
+
+    @given(_requests)
+    @settings(max_examples=50, deadline=None)
+    def test_flat_model_reads_constant(self, stream):
+        memory = MainMemory(latency_cycles=100.0, transfer_cycles=0.0)
+        for (_, is_write, _), latency in zip(stream, _drive(memory, stream)):
+            if not is_write:
+                assert latency == 100.0
+
+    @given(_requests)
+    @settings(max_examples=30, deadline=None)
+    def test_row_hits_never_slower_than_misses_within_bank(self, stream):
+        """For back-to-back accesses to the same bank with idle channel,
+        a row hit is never slower than the preceding row miss."""
+        memory = BankedMemory(DRAMConfig(banks=1))
+        t = 0.0
+        prev_latency = None
+        prev_row = None
+        for addr, _, _ in stream:
+            row = addr // memory.config.row_bytes
+            latency = memory.access(addr, False, t)
+            if prev_row is not None and row == prev_row and prev_latency is not None:
+                assert latency <= prev_latency + 1e-9
+            prev_latency, prev_row = latency, row
+            t += latency + 50.0  # idle gap: channel and bank free

@@ -1,0 +1,89 @@
+"""Energy ledger accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.array_model import ArrayGeometry, estimate_array
+from repro.tech.energy import EnergyLedger
+from repro.tech.params import SRAM_32NM_HP, STT_MRAM_32NM
+from repro.units import kib
+
+
+@pytest.fixture
+def estimate():
+    return estimate_array(STT_MRAM_32NM, ArrayGeometry(capacity_bytes=kib(64), associativity=2))
+
+
+class TestLedger:
+    def test_dynamic_energy_counts_reads(self, estimate):
+        ledger = EnergyLedger()
+        ledger.register("dl1", estimate)
+        ledger.count_read("dl1", 1000)
+        report = ledger.report(elapsed_ns=0.0)
+        assert report.dynamic_nj == pytest.approx(1000 * estimate.read_energy_pj / 1e3)
+
+    def test_dynamic_energy_counts_writes(self, estimate):
+        ledger = EnergyLedger()
+        ledger.register("dl1", estimate)
+        ledger.count_write("dl1", 10)
+        report = ledger.report(elapsed_ns=0.0)
+        assert report.dynamic_nj == pytest.approx(10 * estimate.write_energy_pj / 1e3)
+
+    def test_leakage_integrates_over_time(self, estimate):
+        ledger = EnergyLedger()
+        ledger.register("dl1", estimate)
+        report = ledger.report(elapsed_ns=1e6)  # 1 ms
+        # mW * ns * 1e-6 = nJ
+        assert report.leakage_nj == pytest.approx(estimate.leakage_mw * 1e6 * 1e-6)
+
+    def test_total_is_sum(self, estimate):
+        ledger = EnergyLedger()
+        ledger.register("dl1", estimate)
+        ledger.count_read("dl1", 5)
+        report = ledger.report(elapsed_ns=100.0)
+        assert report.total_nj == pytest.approx(report.dynamic_nj + report.leakage_nj)
+
+    def test_per_array_split(self, estimate):
+        ledger = EnergyLedger()
+        ledger.register("a", estimate)
+        ledger.register("b", estimate)
+        ledger.count_read("a", 10)
+        report = ledger.report(elapsed_ns=0.0)
+        assert report.per_array_nj["a"] > 0
+        assert report.per_array_nj["b"] == 0
+
+    def test_counts_accumulate(self, estimate):
+        ledger = EnergyLedger()
+        ledger.register("a", estimate)
+        ledger.count_read("a")
+        ledger.count_read("a", 2)
+        assert ledger.reads("a") == 3
+
+    def test_unregistered_array_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ConfigurationError):
+            ledger.count_read("ghost")
+
+    def test_negative_time_rejected(self, estimate):
+        ledger = EnergyLedger()
+        ledger.register("a", estimate)
+        with pytest.raises(ConfigurationError):
+            ledger.report(elapsed_ns=-1.0)
+
+    def test_reprice_keeps_counts(self, estimate):
+        ledger = EnergyLedger()
+        ledger.register("a", estimate)
+        ledger.count_read("a", 7)
+        sram = estimate_array(SRAM_32NM_HP, ArrayGeometry(capacity_bytes=kib(64), associativity=2))
+        ledger.register("a", sram)
+        assert ledger.reads("a") == 7
+
+    def test_sram_leaks_more_than_stt_for_same_run(self, estimate):
+        sram_est = estimate_array(
+            SRAM_32NM_HP, ArrayGeometry(capacity_bytes=kib(64), associativity=2)
+        )
+        sram_ledger, stt_ledger = EnergyLedger(), EnergyLedger()
+        sram_ledger.register("dl1", sram_est)
+        stt_ledger.register("dl1", estimate)
+        t = 1e5
+        assert sram_ledger.report(t).leakage_nj > stt_ledger.report(t).leakage_nj

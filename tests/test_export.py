@@ -1,0 +1,66 @@
+"""JSON/CSV export of experiment results."""
+
+import csv
+import json
+
+from repro.experiments.export import figure_to_dict, write_csv, write_json
+from repro.experiments.report import FigureResult
+
+
+def _result():
+    return FigureResult(
+        name="demo",
+        title="Demo figure",
+        labels=["gemm", "atax"],
+        series={"a": [1.0, 3.0], "b": [2.0, 4.0]},
+        notes=["a note"],
+    )
+
+
+class TestDict:
+    def test_fields(self):
+        d = figure_to_dict(_result())
+        assert d["name"] == "demo"
+        assert d["labels"] == ["gemm", "atax"]
+        assert d["series"]["a"] == [1.0, 3.0]
+        assert d["averages"]["b"] == 3.0
+        assert d["notes"] == ["a note"]
+
+    def test_json_serialisable(self):
+        json.dumps(figure_to_dict(_result()))
+
+
+class TestWriters:
+    def test_write_json(self, tmp_path):
+        path = write_json(_result(), tmp_path / "out")
+        assert path.name == "demo.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["series"]["b"] == [2.0, 4.0]
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(_result(), tmp_path)
+        with open(path) as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["benchmark", "a", "b"]
+        assert rows[1] == ["gemm", "1.0", "2.0"]
+        assert rows[-1][0] == "AVERAGE"
+        assert float(rows[-1][1]) == 2.0
+
+    def test_creates_directories(self, tmp_path):
+        path = write_json(_result(), tmp_path / "deep" / "dir")
+        assert path.exists()
+
+
+class TestCLIExport:
+    def test_json_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["fig1", "--kernels", "syrk", "--json", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "fig1.json").read_text())
+        assert data["labels"] == ["syrk"]
+
+    def test_csv_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["fig1", "--kernels", "syrk", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig1.csv").exists()

@@ -1,0 +1,118 @@
+"""The extra (non-paper) kernels and the IL1-technology override."""
+
+import pytest
+
+from repro.cpu.model import CPUConfig
+from repro.cpu.system import System, SystemConfig
+from repro.workloads import EXTRA_KERNELS, KERNELS, build_kernel, kernel_names, materialize_trace
+from repro.workloads.trace import trace_summary
+
+EXTRAS = list(EXTRA_KERNELS)
+
+
+class TestRegistry:
+    def test_extras_registered(self):
+        assert set(EXTRAS) == {
+            "jacobi-1d",
+            "jacobi-2d",
+            "trisolv",
+            "cholesky",
+            "symm",
+            "seidel-2d",
+            "conv2d",
+            "lu",
+            "durbin",
+        }
+
+    def test_default_names_exclude_extras(self):
+        assert set(kernel_names()) == set(KERNELS)
+
+    def test_include_extras(self):
+        names = kernel_names(include_extras=True)
+        assert "cholesky" in names
+        assert len(names) == len(KERNELS) + len(EXTRA_KERNELS)
+
+    def test_no_name_collisions(self):
+        assert not set(KERNELS) & set(EXTRA_KERNELS)
+
+
+class TestExtrasBuildAndRun:
+    @pytest.mark.parametrize("name", EXTRAS)
+    def test_builds_and_traces(self, name):
+        prog = build_kernel(name)
+        summary = trace_summary(materialize_trace(prog))
+        assert summary["loads"] > 100
+        assert summary["compute_ops"] > 100
+
+    @pytest.mark.parametrize("name", ["jacobi-1d", "trisolv"])
+    def test_vwb_beats_dropin(self, name):
+        trace = materialize_trace(build_kernel(name))
+        dropin = System(SystemConfig(technology="stt-mram")).run(trace)
+        vwb = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(trace)
+        assert vwb.cycles < dropin.cycles
+
+    def test_cholesky_triangular_structure(self):
+        prog = build_kernel("cholesky")
+        inner = [lp for lp in prog.loops() if lp.is_innermost]
+        assert any(not lp.upper.is_constant for lp in inner)
+
+    def test_jacobi2d_five_point(self):
+        prog = build_kernel("jacobi-2d")
+        inner = [lp for lp in prog.loops() if lp.is_innermost][0]
+        assert len(inner.statements()[0].reads) == 5
+
+    def test_seidel2d_nine_point_in_place(self):
+        prog = build_kernel("seidel-2d")
+        inner = [lp for lp in prog.loops() if lp.is_innermost][0]
+        statement = inner.statements()[0]
+        assert len(statement.reads) == 9
+        # In place: the written ref is among the read refs' array.
+        assert statement.writes[0].array is statement.reads[0].array
+
+    def test_durbin_has_reverse_stream(self):
+        from repro.workloads.inspect import analyze
+
+        report = analyze(build_kernel("durbin"))
+        strides = {s.stride_bytes for lp in report.loops for s in lp.streams}
+        assert any(s < 0 for s in strides)
+
+    def test_lu_doubly_triangular(self):
+        prog = build_kernel("lu")
+        inner = [lp for lp in prog.loops() if lp.is_innermost]
+        assert any(not lp.lower.is_constant for lp in inner)
+
+    def test_symm_mixes_row_and_column_walks(self):
+        from repro.workloads.inspect import analyze
+
+        report = analyze(build_kernel("symm"))
+        strides = {
+            s.stride_bytes
+            for lp in report.loops
+            for s in lp.streams
+            if s.array == "A"
+        }
+        assert any(abs(s) <= 8 for s in strides)  # row walk
+        assert any(abs(s) > 64 for s in strides)  # column walk
+
+
+class TestIL1Override:
+    def test_default_il1_is_sram(self):
+        config = SystemConfig()
+        assert config.resolved_hierarchy().il1.read_hit_cycles == 1
+
+    def test_nvm_il1_latencies(self):
+        config = SystemConfig(il1_technology="stt-mram")
+        il1 = config.resolved_hierarchy().il1
+        assert il1.read_hit_cycles == 4
+        assert il1.write_hit_cycles == 2
+
+    def test_nvm_il1_slows_fetch_bound_run(self, gemm_trace):
+        cpu = CPUConfig(model_ifetch=True)
+        sram = System(SystemConfig(cpu=cpu)).run(gemm_trace)
+        nvm = System(SystemConfig(cpu=cpu, il1_technology="stt-mram")).run(gemm_trace)
+        assert nvm.cycles > sram.cycles
+
+    def test_il1_override_without_ifetch_is_neutral(self, gemm_trace):
+        sram = System(SystemConfig()).run(gemm_trace)
+        nvm = System(SystemConfig(il1_technology="stt-mram")).run(gemm_trace)
+        assert nvm.cycles == sram.cycles

@@ -1,0 +1,147 @@
+"""Property-based checks of the D-cache front-ends.
+
+All four organisations must satisfy the same black-box contract on any
+access stream: non-negative latencies, monotonic time, and (for the VWB)
+the paper's structural invariants — at most ``n_lines`` resident windows
+and dirty data never silently dropped.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dropin import PlainFrontend
+from repro.core.emshr import EMSHRFrontend
+from repro.core.l0 import L0Frontend
+from repro.core.vwb import VWBConfig
+from repro.core.vwb_frontend import VWBFrontend
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "prefetch"]),
+        st.integers(min_value=0, max_value=2047),
+        st.sampled_from([1, 4, 8, 16]),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def _backing():
+    return Cache(
+        CacheConfig(
+            name="dl1",
+            capacity_bytes=2048,
+            associativity=2,
+            line_bytes=64,
+            read_hit_cycles=4,
+            write_hit_cycles=2,
+            banks=4,
+        ),
+        MainMemory(latency_cycles=50.0, transfer_cycles=0.0),
+    )
+
+
+def _frontends():
+    yield PlainFrontend(_backing())
+    yield VWBFrontend(_backing(), VWBConfig())
+    yield L0Frontend(_backing())
+    yield EMSHRFrontend(_backing())
+
+
+def _drive(frontend, stream):
+    t = 0.0
+    for op, addr, size in stream:
+        if op == "read":
+            latency = frontend.read(addr, size, t)
+        elif op == "write":
+            latency = frontend.write(addr, size, t)
+        else:
+            latency = frontend.prefetch(addr, t)
+        assert latency >= 0.0
+        t += latency + 1.0
+    return t
+
+
+class TestFrontendContract:
+    @given(_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_all_frontends_accept_any_stream(self, stream):
+        for frontend in _frontends():
+            _drive(frontend, stream)
+
+    @given(_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, stream):
+        for make in (lambda: VWBFrontend(_backing()), lambda: L0Frontend(_backing())):
+            a, b = make(), make()
+            assert _drive(a, stream) == _drive(b, stream)
+            assert a.stats.as_dict() == b.stats.as_dict()
+
+    @given(_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_vwb_capacity_invariant(self, stream):
+        frontend = VWBFrontend(_backing(), VWBConfig(), fill_buffers=3)
+        _drive(frontend, stream)
+        assert len(frontend.vwb.resident_windows) <= 2
+        assert frontend.pending_windows <= 3
+
+    @given(_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_vwb_windows_aligned(self, stream):
+        frontend = VWBFrontend(_backing(), VWBConfig())
+        _drive(frontend, stream)
+        window = frontend.vwb.config.window_bytes
+        assert all(w % window == 0 for w in frontend.vwb.resident_windows)
+
+    @given(_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_demand_counters_match_stream(self, stream):
+        frontend = VWBFrontend(_backing(), VWBConfig())
+        window = frontend.vwb.config.window_bytes
+        expected_reads = expected_writes = 0
+        for op, addr, size in stream:
+            first = addr // window
+            last = (addr + size - 1) // window
+            if op == "read":
+                expected_reads += last - first + 1
+            elif op == "write":
+                expected_writes += last - first + 1
+        _drive(frontend, stream)
+        stats = frontend.stats
+        assert stats.buffer_read_hits + stats.buffer_read_misses == expected_reads
+        assert stats.buffer_write_hits + stats.buffer_write_misses == expected_writes
+
+
+class TestWriteDurability:
+    @given(_ops)
+    @settings(max_examples=30, deadline=None)
+    def test_written_data_reachable_or_dirty_somewhere(self, stream):
+        """Every written line must end up dirty in the VWB, a fill
+        buffer, the DL1, or have been written back to the next level —
+        dirty data is never silently dropped."""
+        frontend = VWBFrontend(_backing(), VWBConfig())
+        written_lines = set()
+        t = 0.0
+        for op, addr, size in stream:
+            if op == "read":
+                t += frontend.read(addr, size, t) + 1.0
+            elif op == "write":
+                t += frontend.write(addr, size, t) + 1.0
+                for line in range((addr // 64) * 64, addr + size, 64):
+                    written_lines.add(line)
+            else:
+                t += frontend.prefetch(addr, t) + 1.0
+        memory_writes = frontend.backing.next_level.writes
+        wb_pushes = frontend.backing.write_buffer.total_pushes
+        for line in written_lines:
+            window = frontend.vwb.window_addr(line)
+            staged = frontend._pending.get(window)
+            held = (
+                frontend.vwb.is_dirty(line)
+                or frontend.backing.is_dirty(line)
+                or (staged is not None and staged.dirty)
+                or memory_writes + wb_pushes > 0
+            )
+            assert held, hex(line)

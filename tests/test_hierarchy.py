@@ -1,0 +1,79 @@
+"""Hierarchy wiring: IL1, L2, DRAM."""
+
+import pytest
+
+from repro.mem.hierarchy import (
+    HierarchyConfig,
+    LineAccessAdapter,
+    MemoryHierarchy,
+    default_il1_config,
+    default_l2_config,
+)
+from repro.mem.request import Access, AccessType
+from repro.units import kib, mib
+
+
+class TestDefaults:
+    """The defaults must match the paper's Section VI platform."""
+
+    def test_il1_geometry(self):
+        cfg = default_il1_config()
+        assert cfg.capacity_bytes == kib(32)
+        assert cfg.associativity == 2
+        assert cfg.read_hit_cycles == 1  # SRAM
+
+    def test_l2_geometry(self):
+        cfg = default_l2_config()
+        assert cfg.capacity_bytes == mib(2)
+        assert cfg.associativity == 16
+
+    def test_l2_slower_than_l1(self):
+        assert default_l2_config().read_hit_cycles > default_il1_config().read_hit_cycles
+
+
+class TestWiring:
+    def test_l2_miss_reaches_memory(self):
+        h = MemoryHierarchy(HierarchyConfig())
+        latency = h.l2.line_access(0, False, 0.0)
+        assert latency > h.config.memory_latency_cycles
+        assert h.memory.reads == 1
+
+    def test_l2_hit_stays_on_chip(self):
+        h = MemoryHierarchy(HierarchyConfig())
+        h.l2.line_access(0, False, 0.0)
+        latency = h.l2.line_access(0, False, 1000.0)
+        assert latency == h.config.l2.read_hit_cycles
+        assert h.memory.reads == 1
+
+    def test_ifetch_through_il1(self):
+        h = MemoryHierarchy(HierarchyConfig())
+        h.ifetch(0, 0.0)
+        assert h.il1.stats.read_misses == 1
+        h.ifetch(0, 1000.0)
+        assert h.il1.stats.read_hits == 1
+
+    def test_il1_miss_fills_l2(self):
+        h = MemoryHierarchy(HierarchyConfig())
+        h.ifetch(0, 0.0)
+        assert h.l2.contains(0)
+
+    def test_adapter_forwards(self):
+        h = MemoryHierarchy(HierarchyConfig())
+        adapter = LineAccessAdapter(h.l2)
+        adapter.access(0, False, 0.0)
+        assert h.l2.contains(0)
+
+    def test_reset(self):
+        h = MemoryHierarchy(HierarchyConfig())
+        h.l2.line_access(0, False, 0.0)
+        h.reset()
+        assert not h.l2.contains(0)
+        assert h.memory.accesses == 0
+
+    def test_clear_stats_keeps_contents(self):
+        h = MemoryHierarchy(HierarchyConfig())
+        h.l2.line_access(0, False, 0.0)
+        h.clear_stats()
+        assert h.l2.contains(0)
+        assert h.l2.stats.accesses == 0
+        assert h.memory.accesses == 0

@@ -1,0 +1,119 @@
+"""The hybrid SRAM/NVM front-end (related-work extension)."""
+
+import pytest
+
+from repro.core.hybrid import HybridFrontend
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+
+
+def make_frontend(sram_bytes=1024, mem_latency=100.0):
+    backing = Cache(
+        CacheConfig(
+            name="dl1",
+            capacity_bytes=8192,
+            associativity=2,
+            line_bytes=64,
+            read_hit_cycles=4,
+            write_hit_cycles=2,
+            banks=4,
+        ),
+        MainMemory(latency_cycles=mem_latency, transfer_cycles=0.0),
+    )
+    return HybridFrontend(backing, sram_bytes=sram_bytes)
+
+
+class TestReadPath:
+    def test_sram_hit_is_one_cycle(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        assert fe.read(8, 4, 1000.0) == 1.0
+        assert fe.stats.buffer_read_hits == 1
+
+    def test_miss_fills_sram_from_nvm(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        assert fe.sram.contains(0)
+        assert fe.backing.contains(0)
+
+    def test_nvm_resident_refill_costs_array_read(self):
+        fe = make_frontend(sram_bytes=128)  # 2 lines: easy to evict
+        fe.read(0, 4, 0.0)
+        fe.read(128, 4, 1000.0)
+        fe.read(256, 4, 2000.0)  # evicts line 0 from the partition
+        latency = fe.read(0, 4, 10000.0)
+        assert latency == pytest.approx(1.0 + 4.0)  # SRAM tag + NVM read
+        assert fe.backing.stats.read_hits >= 1
+
+
+class TestWritePath:
+    def test_write_allocates_into_sram(self):
+        fe = make_frontend()
+        fe.write(0, 4, 0.0)
+        assert fe.sram.contains(0)
+        assert fe.sram.is_dirty(0)
+
+    def test_repeated_writes_coalesce_in_sram(self):
+        fe = make_frontend()
+        fe.write(0, 4, 0.0)
+        nvm_writes_before = fe.backing.stats.writes
+        for t in range(1, 10):
+            fe.write(0, 4, t * 100.0)
+        assert fe.backing.stats.writes == nvm_writes_before
+
+    def test_dirty_eviction_reaches_nvm(self):
+        fe = make_frontend(sram_bytes=128)  # direct pressure
+        fe.write(0, 4, 0.0)
+        fe.read(128, 4, 1000.0)
+        fe.read(256, 4, 2000.0)
+        fe.read(384, 4, 3000.0)
+        # The dirty line 0 must have been written back into the NVM.
+        assert fe.backing.is_dirty(0)
+
+
+class TestPrefetchAndMaintenance:
+    def test_prefetch_fills_sram(self):
+        fe = make_frontend()
+        fe.prefetch(0, 0.0)
+        assert fe.read(0, 4, 5000.0) == 1.0
+
+    def test_prefetch_of_resident_useless(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.prefetch(0, 1000.0)
+        assert fe.stats.prefetches_useless == 1
+
+    def test_reset(self):
+        fe = make_frontend()
+        fe.write(0, 4, 0.0)
+        fe.reset()
+        assert not fe.sram.contains(0)
+        assert not fe.backing.contains(0)
+
+    def test_clear_stats_keeps_contents(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.clear_stats()
+        assert fe.sram.contains(0)
+        assert fe.stats.buffer_accesses == 0
+
+    def test_rejects_empty_partition(self):
+        with pytest.raises(ConfigurationError):
+            make_frontend(sram_bytes=0)
+
+
+class TestSystemIntegration:
+    def test_hybrid_configuration(self):
+        from repro.cpu.system import System, SystemConfig
+
+        system = System(SystemConfig(technology="stt-mram", frontend="hybrid"))
+        assert isinstance(system.frontend, HybridFrontend)
+        assert system.frontend.sram.config.capacity_bytes == 8192
+
+    def test_hybrid_beats_dropin(self, gemm_trace):
+        from repro.cpu.system import System, SystemConfig
+
+        dropin = System(SystemConfig(technology="stt-mram")).run(gemm_trace)
+        hybrid = System(SystemConfig(technology="stt-mram", frontend="hybrid")).run(gemm_trace)
+        assert hybrid.cycles < dropin.cycles

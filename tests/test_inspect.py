@@ -1,0 +1,86 @@
+"""The static workload inspector."""
+
+import pytest
+
+from repro.units import kib
+from repro.workloads import build_kernel
+from repro.workloads.inspect import analyze, render_report
+
+
+class TestAnalyze:
+    def test_gemm_report(self):
+        report = analyze(build_kernel("gemm"))
+        assert report.name == "gemm"
+        assert set(report.array_bytes) == {"A", "B", "C"}
+        assert report.footprint_bytes == sum(report.array_bytes.values())
+        assert report.fully_vectorizable
+
+    def test_mvt_detects_column_walk(self):
+        report = analyze(build_kernel("mvt"))
+        assert len(report.loops) == 2
+        first, second = report.loops
+        assert first.vectorizable
+        assert not second.vectorizable
+        strided = [s for s in second.streams if s.stride_bytes > 64]
+        assert strided and strided[0].array == "A"
+
+    def test_trmm_not_vectorizable(self):
+        report = analyze(build_kernel("trmm"))
+        assert not report.fully_vectorizable
+
+    def test_stream_counts(self):
+        # bicg's inner loop carries three varying streams (s, A, p).
+        report = analyze(build_kernel("bicg"))
+        mac_loops = [lp for lp in report.loops if lp.stream_count >= 3]
+        assert mac_loops
+        arrays = {s.array for s in mac_loops[0].streams}
+        assert arrays == {"s", "A", "p"}
+
+    def test_read_write_stream_classification(self):
+        report = analyze(build_kernel("gemm"))
+        mac = max(report.loops, key=lambda lp: lp.depth)
+        c_stream = next(s for s in mac.streams if s.array == "C")
+        assert c_stream.is_read and c_stream.is_write
+        b_stream = next(s for s in mac.streams if s.array == "B")
+        assert b_stream.is_read and not b_stream.is_write
+
+    def test_invariant_refs_counted(self):
+        report = analyze(build_kernel("gemm"))
+        mac = max(report.loops, key=lambda lp: lp.depth)
+        assert mac.invariant_refs == 1  # A[i,k] in the j-loop
+
+    def test_fits_in(self):
+        gemm = analyze(build_kernel("gemm"))
+        assert gemm.fits_in(kib(64))
+        gesummv = analyze(build_kernel("gesummv"))
+        assert not gesummv.fits_in(kib(64))
+
+    def test_max_streams(self):
+        assert analyze(build_kernel("syr2k")).max_streams >= 4
+
+
+class TestRender:
+    def test_render_mentions_key_facts(self):
+        text = render_report(analyze(build_kernel("mvt")))
+        assert "mvt" in text
+        assert "NOT vectorizable" in text
+        assert "stride" in text
+        assert "fits" in text
+
+    def test_render_overflow_flag(self):
+        text = render_report(analyze(build_kernel("gesummv")), dl1_bytes=kib(64))
+        assert "exceeds" in text
+
+
+class TestInspectCLI:
+    def test_cli_inspect(self, capsys):
+        from repro.cli import main
+
+        assert main(["inspect", "--kernels", "gemm", "mvt"]) == 0
+        out = capsys.readouterr().out
+        assert "== gemm ==" in out and "== mvt ==" in out
+
+    def test_cli_inspect_unknown_kernel(self, capsys):
+        from repro.cli import main
+
+        assert main(["inspect", "--kernels", "bogus"]) == 1

@@ -1,0 +1,160 @@
+"""The affine loop-nest IR."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.affine import Var
+from repro.workloads.ir import Array, Loop, Program, Ref, Statement, loop, stmt
+
+i, j = Var("i"), Var("j")
+
+
+class TestArray:
+    def test_shape_and_sizes(self):
+        a = Array("A", (4, 8))
+        assert a.elements == 32
+        assert a.size_bytes == 128
+        assert a.row_strides == (8, 1)
+
+    def test_3d_strides(self):
+        a = Array("A", (2, 3, 4))
+        assert a.row_strides == (12, 4, 1)
+
+    def test_elem_bytes(self):
+        a = Array("A", (4,), elem_bytes=8)
+        assert a.size_bytes == 32
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(WorkloadError):
+            Array("A", ())
+        with pytest.raises(WorkloadError):
+            Array("A", (0, 4))
+
+    def test_getitem_builds_ref(self):
+        a = Array("A", (4, 8))
+        ref = a[i, j]
+        assert isinstance(ref, Ref)
+        assert ref.array is a
+
+    def test_getitem_single_index(self):
+        a = Array("x", (16,))
+        assert isinstance(a[i], Ref)
+
+
+class TestRef:
+    def test_arity_checked(self):
+        a = Array("A", (4, 8))
+        with pytest.raises(WorkloadError):
+            a[i]
+
+    def test_flat_index_row_major(self):
+        a = Array("A", (4, 8))
+        ref = a[i, j]
+        assert ref.flat_index({"i": 2, "j": 3}) == 19
+
+    def test_addr_requires_layout(self):
+        a = Array("A", (4, 8))
+        with pytest.raises(WorkloadError):
+            a[i, j].addr({"i": 0, "j": 0})
+
+    def test_addr_after_layout(self):
+        a = Array("A", (4, 8))
+        prog = Program("p", [loop(i, 4, [loop(j, 8, [stmt(reads=[a[i, j]])])])])
+        prog.layout(base_addr=0x1000)
+        assert a[i, j].addr({"i": 1, "j": 2}) == 0x1000 + 10 * 4
+
+    def test_stride_elements(self):
+        a = Array("A", (4, 8))
+        assert a[i, j].stride_elements(j) == 1
+        assert a[i, j].stride_elements(i) == 8
+        assert a[j, i].stride_elements(i) == 1
+        assert a[i, j].stride_elements(Var("k")) == 0
+
+    def test_stride_bytes(self):
+        a = Array("A", (4, 8))
+        assert a[i, j].stride_bytes(i) == 32
+
+    def test_depends_on(self):
+        a = Array("A", (4, 8))
+        assert a[i, j].depends_on(i)
+        assert not a[i, 0].depends_on(j)
+
+
+class TestLoopAndStatement:
+    def test_innermost_detection(self):
+        a = Array("A", (8,))
+        inner = loop(j, 8, [stmt(reads=[a[j]])])
+        outer = loop(i, 4, [inner])
+        assert inner.is_innermost
+        assert not outer.is_innermost
+
+    def test_trip_count(self):
+        lp = loop(i, 10, [stmt()])
+        assert lp.trip_count({}) == 10
+
+    def test_triangular_trip_count(self):
+        lp = Loop(j, i + 1, 10, [stmt()])
+        assert lp.trip_count({"i": 3}) == 6
+        assert lp.trip_count({"i": 20}) == 0
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(WorkloadError):
+            loop(i, 4, [])
+
+    def test_statement_negative_flops_rejected(self):
+        with pytest.raises(WorkloadError):
+            Statement((), (), flops=-1)
+
+    def test_clone_copies_annotations_independently(self):
+        a = Array("A", (8,))
+        lp = loop(i, 8, [stmt(reads=[a[i]])])
+        lp.vector_width = 4
+        copy = lp.clone()
+        copy.vector_width = 1
+        copy.unroll = 8
+        assert lp.vector_width == 4
+        assert lp.unroll == 1
+
+
+class TestProgram:
+    def _prog(self):
+        a = Array("A", (4, 8))
+        b = Array("B", (8,))
+        body = loop(i, 4, [loop(j, 8, [stmt(reads=[a[i, j], b[j]], writes=[b[j]])])])
+        return Program("p", [body]), a, b
+
+    def test_collects_arrays_in_order(self):
+        prog, a, b = self._prog()
+        assert prog.arrays == [a, b]
+
+    def test_footprint(self):
+        prog, a, b = self._prog()
+        assert prog.footprint_bytes == a.size_bytes + b.size_bytes
+
+    def test_layout_aligns_and_packs(self):
+        prog, a, b = self._prog()
+        prog.layout(base_addr=0x1000, align=64)
+        assert a.base_addr == 0x1000
+        assert b.base_addr == 0x1000 + 128  # A is 128 B, already aligned
+        assert b.base_addr % 64 == 0
+
+    def test_loops_preorder(self):
+        prog, _, _ = self._prog()
+        loops = prog.loops()
+        assert [lp.var.name for lp in loops] == ["i", "j"]
+
+    def test_clone_is_deep_for_loops(self):
+        prog, _, _ = self._prog()
+        copy = prog.clone()
+        copy.loops()[1].vector_width = 4
+        assert prog.loops()[1].vector_width == 1
+
+    def test_duplicate_array_names_rejected(self):
+        a1 = Array("A", (4,))
+        a2 = Array("A", (8,))
+        with pytest.raises(WorkloadError):
+            Program("p", [loop(i, 4, [stmt(reads=[a1[i], a2[i]])])])
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(WorkloadError):
+            Program("p", [])

@@ -1,0 +1,149 @@
+"""Hand-computed event-count formulas for each PolyBench kernel.
+
+These pin the workload substrate: if a kernel's loop structure, scalar
+replacement or statement mix drifts, the formula breaks before any
+figure silently changes.
+"""
+
+import pytest
+
+from repro.workloads import build_kernel, materialize_trace
+from repro.workloads.polybench import (
+    atax,
+    bicg,
+    doitgen,
+    gesummv,
+    mvt,
+    syr2k,
+    syrk,
+    trmm,
+)
+from repro.workloads.trace import trace_summary
+
+
+def counts(name):
+    return trace_summary(materialize_trace(build_kernel(name)))
+
+
+class TestLoadFormulas:
+    def test_atax(self):
+        m, n = atax.BASE_DIMS["m"], atax.BASE_DIMS["n"]
+        s = counts("atax")
+        # Per row: hoisted tmp (1) + n*(A,x) in the dot + hoisted tmp (1)
+        # + n*(y,A) in the axpy.
+        expected = m * (1 + 2 * n + 1 + 2 * n)
+        assert s["loads"] == expected
+
+    def test_atax_stores(self):
+        m, n = atax.BASE_DIMS["m"], atax.BASE_DIMS["n"]
+        s = counts("atax")
+        # init y (n) + per row: init_tmp (1) + hoisted tmp store after
+        # the dot loop (1) + y stores (n).
+        assert s["stores"] == n + m * (2 + n)
+
+    def test_bicg(self):
+        n, m = bicg.BASE_DIMS["n"], bicg.BASE_DIMS["m"]
+        s = counts("bicg")
+        # Per i: hoisted r,q loads (2) + m*(s,A) + m*(A,p).
+        expected = n * (2 + 4 * m)
+        assert s["loads"] == expected
+
+    def test_mvt(self):
+        n = mvt.BASE_DIMS["n"]
+        s = counts("mvt")
+        # Both phases: hoisted x (1) + n*(A,y) per row.
+        assert s["loads"] == 2 * n * (1 + 2 * n)
+        assert s["stores"] == 2 * n
+
+    def test_gesummv(self):
+        n = gesummv.BASE_DIMS["n"]
+        s = counts("gesummv")
+        # Per i: hoisted tmp,y (2) + n*(A,x) + n*(B,x) + combine (2).
+        assert s["loads"] == n * (2 + 4 * n + 2)
+
+    def test_syrk(self):
+        n, m = syrk.BASE_DIMS["n"], syrk.BASE_DIMS["m"]
+        s = counts("syrk")
+        # Scale: n*n C loads; MAC: per (i,j): hoisted C + m*(A,A).
+        assert s["loads"] == n * n + n * n * (1 + 2 * m)
+
+    def test_syr2k(self):
+        n, m = syr2k.BASE_DIMS["n"], syr2k.BASE_DIMS["m"]
+        s = counts("syr2k")
+        assert s["loads"] == n * n + n * n * (1 + 4 * m)
+
+    def test_trmm(self):
+        m, n = trmm.BASE_DIMS["m"], trmm.BASE_DIMS["n"]
+        s = counts("trmm")
+        # Per (i,j): scale load (1) + hoisted B[i][j] load (only when the
+        # k-loop is non-empty, i.e. i < m-1) + (m-i-1)*(A,B).
+        inner = sum(m - i - 1 for i in range(m))
+        assert s["loads"] == m * n + n * (m - 1) + n * inner * 2
+
+    def test_doitgen(self):
+        nr, nq, np_ = (
+            doitgen.BASE_DIMS["nr"],
+            doitgen.BASE_DIMS["nq"],
+            doitgen.BASE_DIMS["np"],
+        )
+        s = counts("doitgen")
+        # MAC: per (r,q,p): hoisted sum + np*(A,C4); copy-back: np loads.
+        expected = nr * nq * (np_ * (1 + 2 * np_) + np_)
+        assert s["loads"] == expected
+
+
+class TestBranchFormulas:
+    def test_gemm_branches(self):
+        from repro.workloads.polybench import gemm
+
+        ni = gemm.BASE_DIMS["ni"]
+        s = counts("gemm")
+        # scale j-loops + mac j-loops + k-loops + i-loop.
+        assert s["branches"] == ni * ni + ni * ni * ni + ni * ni + ni
+
+    def test_mvt_branches(self):
+        n = mvt.BASE_DIMS["n"]
+        s = counts("mvt")
+        assert s["branches"] == 2 * (n * n + n)
+
+
+class TestComputeFormulas:
+    def test_gemm_flops(self):
+        from repro.workloads.polybench import gemm
+
+        ni = gemm.BASE_DIMS["ni"]
+        s = counts("gemm")
+        # scale: (1 flop + 1 overhead) * n^2; mac: (2 + 1) * n^3.
+        assert s["compute_ops"] == 2 * ni * ni + 3 * ni**3
+
+    def test_syrk_flops(self):
+        n, m = syrk.BASE_DIMS["n"], syrk.BASE_DIMS["m"]
+        s = counts("syrk")
+        assert s["compute_ops"] == 2 * n * n + 4 * n * n * m
+
+
+class TestSystemDescribe:
+    def test_describe_mentions_key_parameters(self):
+        from repro.cpu.system import System, SystemConfig
+
+        system = System(SystemConfig(technology="stt-mram", frontend="vwb"))
+        text = system.describe()
+        assert "64KB" in text
+        assert "STT-MRAM" in text
+        assert "VWB: 2048 bits" in text
+        assert "2MB" in text
+
+    def test_describe_plain(self):
+        from repro.cpu.system import System, SystemConfig
+
+        text = System(SystemConfig()).describe()
+        assert "front-end 'plain'" in text
+        assert "VWB" not in text
+
+
+class TestCLIErrors:
+    def test_unknown_kernel_graceful(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig1", "--kernels", "linpack"]) == 1
+        assert "error:" in capsys.readouterr().err

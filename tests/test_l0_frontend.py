@@ -1,0 +1,128 @@
+"""The L0 filter-cache comparison front-end."""
+
+import pytest
+
+from repro.core.l0 import L0Frontend
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+
+
+def make_frontend(total_bits=2048, mem_latency=100.0):
+    backing = Cache(
+        CacheConfig(
+            name="dl1",
+            capacity_bytes=4096,
+            associativity=2,
+            line_bytes=64,
+            read_hit_cycles=4,
+            write_hit_cycles=2,
+            banks=4,
+        ),
+        MainMemory(latency_cycles=mem_latency, transfer_cycles=0.0),
+    )
+    return L0Frontend(backing, total_bits=total_bits)
+
+
+class TestGeometry:
+    def test_2kbit_is_four_lines(self):
+        fe = make_frontend(2048)
+        assert fe._store.config.n_lines == 4
+        assert fe._store.config.window_bytes == 64
+
+    def test_rejects_sub_line_capacity(self):
+        with pytest.raises(ConfigurationError):
+            make_frontend(total_bits=256)
+
+
+class TestReadPath:
+    def test_hit_after_fill(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        assert fe.read(8, 4, 1000.0) == 1.0
+
+    def test_narrow_fill_no_window_effect(self):
+        """Unlike the VWB, filling one line does NOT bring the adjacent
+        line — the L0 'conforms to the interface of the regular size
+        memory array'."""
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        latency = fe.read(64, 4, 1000.0)
+        assert latency > 1.0  # adjacent line still misses
+        assert fe.stats.promotions == 2
+
+    def test_dl1_hit_fill_costs_nvm_read(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        # Evict line 0 with four other fills (fully associative LRU).
+        for i in range(1, 5):
+            fe.read(i * 64, 4, i * 1000.0)
+        latency = fe.read(0, 4, 10000.0)
+        assert latency == 4.0  # narrow NVM array read
+
+    def test_store_hit_updates_l0(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        assert fe.write(0, 4, 1000.0) == 1.0
+        assert fe._store.is_dirty(0)
+
+    def test_store_miss_writes_array_without_allocating(self):
+        fe = make_frontend()
+        fe.write(0, 4, 0.0)
+        assert not fe._store.contains(0)
+        assert fe.backing.is_dirty(0)
+
+    def test_dirty_eviction_written_back(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.write(0, 4, 100.0)
+        for i in range(1, 5):
+            fe.read(i * 64, 4, 1000.0 * i)
+        assert fe.stats.buffer_writebacks == 1
+        assert fe.backing.is_dirty(0)
+
+
+class TestPrefetch:
+    def test_prefetch_allocates_at_issue(self):
+        """An ordinary cache allocates on fill start — the structural
+        weakness vs the VWB's staged buffers."""
+        fe = make_frontend()
+        fe.prefetch(0, 0.0)
+        assert fe._store.contains(0)
+
+    def test_prefetch_hides_fill_latency(self):
+        fe = make_frontend()
+        fe.prefetch(0, 0.0)
+        assert fe.read(0, 4, 5000.0) == 1.0
+
+    def test_early_read_waits(self):
+        fe = make_frontend(mem_latency=100.0)
+        fe.prefetch(0, 0.0)
+        latency = fe.read(0, 4, 10.0)
+        assert latency > 50.0
+
+    def test_prefetch_can_evict_live_line(self):
+        fe = make_frontend()
+        for i in range(4):
+            fe.read(i * 64, 4, i * 1000.0)  # fill all four lines
+        fe.prefetch(512, 10000.0)  # evicts LRU = line 0
+        assert not fe._store.contains(0)
+
+    def test_outstanding_fill_bound_drops_hints(self):
+        fe = make_frontend(mem_latency=10000.0)
+        for i in range(6):
+            fe.prefetch(i * 64, 0.0)
+        assert fe.stats.prefetches_useless >= 2
+
+    def test_prefetch_of_resident_useless(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.prefetch(0, 1000.0)
+        assert fe.stats.prefetches_useless == 1
+
+    def test_reset(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.reset()
+        assert not fe._store.contains(0)
+        assert fe.stats.buffer_accesses == 0

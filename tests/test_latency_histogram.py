@@ -1,0 +1,90 @@
+"""Per-load exposed-latency histograms."""
+
+import pytest
+
+from repro.cpu.system import System, SystemConfig
+from repro.errors import ConfigurationError
+from repro.workloads import build_kernel, materialize_trace
+from repro.workloads.trace import Load
+
+
+class TestHistogram:
+    def test_counts_sum_to_loads(self, gemm_trace):
+        result = System(SystemConfig()).run(gemm_trace)
+        assert sum(result.load_latency_histogram.values()) == result.counts["loads"]
+
+    def test_sram_hits_dominate_bucket_one(self, gemm_trace):
+        result = System(SystemConfig(technology="sram")).run(gemm_trace)
+        hist = result.load_latency_histogram
+        assert hist[1] > 0.9 * sum(hist.values())
+
+    def test_nvm_dropin_mode_shifts(self, gemm_trace):
+        result = System(SystemConfig(technology="stt-mram")).run(gemm_trace)
+        hist = result.load_latency_histogram
+        # Exposed latency of an NVM hit: 4 - 1.5 overlap = 2.5 -> bucket 2
+        # (a tail of bank-conflicted hits lands higher).
+        assert hist[2] > 0.8 * sum(hist.values())
+        assert hist.get(1, 0) == 0  # nothing is ever as fast as SRAM
+
+    def test_vwb_is_bimodal(self, gemm_trace):
+        result = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(gemm_trace)
+        hist = result.load_latency_histogram
+        assert hist[1] > 0.8 * sum(hist.values())  # VWB hits
+        slow = sum(count for bucket, count in hist.items() if bucket >= 2)
+        assert slow > 0  # promotions exist
+
+    def test_quantiles(self, gemm_trace):
+        result = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(gemm_trace)
+        assert result.load_latency_quantile(0.5) == 1.0
+        assert result.load_latency_quantile(1.0) >= 2.0
+        assert result.load_latency_quantile(0.0) <= result.load_latency_quantile(1.0)
+
+    def test_quantile_validation(self, gemm_trace):
+        result = System(SystemConfig()).run(gemm_trace)
+        with pytest.raises(ConfigurationError):
+            result.load_latency_quantile(1.5)
+
+    def test_empty_run_quantile(self):
+        result = System(SystemConfig()).run([])
+        assert result.load_latency_quantile(0.5) == 0.0
+
+    def test_cap_bucket(self):
+        # A single very cold DRAM access lands in a high bucket <= cap.
+        from repro.cpu.model import LOAD_HISTOGRAM_CAP
+
+        result = System(SystemConfig()).run([Load(0, 4)])
+        assert max(result.load_latency_histogram) <= LOAD_HISTOGRAM_CAP
+
+
+class TestConv2dKernel:
+    def test_builds_and_runs(self):
+        trace = materialize_trace(build_kernel("conv2d"))
+        result = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(trace)
+        assert result.cycles > 0
+
+    def test_weights_register_allocated(self):
+        from repro.workloads.inspect import analyze
+
+        report = analyze(build_kernel("conv2d"))
+        inner = report.loops[0]
+        # 9 weights hoisted; image rows stream.
+        assert inner.invariant_refs == 9
+        assert any(s.array == "image" for s in inner.streams)
+
+    def test_vectorizable(self):
+        from repro.workloads.inspect import analyze
+
+        assert analyze(build_kernel("conv2d")).fully_vectorizable
+
+    def test_vwb_tames_conv2d(self):
+        from repro.cpu.system import warm_regions_of
+        from repro.transforms import OptLevel, optimize
+
+        prog = optimize(build_kernel("conv2d"), OptLevel.FULL)
+        trace = materialize_trace(prog)
+        warm = warm_regions_of(prog)
+        sram = System(SystemConfig(technology="sram")).run(trace, warm_regions=warm)
+        vwb = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(
+            trace, warm_regions=warm
+        )
+        assert vwb.penalty_vs(sram) < 15.0

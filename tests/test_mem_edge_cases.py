@@ -1,0 +1,142 @@
+"""Memory substrate edge cases: MSHR pressure, tiny buffers, direct map."""
+
+import pytest
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+from repro.mem.request import Access, AccessType
+
+
+def make_cache(**overrides):
+    defaults = dict(
+        name="e",
+        capacity_bytes=1024,
+        associativity=1,
+        line_bytes=64,
+        read_hit_cycles=1,
+        write_hit_cycles=1,
+    )
+    defaults.update(overrides)
+    return Cache(CacheConfig(**defaults), MainMemory(latency_cycles=50.0, transfer_cycles=0.0))
+
+
+class TestDirectMapped:
+    def test_conflict_misses(self):
+        cache = make_cache(associativity=1)  # 16 sets
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        cache.access(Access(1024, 4, AccessType.READ), 200.0)  # same set
+        cache.access(Access(0, 4, AccessType.READ), 400.0)
+        assert cache.stats.read_misses == 3
+
+    def test_fully_associative(self):
+        cache = make_cache(associativity=16, capacity_bytes=1024)  # 1 set
+        for n in range(16):
+            cache.access(Access(n * 64, 4, AccessType.READ), n * 200.0)
+        for n in range(16):
+            cache.access(Access(n * 64, 4, AccessType.READ), 10000.0 + n * 10)
+        assert cache.stats.read_hits == 16
+
+
+class TestMSHRPressure:
+    def test_prefetch_dropped_when_mshrs_full(self):
+        cache = make_cache(mshr_entries=2, capacity_bytes=4096, associativity=2)
+        mem_reads_before = cache.next_level.reads
+        for n in range(4):
+            cache.prefetch(n * 64, 0.0)
+        # Only two fills were actually issued; the rest were dropped
+        # without consuming next-level bandwidth.
+        assert cache.next_level.reads - mem_reads_before == 2
+        assert cache.mshrs.full_rejections == 2
+
+    def test_dropped_prefetch_line_still_fetchable(self):
+        cache = make_cache(mshr_entries=1, capacity_bytes=4096, associativity=2)
+        cache.prefetch(0, 0.0)
+        cache.prefetch(64, 0.0)  # dropped
+        latency = cache.access(Access(64, 4, AccessType.READ), 1.0)
+        assert latency > 50.0  # full demand miss
+        assert cache.contains(64)
+
+    def test_mshrs_reclaimed_after_completion(self):
+        cache = make_cache(mshr_entries=1, capacity_bytes=4096, associativity=2)
+        cache.prefetch(0, 0.0)
+        cache.prefetch(64, 10000.0)  # first prefetch long done: reclaimed
+        assert cache.mshrs.full_rejections == 0
+
+
+class TestWriteBufferPressure:
+    def test_writeback_storm_stalls(self):
+        cache = make_cache(
+            associativity=1,
+            write_buffer_entries=1,
+            write_buffer_drain_cycles=100.0,
+        )
+        # Dirty every set, then evict them all rapidly: the 1-deep write
+        # buffer with slow drain must stall at least once.
+        for n in range(16):
+            cache.access(Access(n * 64, 4, AccessType.WRITE), float(n))
+        t = 100.0
+        for n in range(16):
+            t += cache.access(Access(1024 + n * 64, 4, AccessType.READ), t)
+        assert cache.stats.writeback_stall_cycles > 0
+
+    def test_deep_buffer_absorbs_storm(self):
+        cache = make_cache(
+            associativity=1,
+            write_buffer_entries=32,
+            write_buffer_drain_cycles=1.0,
+        )
+        for n in range(16):
+            cache.access(Access(n * 64, 4, AccessType.WRITE), float(n))
+        t = 100.0
+        for n in range(16):
+            t += cache.access(Access(1024 + n * 64, 4, AccessType.READ), t)
+        assert cache.stats.writeback_stall_cycles == 0
+
+
+class TestWideReadEdges:
+    def test_single_line_wide_read(self):
+        cache = make_cache(capacity_bytes=4096, associativity=2, read_hit_cycles=4)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        result = cache.read_lines_wide(0, 1, 1000.0)
+        assert result.latency == 4.0
+
+    def test_wide_read_wider_than_banks(self):
+        cache = make_cache(
+            capacity_bytes=4096, associativity=2, read_hit_cycles=4, banks=2
+        )
+        for n in range(4):
+            cache.access(Access(n * 64, 4, AccessType.READ), n * 500.0)
+        result = cache.read_lines_wide(0, 4, 10000.0)
+        # 4 lines over 2 banks: two serialized reads per bank.
+        assert result.latency == 8.0
+
+    def test_wide_read_mixed_hit_miss(self):
+        cache = make_cache(capacity_bytes=4096, associativity=2, read_hit_cycles=4, banks=4)
+        cache.access(Access(0, 4, AccessType.READ), 0.0)
+        result = cache.read_lines_wide(0, 2, 1000.0)
+        assert cache.contains(64)
+        # The resident line is read immediately; the missing one waits
+        # for the next level.
+        assert result.line_ready[0] < result.line_ready[64]
+
+    def test_wide_read_consumes_lingering_prefetch(self):
+        cache = make_cache(capacity_bytes=4096, associativity=2, read_hit_cycles=4, banks=4)
+        cache.prefetch(0, 0.0)
+        result = cache.read_lines_wide(0, 1, 10000.0)
+        # Lazy fill write (1 cycle, same bank) then the wide read.
+        assert 4.0 <= result.latency <= 5.0
+        assert cache.contains(0)
+
+
+class TestFullLineAccesses:
+    def test_full_line_write(self):
+        cache = make_cache()
+        cache.access(Access(0, 64, AccessType.WRITE), 0.0)
+        assert cache.is_dirty(0)
+        assert cache.stats.write_misses == 1
+
+    def test_exact_two_line_access(self):
+        cache = make_cache()
+        latency = cache.access(Access(0, 128, AccessType.READ), 0.0)
+        assert cache.stats.read_misses == 2
+        assert latency > 100.0  # two serialized demand misses

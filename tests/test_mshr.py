@@ -1,0 +1,81 @@
+"""MSHR file semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        mshrs = MSHRFile(entries=2)
+        entry = mshrs.allocate(0x100, now=0.0, ready_at=10.0, is_prefetch=True)
+        assert entry is not None
+        assert mshrs.lookup(0x100) is entry
+        assert entry.ready_at == 10.0
+
+    def test_merge_returns_existing(self):
+        mshrs = MSHRFile(entries=2)
+        first = mshrs.allocate(0x100, 0.0, 10.0, False)
+        second = mshrs.allocate(0x100, 5.0, 99.0, False)
+        assert second is first
+        assert mshrs.merges == 1
+        assert second.ready_at == 10.0  # original fill is authoritative
+
+    def test_full_rejects(self):
+        mshrs = MSHRFile(entries=1)
+        mshrs.allocate(0x100, 0.0, 10.0, False)
+        assert mshrs.allocate(0x200, 1.0, 11.0, False) is None
+        assert mshrs.full_rejections == 1
+
+    def test_full_reclaims_completed_first(self):
+        mshrs = MSHRFile(entries=1)
+        mshrs.allocate(0x100, 0.0, 10.0, False)
+        entry = mshrs.allocate(0x200, now=20.0, ready_at=30.0, is_prefetch=False)
+        assert entry is not None
+        assert mshrs.lookup(0x100) is None
+
+    def test_release(self):
+        mshrs = MSHRFile(entries=1)
+        mshrs.allocate(0x100, 0.0, 10.0, False)
+        mshrs.release(0x100)
+        assert mshrs.lookup(0x100) is None
+
+    def test_release_absent_is_noop(self):
+        MSHRFile(entries=1).release(0x123)
+
+
+class TestReclaim:
+    def test_reclaim_completed(self):
+        mshrs = MSHRFile(entries=4)
+        mshrs.allocate(0x0, 0.0, 10.0, False)
+        mshrs.allocate(0x40, 0.0, 20.0, False)
+        assert mshrs.reclaim_completed(now=15.0) == 1
+        assert mshrs.lookup(0x0) is None
+        assert mshrs.lookup(0x40) is not None
+
+    def test_earliest_completion(self):
+        mshrs = MSHRFile(entries=4)
+        assert mshrs.earliest_completion() is None
+        mshrs.allocate(0x0, 0.0, 30.0, False)
+        mshrs.allocate(0x40, 0.0, 20.0, False)
+        assert mshrs.earliest_completion() == 20.0
+
+    def test_occupancy(self):
+        mshrs = MSHRFile(entries=4)
+        mshrs.allocate(0x0, 0.0, 10.0, False)
+        assert mshrs.occupancy() == 1
+
+    def test_reset(self):
+        mshrs = MSHRFile(entries=4)
+        mshrs.allocate(0x0, 0.0, 10.0, False)
+        mshrs.reset()
+        assert mshrs.occupancy() == 0
+        assert mshrs.allocations == 0
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            MSHRFile(entries=0)
+
+    def test_capacity(self):
+        assert MSHRFile(entries=8).capacity == 8

@@ -1,0 +1,111 @@
+"""Integration tests of the paper's headline claims.
+
+These are the end-to-end assertions the whole reproduction hangs on,
+executed on a 4-kernel subset for speed (the full 12-kernel versions are
+the benchmark harness's job).  Band widths are deliberately generous:
+they must catch regressions in the *shape* of the results, not pin noise.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.transforms.pipeline import OptLevel
+
+KERNELS = ["gemm", "atax", "mvt", "2mm"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(kernels=KERNELS)
+
+
+def _avg(values):
+    return sum(values) / len(values)
+
+
+class TestHeadlineClaims:
+    def test_dropin_penalty_band(self, runner):
+        """Figure 1: drop-in penalty ~40-65% per kernel, ~54% average."""
+        penalties = runner.penalties("dropin", OptLevel.NONE)
+        assert all(35.0 < p < 75.0 for p in penalties)
+        assert 45.0 < _avg(penalties) < 65.0
+
+    def test_vwb_cuts_penalty_substantially(self, runner):
+        """Figure 3: the VWB alone removes a large share of the penalty."""
+        dropin = _avg(runner.penalties("dropin", OptLevel.NONE))
+        vwb = _avg(runner.penalties("vwb", OptLevel.NONE))
+        assert vwb < 0.75 * dropin
+
+    def test_final_penalty_tolerable(self, runner):
+        """Headline: 54% -> ~8%; every kernel ends in single digits."""
+        final = runner.penalties("vwb", OptLevel.FULL)
+        assert _avg(final) < 10.0
+        assert max(final) < 12.0
+
+    def test_penalty_ordering(self, runner):
+        """dropin > vwb-unopt > vwb-opt for the suite average."""
+        dropin = _avg(runner.penalties("dropin", OptLevel.NONE))
+        vwb = _avg(runner.penalties("vwb", OptLevel.NONE))
+        opt = _avg(runner.penalties("vwb", OptLevel.FULL))
+        assert dropin > vwb > opt
+
+    def test_vwb_beats_equal_capacity_rivals(self, runner):
+        """Figure 8: the VWB outperforms the L0 and EMSHR structures."""
+        vwb = _avg(runner.penalties("vwb", OptLevel.FULL))
+        l0 = _avg(runner.penalties("l0", OptLevel.FULL))
+        emshr = _avg(runner.penalties("emshr", OptLevel.FULL))
+        assert vwb < l0 < emshr
+
+    def test_vwb_reduction_about_twice_rivals(self, runner):
+        """Figure 8: 'almost twice the penalty reduction'."""
+        dropin = _avg(runner.penalties("dropin", OptLevel.FULL))
+        vwb_red = dropin - _avg(runner.penalties("vwb", OptLevel.FULL))
+        l0_red = dropin - _avg(runner.penalties("l0", OptLevel.FULL))
+        emshr_red = dropin - _avg(runner.penalties("emshr", OptLevel.FULL))
+        rivals = (l0_red + emshr_red) / 2.0
+        assert vwb_red > 1.3 * rivals
+
+    def test_optimizations_help_both_systems(self, runner):
+        """Figure 9: gains on the SRAM baseline and (more) on the NVM
+        proposal."""
+        gains_sram = []
+        gains_vwb = []
+        for kernel in KERNELS:
+            sram_n = runner.run("sram", kernel, OptLevel.NONE).cycles
+            sram_f = runner.run("sram", kernel, OptLevel.FULL).cycles
+            vwb_n = runner.run("vwb", kernel, OptLevel.NONE).cycles
+            vwb_f = runner.run("vwb", kernel, OptLevel.FULL).cycles
+            gains_sram.append((sram_n - sram_f) / sram_n)
+            gains_vwb.append((vwb_n - vwb_f) / vwb_n)
+        assert _avg(gains_vwb) > _avg(gains_sram)
+        assert _avg(gains_sram) > 0
+
+    def test_optimized_sram_stays_ahead(self, runner):
+        """Figure 9: the optimized SRAM system ends ahead of the
+        optimized NVM proposal (by ~8% in the paper)."""
+        edges = []
+        for kernel in KERNELS:
+            sram = runner.run("sram", kernel, OptLevel.FULL).cycles
+            vwb = runner.run("vwb", kernel, OptLevel.FULL).cycles
+            edges.append((vwb - sram) / sram * 100.0)
+        assert 0.0 < _avg(edges) < 15.0
+
+    def test_read_latency_dominates_penalty(self, runner):
+        """Figure 4: the read contribution far exceeds the write one."""
+        from repro.experiments import fig4
+
+        result = fig4.run(runner)
+        avg = result.averages()
+        assert avg["read_share"] > 4 * avg["write_share"]
+
+    def test_vwb_size_sweet_spot(self, runner):
+        """Figure 7: 2 Kbit performs much better than 1 Kbit; 4 Kbit adds
+        little — the paper's argument for stopping at 2 Kbit."""
+        from repro.experiments import fig7
+
+        result = fig7.run(runner)
+        avg = result.averages()
+        gain_1_to_2 = avg["vwb_1kbit"] - avg["vwb_2kbit"]
+        gain_2_to_4 = avg["vwb_2kbit"] - avg["vwb_4kbit"]
+        assert avg["vwb_1kbit"] >= avg["vwb_2kbit"]
+        assert gain_1_to_2 >= gain_2_to_4 - 0.5

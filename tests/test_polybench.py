@@ -1,0 +1,112 @@
+"""The PolyBench kernel builders."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import build_kernel, kernel_names, materialize_trace
+from repro.workloads.datasets import DatasetSize, scale_for
+from repro.workloads.polybench import KERNELS, gemm
+from repro.workloads.trace import trace_summary
+
+ALL = kernel_names()
+
+
+class TestRegistry:
+    def test_twelve_kernels(self):
+        assert len(ALL) == 12
+
+    def test_expected_names(self):
+        assert set(ALL) == {
+            "gemm", "atax", "bicg", "mvt", "gesummv", "gemver",
+            "syrk", "syr2k", "trmm", "2mm", "3mm", "doitgen",
+        }
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(WorkloadError, match="gemm"):
+            build_kernel("linpack")
+
+
+class TestAllKernelsBuild:
+    @pytest.mark.parametrize("name", ALL)
+    def test_builds_and_traces(self, name):
+        prog = build_kernel(name)
+        trace = materialize_trace(prog)
+        s = trace_summary(trace)
+        assert s["loads"] > 100
+        assert s["branches"] > 10
+        assert s["compute_ops"] > 100
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_fresh_arrays_per_build(self, name):
+        a = build_kernel(name)
+        b = build_kernel(name)
+        assert a.arrays[0] is not b.arrays[0]
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_program_name(self, name):
+        assert build_kernel(name).name == name
+
+
+class TestDatasetScaling:
+    def test_scale_for(self):
+        assert scale_for({"n": 10}, DatasetSize.SMALL) == {"n": 20}
+        assert scale_for({"n": 10}, DatasetSize.LARGE) == {"n": 30}
+
+    def test_scale_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            scale_for({}, DatasetSize.MINI)
+
+    def test_small_is_bigger_than_mini(self):
+        mini = build_kernel("gemm", DatasetSize.MINI)
+        small = build_kernel("gemm", DatasetSize.SMALL)
+        assert small.footprint_bytes > mini.footprint_bytes
+
+    def test_small_trace_longer(self):
+        mini = trace_summary(materialize_trace(build_kernel("syrk", DatasetSize.MINI)))
+        small = trace_summary(materialize_trace(build_kernel("syrk", DatasetSize.SMALL)))
+        assert small["loads"] > 4 * mini["loads"]
+
+
+class TestGemmStructure:
+    def test_load_count_formula(self):
+        """gemm's MAC loop loads C and B per iteration (A is hoisted),
+        plus one C load per scale iteration and one A load per k-loop."""
+        n = gemm.BASE_DIMS["ni"]
+        prog = build_kernel("gemm")
+        s = trace_summary(materialize_trace(prog))
+        expected = n * n + n * n * n * 2 + n * n  # scale + mac + hoisted A
+        assert s["loads"] == expected
+
+    def test_store_count_formula(self):
+        n = gemm.BASE_DIMS["ni"]
+        s = trace_summary(materialize_trace(build_kernel("gemm")))
+        # One C store per scale iteration and per MAC iteration.
+        assert s["stores"] == n * n + n * n * n
+
+    def test_footprint(self):
+        prog = build_kernel("gemm")
+        n = gemm.BASE_DIMS["ni"]
+        assert prog.footprint_bytes == 3 * n * n * 4
+
+
+class TestAccessVariety:
+    def test_mvt_has_strided_phase(self):
+        """mvt's second phase must walk columns (stride N)."""
+        prog = build_kernel("mvt")
+        loops = [lp for lp in prog.loops() if lp.is_innermost]
+        strides = set()
+        for lp in loops:
+            for statement in lp.statements():
+                for ref in statement.reads:
+                    strides.add(ref.stride_elements(lp.var))
+        assert 1 in strides
+        assert any(s > 1 for s in strides)
+
+    def test_trmm_triangular_bounds(self):
+        prog = build_kernel("trmm")
+        inner = [lp for lp in prog.loops() if lp.is_innermost][0]
+        assert not inner.lower.is_constant  # k starts at i+1
+
+    def test_doitgen_three_dimensional(self):
+        prog = build_kernel("doitgen")
+        assert any(len(a.shape) == 3 for a in prog.arrays)

@@ -1,0 +1,148 @@
+"""The hardware stride prefetcher."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+from repro.mem.prefetcher import StridePrefetcher
+
+
+def make_pair(**pf_kwargs):
+    cache = Cache(
+        CacheConfig(
+            name="d",
+            capacity_bytes=8192,
+            associativity=2,
+            line_bytes=64,
+            read_hit_cycles=4,
+            write_hit_cycles=2,
+            mshr_entries=8,
+        ),
+        MainMemory(latency_cycles=50.0, transfer_cycles=0.0),
+    )
+    return cache, StridePrefetcher(cache, **pf_kwargs)
+
+
+class TestStrideDetection:
+    def test_unit_stride_confirmed_after_three_accesses(self):
+        cache, pf = make_pair()
+        for n, addr in enumerate((0, 64, 128)):
+            pf.observe(addr, float(n))
+        assert pf.state_of(0) == (1, True)
+        assert pf.triggers >= 1
+
+    def test_two_accesses_not_enough(self):
+        cache, pf = make_pair()
+        pf.observe(0, 0.0)
+        pf.observe(64, 1.0)
+        assert pf.state_of(0) == (1, False)
+        assert pf.issued == 0
+
+    def test_large_stride_detected(self):
+        cache, pf = make_pair()
+        for n, addr in enumerate((0, 256, 512)):
+            pf.observe(addr, float(n))
+        assert pf.state_of(0) == (4, True)
+
+    def test_negative_stride_detected(self):
+        cache, pf = make_pair()
+        for n, addr in enumerate((512, 448, 384)):
+            pf.observe(addr, float(n))
+        assert pf.state_of(384) == (-1, True)
+
+    def test_same_line_accesses_ignored(self):
+        cache, pf = make_pair()
+        for n, addr in enumerate((0, 8, 16, 24)):
+            pf.observe(addr, float(n))
+        assert pf.issued == 0
+
+    def test_irregular_pattern_never_confirms(self):
+        cache, pf = make_pair()
+        for n, addr in enumerate((0, 64, 256, 320, 64, 512)):
+            pf.observe(addr, float(n))
+        assert pf.issued == 0
+
+
+class TestPrefetchIssue:
+    def test_steady_stream_prefetches_ahead(self):
+        cache, pf = make_pair(degree=2, distance=2)
+        for n in range(4):
+            pf.observe(n * 64, float(n))
+        # Third access triggered prefetches at lines +2 and +3.
+        assert pf.issued >= 2
+        assert cache.stats.prefetch_misses >= 2
+
+    def test_prefetched_line_hides_latency(self):
+        from repro.mem.request import Access, AccessType
+
+        cache, pf = make_pair(degree=4, distance=1)
+        t = 0.0
+        for n in range(3):
+            pf.observe(n * 64, t)
+            t += cache.access(Access(n * 64, 4, AccessType.READ), t)
+        # Line 3 was prefetched; a much later demand read hits.
+        latency = cache.access(Access(3 * 64, 4, AccessType.READ), t + 500.0)
+        assert latency == 4.0
+
+    def test_negative_targets_skipped(self):
+        cache, pf = make_pair(degree=2, distance=4)
+        for n, addr in enumerate((256, 192, 128)):
+            pf.observe(addr, float(n))
+        # Targets below address zero are dropped, no crash.
+        assert pf.issued >= 0
+
+    def test_region_conflicts_evict_state(self):
+        cache, pf = make_pair(entries=1)
+        pf.observe(0, 0.0)
+        pf.observe(64, 1.0)
+        pf.observe(100 * 4096, 2.0)  # different region, same slot
+        assert pf.state_of(0) is None
+
+    def test_reset(self):
+        cache, pf = make_pair()
+        for n in range(4):
+            pf.observe(n * 64, float(n))
+        pf.reset()
+        assert pf.issued == 0
+        assert pf.state_of(0) is None
+
+    def test_parameter_validation(self):
+        cache, _ = make_pair()
+        with pytest.raises(ConfigurationError):
+            StridePrefetcher(cache, entries=0)
+        with pytest.raises(ConfigurationError):
+            StridePrefetcher(cache, region_bytes=100)
+
+
+class TestSystemIntegration:
+    def test_hw_prefetcher_config(self):
+        from repro.cpu.system import System, SystemConfig
+
+        system = System(SystemConfig(technology="stt-mram", hw_prefetcher=True))
+        assert system.frontend.hw_prefetcher is not None
+
+    def test_hw_prefetcher_helps_streaming_dropin(self):
+        from repro.cpu.system import System, SystemConfig
+        from repro.workloads import build_kernel, materialize_trace
+
+        trace = materialize_trace(build_kernel("atax"))
+        plain = System(SystemConfig(technology="stt-mram")).run(trace)
+        hwpf = System(SystemConfig(technology="stt-mram", hw_prefetcher=True)).run(trace)
+        assert hwpf.cycles < plain.cycles
+
+    def test_hw_prefetcher_cannot_fix_read_hit_latency(self):
+        """The extension's headline: even with HW prefetching the drop-in
+        NVM cache keeps most of its penalty."""
+        from repro.cpu.system import System, SystemConfig
+        from repro.workloads import build_kernel, materialize_trace
+        from repro.cpu.system import warm_regions_of
+
+        prog = build_kernel("gemm")
+        trace = materialize_trace(prog)
+        warm = warm_regions_of(prog)
+        sram = System(SystemConfig(technology="sram")).run(trace, warm_regions=warm)
+        hwpf = System(SystemConfig(technology="stt-mram", hw_prefetcher=True)).run(
+            trace, warm_regions=warm
+        )
+        assert hwpf.penalty_vs(sram) > 30.0

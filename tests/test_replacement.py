@@ -1,0 +1,125 @@
+"""Replacement policies, including an LRU reference-model property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.mem.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_prefers_invalid_ways(self):
+        state = LRUPolicy().make_set(4)
+        assert state.victim([True, False, True, True]) == 1
+
+    def test_evicts_least_recent(self):
+        state = LRUPolicy().make_set(3)
+        state.touch(0)
+        state.touch(1)
+        state.touch(2)
+        state.touch(0)
+        assert state.victim([True, True, True]) == 1
+
+    def test_single_way(self):
+        state = LRUPolicy().make_set(1)
+        state.touch(0)
+        assert state.victim([True]) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_model(self, touches):
+        """Exact-LRU state must match a list-based reference model."""
+        assoc = 4
+        state = LRUPolicy().make_set(assoc)
+        reference = list(range(assoc))  # most recent first
+        for way in touches:
+            state.touch(way)
+            reference.remove(way)
+            reference.insert(0, way)
+        assert state.victim([True] * assoc) == reference[-1]
+
+
+class TestFIFO:
+    def test_ignores_touches(self):
+        state = FIFOPolicy().make_set(2)
+        assert state.victim([True, True]) == 0
+        state.touch(1)
+        assert state.victim([True, True]) == 1  # rotation, not recency
+
+    def test_rotates(self):
+        state = FIFOPolicy().make_set(3)
+        assert [state.victim([True] * 3) for _ in range(4)] == [0, 1, 2, 0]
+
+    def test_prefers_invalid(self):
+        state = FIFOPolicy().make_set(2)
+        assert state.victim([True, False]) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(seed=7).make_set(8)
+        b = RandomPolicy(seed=7).make_set(8)
+        seq_a = [a.victim([True] * 8) for _ in range(20)]
+        seq_b = [b.victim([True] * 8) for _ in range(20)]
+        assert seq_a == seq_b
+
+    def test_in_range(self):
+        state = RandomPolicy(seed=1).make_set(4)
+        for _ in range(50):
+            assert 0 <= state.victim([True] * 4) < 4
+
+    def test_prefers_invalid(self):
+        state = RandomPolicy(seed=1).make_set(4)
+        assert state.victim([True, True, False, True]) == 2
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            TreePLRUPolicy().make_set(3)
+
+    def test_victim_from_cold_subtree(self):
+        # After touching both left-subtree ways, the root bit points
+        # right: the victim must come from the untouched right pair.
+        state = TreePLRUPolicy().make_set(4)
+        state.touch(0)
+        state.touch(1)
+        assert state.victim([True] * 4) in (2, 3)
+
+    def test_single_way(self):
+        state = TreePLRUPolicy().make_set(1)
+        assert state.victim([True]) == 0
+
+    def test_never_evicts_most_recent(self):
+        state = TreePLRUPolicy().make_set(8)
+        for way in (5, 2, 7, 1, 5):
+            state.touch(way)
+        assert state.victim([True] * 8) != 5
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_victim_is_not_last_touched(self, touches):
+        state = TreePLRUPolicy().make_set(8)
+        for way in touches:
+            state.touch(way)
+        assert state.victim([True] * 8) != touches[-1]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRUPolicy), ("fifo", FIFOPolicy), ("random", RandomPolicy), ("plru", TreePLRUPolicy)],
+    )
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("mru")

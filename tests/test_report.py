@@ -1,0 +1,92 @@
+"""Figure rendering and comparison tables."""
+
+import pytest
+
+from repro.experiments.report import FigureResult, render_comparison, render_figure
+
+
+def make_result(**overrides):
+    defaults = dict(
+        name="t",
+        title="Title",
+        labels=["k1", "k2", "k3"],
+        series={"a": [10.0, 20.0, 30.0], "b": [1.0, 2.0, 3.0]},
+    )
+    defaults.update(overrides)
+    return FigureResult(**defaults)
+
+
+class TestFigureResult:
+    def test_averages(self):
+        result = make_result()
+        assert result.averages() == {"a": 20.0, "b": 2.0}
+
+    def test_averages_empty_series(self):
+        result = make_result(labels=[], series={"a": []})
+        assert result.averages() == {"a": 0.0}
+
+    def test_series_for(self):
+        assert make_result().series_for("a") == [10.0, 20.0, 30.0]
+
+
+class TestRenderFigure:
+    def test_header_and_unit(self):
+        text = render_figure(make_result(unit="nJ"))
+        assert "values in nJ" in text
+        assert text.startswith("== t: Title")
+
+    def test_rows_in_order(self):
+        lines = render_figure(make_result(), bars=False).splitlines()
+        data_lines = [l for l in lines if l.startswith("k")]
+        assert [l.split()[0] for l in data_lines] == ["k1", "k2", "k3"]
+
+    def test_average_row_suppressed(self):
+        text = render_figure(make_result(average_row=False))
+        assert "AVERAGE" not in text
+
+    def test_bars_scale_to_max(self):
+        text = render_figure(make_result())
+        rows = [l for l in text.splitlines() if l.startswith("k")]
+        bars = [l.split("|")[-1].count("#") for l in rows]
+        assert bars[2] == max(bars)  # the 30.0 row has the longest bar
+
+    def test_negative_values_render_empty_bars(self):
+        result = make_result(series={"a": [-5.0, 10.0, 20.0]})
+        text = render_figure(result)
+        first_row = [l for l in text.splitlines() if l.startswith("k1")][0]
+        assert first_row.rstrip().endswith("|")
+
+    def test_zero_series_no_bars(self):
+        result = make_result(series={"a": [0.0, 0.0, 0.0]})
+        text = render_figure(result)
+        assert "#" not in text
+
+    def test_empty_labels(self):
+        result = FigureResult(name="e", title="Empty", labels=[], series={})
+        text = render_figure(result)
+        assert "Empty" in text
+
+
+class TestRenderComparison:
+    def test_side_by_side(self):
+        text = render_comparison(
+            labels=["fig1", "fig5"],
+            paper=[54.0, 8.0],
+            measured=[55.4, 4.6],
+            title="claims",
+        )
+        assert "54.0" in text and "55.4" in text
+        assert text.splitlines()[0] == "claims"
+
+    def test_missing_paper_value(self):
+        text = render_comparison(["x"], [None], [1.0], "t")
+        assert "n/a" in text
+
+
+class TestDatasetsEnum:
+    def test_factors(self):
+        from repro.workloads.datasets import DatasetSize
+
+        assert DatasetSize.MINI.factor == 1
+        assert DatasetSize.SMALL.factor == 2
+        assert DatasetSize.LARGE.factor == 3

@@ -1,0 +1,81 @@
+"""Access descriptors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.request import Access, AccessType
+
+
+class TestAccessType:
+    def test_write_flag(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.READ.is_write
+        assert not AccessType.PREFETCH.is_write
+
+    def test_demand_flag(self):
+        assert AccessType.READ.is_demand
+        assert AccessType.WRITE.is_demand
+        assert AccessType.IFETCH.is_demand
+        assert not AccessType.PREFETCH.is_demand
+
+
+class TestAccess:
+    def test_end(self):
+        assert Access(100, 4, AccessType.READ).end == 104
+
+    def test_single_line(self):
+        acc = Access(10, 4, AccessType.READ)
+        assert list(acc.lines(64)) == [0]
+
+    def test_line_aligned_span(self):
+        acc = Access(64, 64, AccessType.READ)
+        assert list(acc.lines(64)) == [64]
+
+    def test_crossing_access_touches_two_lines(self):
+        acc = Access(60, 8, AccessType.READ)
+        assert list(acc.lines(64)) == [0, 64]
+
+    def test_wide_access_touches_many_lines(self):
+        acc = Access(0, 256, AccessType.READ)
+        assert list(acc.lines(64)) == [0, 64, 128, 192]
+
+    def test_last_byte_boundary(self):
+        acc = Access(0, 64, AccessType.READ)
+        assert list(acc.lines(64)) == [0]
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ConfigurationError):
+            Access(-1, 4, AccessType.READ)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            Access(0, 0, AccessType.READ)
+
+
+class TestCacheStatsBasics:
+    def test_merge_and_rates(self):
+        from repro.mem.stats import CacheStats
+
+        a = CacheStats(read_hits=3, read_misses=1)
+        b = CacheStats(write_hits=2, write_misses=2)
+        merged = a.merged_with(b)
+        assert merged.accesses == 8
+        assert merged.hits == 5
+        assert merged.hit_rate == pytest.approx(5 / 8)
+        assert merged.miss_rate == pytest.approx(3 / 8)
+
+    def test_empty_rates_are_zero(self):
+        from repro.mem.stats import CacheStats
+
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_as_dict_roundtrip(self):
+        from repro.mem.stats import CacheStats
+
+        stats = CacheStats(read_hits=7, writebacks=2)
+        d = stats.as_dict()
+        assert d["read_hits"] == 7
+        assert d["writebacks"] == 2
+        assert "bank_wait_cycles" in d

@@ -1,0 +1,64 @@
+"""Technology-node scaling rules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.params import SRAM_32NM_HP, STT_MRAM_32NM
+from repro.tech.scaling import scale_technology
+
+
+class TestShrink:
+    def test_latency_improves(self):
+        scaled = scale_technology(STT_MRAM_32NM, 22.0)
+        assert scaled.read_latency_ns < STT_MRAM_32NM.read_latency_ns
+        assert scaled.write_latency_ns < STT_MRAM_32NM.write_latency_ns
+
+    def test_dynamic_energy_improves(self):
+        scaled = scale_technology(STT_MRAM_32NM, 22.0)
+        assert scaled.read_energy_pj_per_bit < STT_MRAM_32NM.read_energy_pj_per_bit
+
+    def test_sram_leakage_worsens_when_shrinking(self):
+        # The paper's motivation: "rapid increase of leakage currents in
+        # CMOS transistors with technology scaling".
+        scaled = scale_technology(SRAM_32NM_HP, 22.0)
+        assert scaled.leakage_mw > SRAM_32NM_HP.leakage_mw
+
+    def test_nvm_leakage_grows_slower_than_sram(self):
+        sram = scale_technology(SRAM_32NM_HP, 22.0)
+        stt = scale_technology(STT_MRAM_32NM, 22.0)
+        sram_growth = sram.leakage_mw / SRAM_32NM_HP.leakage_mw
+        stt_growth = stt.leakage_mw / STT_MRAM_32NM.leakage_mw
+        assert stt_growth < sram_growth
+
+    def test_leakage_gap_widens_with_scaling(self):
+        """The SRAM/NVM leakage ratio grows as nodes shrink — the paper's
+        core argument for NVM at advanced nodes."""
+        ratio_32 = SRAM_32NM_HP.leakage_mw / STT_MRAM_32NM.leakage_mw
+        sram22 = scale_technology(SRAM_32NM_HP, 22.0)
+        stt22 = scale_technology(STT_MRAM_32NM, 22.0)
+        assert sram22.leakage_mw / stt22.leakage_mw > ratio_32
+
+
+class TestGrowAndEdges:
+    def test_grow_to_45nm_slows_down(self):
+        scaled = scale_technology(STT_MRAM_32NM, 45.0)
+        assert scaled.read_latency_ns > STT_MRAM_32NM.read_latency_ns
+
+    def test_same_node_is_identity(self):
+        assert scale_technology(STT_MRAM_32NM, 32.0) is STT_MRAM_32NM
+
+    def test_cell_area_f2_is_preserved(self):
+        scaled = scale_technology(STT_MRAM_32NM, 22.0)
+        assert scaled.cell_area_f2 == STT_MRAM_32NM.cell_area_f2
+
+    def test_endurance_preserved(self):
+        scaled = scale_technology(STT_MRAM_32NM, 22.0)
+        assert scaled.endurance_writes == STT_MRAM_32NM.endurance_writes
+
+    def test_name_mentions_target_node(self):
+        scaled = scale_technology(STT_MRAM_32NM, 22.0)
+        assert "22" in scaled.name
+
+    def test_rejects_nonpositive_node(self):
+        with pytest.raises(ConfigurationError):
+            scale_technology(STT_MRAM_32NM, 0.0)

@@ -1,0 +1,42 @@
+"""The automated paper-vs-measured summary."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.summary import SummaryRow, build_summary, render_summary, run
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return build_summary(ExperimentRunner(kernels=["gemm", "atax", "mvt", "2mm"]))
+
+
+class TestSummary:
+    def test_covers_the_headline_figures(self, rows):
+        experiments = {r.experiment for r in rows}
+        assert {"fig1", "fig4", "fig5", "fig7", "fig8", "fig9"} <= experiments
+
+    def test_measured_values_plausible(self, rows):
+        by = {(r.experiment, r.quantity): r for r in rows}
+        assert 40.0 < by[("fig1", "drop-in penalty, average")].measured < 70.0
+        assert by[("fig5", "optimized penalty, average")].measured < 10.0
+        assert by[("fig8", "reduction ratio vs rivals' average")].measured > 1.3
+
+    def test_paper_values_present_where_stated(self, rows):
+        stated = [r for r in rows if r.paper is not None]
+        assert len(stated) >= 5
+
+    def test_render(self, rows):
+        text = render_summary(rows)
+        assert "paper" in text and "measured" in text
+        assert "n/a" in text
+        assert "x" in text  # the ratio row's unit
+
+    def test_figure_adapter(self):
+        result = run(ExperimentRunner(kernels=["gemm", "atax", "mvt", "2mm"]))
+        assert result.name == "summary"
+        assert len(result.labels) == len(result.series["measured"])
+
+    def test_row_dataclass(self):
+        row = SummaryRow("figX", "q", 1.0, 2.0)
+        assert row.unit == "%"

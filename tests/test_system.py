@@ -1,0 +1,149 @@
+"""System assembly and configuration resolution."""
+
+import pytest
+
+from repro.core.dropin import PlainFrontend
+from repro.core.emshr import EMSHRFrontend
+from repro.core.l0 import L0Frontend
+from repro.core.vwb_frontend import VWBFrontend
+from repro.cpu.system import System, SystemConfig, warm_regions_of
+from repro.errors import ConfigurationError
+from repro.tech.params import STT_MRAM_32NM
+from repro.units import kib
+from repro.workloads import build_kernel, materialize_trace
+from repro.workloads.trace import Compute, Load
+
+
+class TestConfigResolution:
+    def test_default_is_sram_plain(self):
+        config = SystemConfig()
+        assert config.resolved_technology().name.startswith("SRAM")
+        cache = config.dl1_cache_config()
+        assert cache.read_hit_cycles == 1
+        assert cache.write_hit_cycles == 1
+
+    def test_stt_latencies(self):
+        cache = SystemConfig(technology="stt-mram").dl1_cache_config()
+        assert cache.read_hit_cycles == 4
+        assert cache.write_hit_cycles == 2
+
+    def test_dl1_geometry_matches_paper(self):
+        cache = SystemConfig().dl1_cache_config()
+        assert cache.capacity_bytes == kib(64)
+        assert cache.associativity == 2
+        assert cache.line_bytes == 64
+
+    def test_line_override(self):
+        cache = SystemConfig(dl1_line_bytes=32).dl1_cache_config()
+        assert cache.line_bytes == 32
+
+    def test_technology_object_accepted(self):
+        config = SystemConfig(technology=STT_MRAM_32NM)
+        assert config.resolved_technology() is STT_MRAM_32NM
+
+    def test_with_technology(self):
+        config = SystemConfig().with_technology("stt-mram")
+        assert config.resolved_technology().non_volatile
+
+
+class TestFrontendFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("plain", PlainFrontend),
+            ("vwb", VWBFrontend),
+            ("l0", L0Frontend),
+            ("emshr", EMSHRFrontend),
+        ],
+    )
+    def test_builds_frontends(self, name, cls):
+        system = System(SystemConfig(technology="stt-mram", frontend=name))
+        assert isinstance(system.frontend, cls)
+
+    def test_unknown_frontend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            System(SystemConfig(frontend="victim-cache"))
+
+    def test_vwb_bits_honoured(self):
+        system = System(SystemConfig(technology="stt-mram", frontend="vwb", vwb_bits=4096))
+        assert system.frontend.vwb.config.total_bits == 4096
+
+
+class TestRun:
+    def test_run_produces_result(self, gemm_trace):
+        system = System(SystemConfig())
+        result = system.run(gemm_trace)
+        assert result.cycles > 0
+        assert result.instructions > 0
+        assert result.l2_stats["read_misses"] >= 0
+
+    def test_run_resets_by_default(self, gemm_trace):
+        system = System(SystemConfig())
+        first = system.run(gemm_trace)
+        second = system.run(gemm_trace)
+        assert first.cycles == second.cycles
+
+    def test_run_without_reset_is_warm(self, gemm_trace):
+        system = System(SystemConfig())
+        first = system.run(gemm_trace)
+        warm = system.run(gemm_trace, reset=False)
+        assert warm.cycles < first.cycles
+
+    def test_deterministic(self, gemm_trace):
+        a = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(gemm_trace)
+        b = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(gemm_trace)
+        assert a.cycles == b.cycles
+        assert a.dl1_stats == b.dl1_stats
+
+
+class TestWarmL2:
+    def test_warm_regions_of(self):
+        prog = build_kernel("gemm")
+        materialize_trace(prog)  # forces layout
+        regions = warm_regions_of(prog)
+        assert len(regions) == 3  # A, B, C
+        assert all(size > 0 for _, size in regions)
+
+    def test_warming_reduces_cycles(self):
+        prog = build_kernel("atax")
+        trace = materialize_trace(prog)
+        system = System(SystemConfig())
+        cold = system.run(trace)
+        warm = system.run(trace, warm_regions=warm_regions_of(prog))
+        assert warm.cycles < cold.cycles
+
+    def test_warming_fills_l2_not_dl1(self):
+        prog = build_kernel("gemm")
+        materialize_trace(prog)
+        system = System(SystemConfig())
+        system.reset()
+        system.warm_l2(warm_regions_of(prog))
+        base = prog.arrays[0].base_addr
+        assert system.hierarchy.l2.contains(base)
+        assert not system.dl1.contains(base)
+
+    def test_warming_clears_stats(self):
+        prog = build_kernel("gemm")
+        materialize_trace(prog)
+        system = System(SystemConfig())
+        system.reset()
+        system.warm_l2(warm_regions_of(prog))
+        assert system.hierarchy.l2.stats.accesses == 0
+        assert system.hierarchy.memory.accesses == 0
+
+
+class TestPenaltySanity:
+    def test_nvm_dropin_slower_than_sram(self):
+        events = [Load(addr, 4) for addr in range(0, 4096, 4)] * 3
+        sram = System(SystemConfig(technology="sram")).run(events)
+        nvm = System(SystemConfig(technology="stt-mram")).run(events)
+        assert nvm.cycles > sram.cycles
+
+    def test_vwb_faster_than_dropin_on_streaming(self):
+        events = []
+        for rep in range(3):
+            events.extend(Load(addr, 4) for addr in range(0, 8192, 4))
+            events.append(Compute(64))
+        dropin = System(SystemConfig(technology="stt-mram")).run(events)
+        vwb = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(events)
+        assert vwb.cycles < dropin.cycles

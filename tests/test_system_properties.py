@@ -1,0 +1,72 @@
+"""System-level properties over randomized synthetic workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.system import System, SystemConfig
+from repro.workloads import synthetic
+
+
+def _run(config: SystemConfig, events) -> float:
+    return System(config).run(events).cycles
+
+
+@st.composite
+def workloads(draw):
+    kind = draw(st.sampled_from(["streaming", "strided", "random", "hot_cold"]))
+    seed = draw(st.integers(0, 1000))
+    if kind == "streaming":
+        return synthetic.streaming(
+            bytes_total=draw(st.sampled_from([4096, 16384])),
+            rounds=draw(st.integers(1, 2)),
+        )
+    if kind == "strided":
+        return synthetic.strided(
+            stride_bytes=draw(st.sampled_from([8, 64, 256, 1024])),
+            accesses=512,
+        )
+    if kind == "random":
+        return synthetic.random_access(
+            working_set_bytes=draw(st.sampled_from([8192, 65536])),
+            accesses=512,
+            seed=seed,
+        )
+    return synthetic.hot_cold(accesses=512, seed=seed)
+
+
+class TestCrossConfigurationInvariants:
+    @given(workloads())
+    @settings(max_examples=20, deadline=None)
+    def test_sram_never_slower_than_nvm_dropin(self, events):
+        """With identical structure, the only difference is array latency:
+        the SRAM platform can never lose to the drop-in NVM one."""
+        sram = _run(SystemConfig(technology="sram"), events)
+        nvm = _run(SystemConfig(technology="stt-mram"), events)
+        assert sram <= nvm + 1e-6
+
+    @given(workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_vwb_degradation_bounded(self, events):
+        """The VWB may lose to drop-in on hostile patterns, but only by a
+        bounded factor (a promotion costs one wide read, not a blow-up)."""
+        dropin = _run(SystemConfig(technology="stt-mram"), events)
+        vwb = _run(SystemConfig(technology="stt-mram", frontend="vwb"), events)
+        assert vwb <= 1.6 * dropin
+
+    @given(workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_every_frontend_deterministic(self, events):
+        for frontend in ("plain", "vwb", "l0", "emshr", "hybrid"):
+            config = SystemConfig(technology="stt-mram", frontend=frontend)
+            assert _run(config, events) == _run(config, events)
+
+    @given(workloads())
+    @settings(max_examples=15, deadline=None)
+    def test_faster_technology_never_hurts(self, events):
+        """Scaling the NVM read latency down can only help the drop-in."""
+        from repro.tech.params import STT_MRAM_32NM
+
+        slow = _run(SystemConfig(technology="stt-mram"), events)
+        faster_tech = STT_MRAM_32NM.with_latencies(1.5, STT_MRAM_32NM.write_latency_ns)
+        fast = _run(SystemConfig(technology=faster_tech), events)
+        assert fast <= slow + 1e-6

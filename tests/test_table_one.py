@@ -1,0 +1,47 @@
+"""Table I generator."""
+
+from repro.tech.compare import build_table_one, render_table_one
+
+
+class TestTableOne:
+    def test_row_order_matches_paper(self):
+        rows = build_table_one()
+        first_six = [r.parameter for r in rows[:6]]
+        assert first_six == [
+            "Read Latency",
+            "Write Latency",
+            "Leakage",
+            "Area",
+            "Associativity",
+            "Cache Line size",
+        ]
+
+    def test_paper_values_present(self):
+        rendered = render_table_one(build_table_one())
+        for value in ("0.787ns", "3.37ns", "0.773ns", "1.86ns", "146F^2", "42F^2", "28.35mW"):
+            assert value in rendered
+
+    def test_line_sizes(self):
+        rows = {r.parameter: r for r in build_table_one()}
+        assert rows["Cache Line size"].sram == "256 Bits"
+        assert rows["Cache Line size"].stt_mram == "512 Bits"
+
+    def test_cycle_rows(self):
+        rows = {r.parameter: r for r in build_table_one()}
+        assert rows["Read Latency (cycles @1GHz)"].sram == "1"
+        assert rows["Read Latency (cycles @1GHz)"].stt_mram == "4"
+        assert rows["Write Latency (cycles @1GHz)"].stt_mram == "2"
+
+    def test_derived_ratios(self):
+        rows = {r.parameter: r for r in build_table_one()}
+        assert rows["Read ratio vs SRAM"].stt_mram == "4.28x"
+        assert rows["Write ratio vs SRAM"].stt_mram == "2.41x"
+
+    def test_area_ratio_under_one(self):
+        rows = {r.parameter: r for r in build_table_one()}
+        assert rows["Area ratio vs SRAM"].stt_mram == "0.29x"
+
+    def test_render_is_aligned(self):
+        lines = render_table_one(build_table_one()).splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all data rows padded to equal width

@@ -1,0 +1,127 @@
+"""Technology presets and Table I values."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.params import (
+    PRAM_32NM,
+    RERAM_32NM,
+    SRAM_32NM_HP,
+    STT_MRAM_32NM,
+    TECHNOLOGY_PRESETS,
+    MemoryTechnology,
+    TechnologyKind,
+    get_technology,
+)
+
+
+class TestTableOneValues:
+    """The presets must carry the paper's Table I numbers exactly."""
+
+    def test_sram_read_latency(self):
+        assert SRAM_32NM_HP.read_latency_ns == pytest.approx(0.787)
+
+    def test_sram_write_latency(self):
+        assert SRAM_32NM_HP.write_latency_ns == pytest.approx(0.773)
+
+    def test_stt_read_latency(self):
+        assert STT_MRAM_32NM.read_latency_ns == pytest.approx(3.37)
+
+    def test_stt_write_latency(self):
+        assert STT_MRAM_32NM.write_latency_ns == pytest.approx(1.86)
+
+    def test_stt_leakage(self):
+        assert STT_MRAM_32NM.leakage_mw == pytest.approx(28.35)
+
+    def test_sram_cell_area(self):
+        assert SRAM_32NM_HP.cell_area_f2 == pytest.approx(146.0)
+
+    def test_stt_cell_area(self):
+        assert STT_MRAM_32NM.cell_area_f2 == pytest.approx(42.0)
+
+    def test_read_ratio_about_four(self):
+        ratio = STT_MRAM_32NM.read_latency_ns / SRAM_32NM_HP.read_latency_ns
+        assert 4.0 <= ratio <= 4.5
+
+    def test_write_ratio_about_two(self):
+        ratio = STT_MRAM_32NM.write_latency_ns / SRAM_32NM_HP.write_latency_ns
+        assert 2.0 <= ratio <= 2.6
+
+    def test_area_advantage_over_3x(self):
+        assert SRAM_32NM_HP.cell_area_f2 / STT_MRAM_32NM.cell_area_f2 > 3.0
+
+    def test_stt_leaks_less_than_sram(self):
+        assert STT_MRAM_32NM.leakage_mw < SRAM_32NM_HP.leakage_mw
+
+
+class TestKinds:
+    def test_sram_is_volatile(self):
+        assert not SRAM_32NM_HP.non_volatile
+        assert not TechnologyKind.SRAM.non_volatile
+
+    @pytest.mark.parametrize("tech", [STT_MRAM_32NM, RERAM_32NM, PRAM_32NM])
+    def test_nvms_are_non_volatile(self, tech):
+        assert tech.non_volatile
+
+    def test_sram_unbounded_endurance(self):
+        assert SRAM_32NM_HP.endurance_writes == float("inf")
+
+    def test_stt_endurance_beats_reram_and_pram(self):
+        assert STT_MRAM_32NM.endurance_writes > RERAM_32NM.endurance_writes
+        assert STT_MRAM_32NM.endurance_writes > PRAM_32NM.endurance_writes
+
+    def test_pram_write_latency_worst(self):
+        # Section II: PRAM's "very high write latency puts it at a
+        # disadvantage when the focus is on higher level caches".
+        assert PRAM_32NM.write_latency_ns > RERAM_32NM.write_latency_ns
+        assert PRAM_32NM.write_latency_ns > STT_MRAM_32NM.write_latency_ns
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["sram", "stt-mram", "reram", "pram"])
+    def test_lookup(self, name):
+        assert get_technology(name) is TECHNOLOGY_PRESETS[name]
+
+    def test_lookup_case_insensitive(self):
+        assert get_technology("STT-MRAM") is STT_MRAM_32NM
+
+    def test_lookup_strips_whitespace(self):
+        assert get_technology("  sram ") is SRAM_32NM_HP
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ConfigurationError, match="stt-mram"):
+            get_technology("flash")
+
+
+class TestValidationAndHelpers:
+    def test_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SRAM_32NM_HP.read_latency_ns = 1.0
+
+    def test_with_latencies(self):
+        hybrid = STT_MRAM_32NM.with_latencies(0.787, 1.86)
+        assert hybrid.read_latency_ns == pytest.approx(0.787)
+        assert hybrid.write_latency_ns == pytest.approx(1.86)
+        # Everything else carried over.
+        assert hybrid.cell_area_f2 == STT_MRAM_32NM.cell_area_f2
+
+    def test_write_read_ratio_property(self):
+        assert STT_MRAM_32NM.write_read_latency_ratio == pytest.approx(1.86 / 3.37)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SRAM_32NM_HP, read_latency_ns=-1.0)
+
+    def test_rejects_zero_feature(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SRAM_32NM_HP, feature_nm=0.0)
+
+    def test_rejects_zero_endurance(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SRAM_32NM_HP, endurance_writes=0.0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(SRAM_32NM_HP, read_energy_pj_per_bit=-0.1)

@@ -1,0 +1,101 @@
+"""Trace serialisation, including a hypothesis round-trip property."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads import build_kernel, load_trace, materialize_trace, save_trace
+from repro.workloads.trace import Branch, Compute, Load, Prefetch, Store
+from repro.workloads.tracefile import HEADER, dump_trace, parse_trace
+
+
+def _events_equal(a, b) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (Load, Store)):
+        return a.addr == b.addr and a.size == b.size
+    if isinstance(a, Compute):
+        return a.ops == b.ops
+    if isinstance(a, Branch):
+        return a.taken == b.taken
+    if isinstance(a, Prefetch):
+        return a.addr == b.addr
+    return False
+
+
+class TestRoundTrip:
+    def test_kernel_trace_roundtrip(self, tmp_path):
+        trace = materialize_trace(build_kernel("syrk"))
+        path = tmp_path / "syrk.trace"
+        written = save_trace(trace, path)
+        loaded = load_trace(path)
+        assert written == len(trace) == len(loaded)
+        assert all(_events_equal(a, b) for a, b in zip(trace, loaded))
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace([Compute(1)], path)
+        assert path.read_text().splitlines()[0] == HEADER
+
+    def test_loaded_trace_runs_identically(self, tmp_path):
+        from repro.cpu.system import System, SystemConfig
+
+        trace = materialize_trace(build_kernel("syrk"))
+        path = tmp_path / "syrk.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(trace)
+        b = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(loaded)
+        assert a.cycles == b.cycles
+
+
+_event_strategy = st.one_of(
+    st.builds(Load, st.integers(0, 1 << 30), st.integers(1, 64)),
+    st.builds(Store, st.integers(0, 1 << 30), st.integers(1, 64)),
+    st.builds(Compute, st.integers(0, 1000)),
+    st.builds(Branch, st.booleans()),
+    st.builds(Prefetch, st.integers(0, 1 << 30)),
+)
+
+
+class TestProperties:
+    @given(st.lists(_event_strategy, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_roundtrip(self, events):
+        buffer = io.StringIO()
+        dump_trace(events, buffer)
+        buffer.seek(0)
+        loaded = list(parse_trace(buffer))
+        assert len(loaded) == len(events)
+        assert all(_events_equal(a, b) for a, b in zip(events, loaded))
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\nC 5  # trailing comment\n"
+        events = list(parse_trace(io.StringIO(text)))
+        assert len(events) == 1
+        assert events[0].ops == 5
+
+    def test_case_insensitive_kind(self):
+        events = list(parse_trace(io.StringIO("l 64 4\n")))
+        assert isinstance(events[0], Load)
+
+    def test_malformed_line_raises_with_lineno(self):
+        with pytest.raises(WorkloadError, match="line 2"):
+            list(parse_trace(io.StringIO("C 1\nL nonsense\n")))
+
+    def test_bad_field_count_raises(self):
+        with pytest.raises(WorkloadError):
+            list(parse_trace(io.StringIO("L 1 2 3 4\n")))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(WorkloadError):
+            list(parse_trace(io.StringIO("X 1\n")))
+
+    def test_branch_flag(self):
+        events = list(parse_trace(io.StringIO("B 1\nB 0\n")))
+        assert events[0].taken and not events[1].taken

@@ -1,0 +1,213 @@
+"""Transformation passes."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transforms import (
+    BranchOptimize,
+    InsertPrefetch,
+    Interchange,
+    OptLevel,
+    Vectorize,
+    apply_all,
+    optimize,
+    transforms_for_level,
+)
+from repro.workloads import build_kernel, materialize_trace
+from repro.workloads.affine import Var
+from repro.workloads.ir import Array, Program, loop, stmt
+from repro.workloads.trace import trace_summary
+
+i, j, k = Var("i"), Var("j"), Var("k")
+
+
+def unit_stride_prog(n=16):
+    x, y = Array("x", (n,)), Array("y", (n,))
+    return Program("u", [loop(i, n, [stmt(reads=[x[i]], writes=[y[i]], flops=1)])])
+
+
+def strided_prog(n=8):
+    a = Array("A", (n, n))
+    return Program("s", [loop(i, n, [stmt(reads=[a[i, 0]], flops=1)])])
+
+
+class TestVectorize:
+    def test_marks_unit_stride_loop(self):
+        out = Vectorize(width=4).apply(unit_stride_prog())
+        assert out.loops()[0].vector_width == 4
+
+    def test_skips_strided_loop(self):
+        out = Vectorize(width=4).apply(strided_prog())
+        assert out.loops()[0].vector_width == 1
+
+    def test_allow_gather_vectorizes_strided(self):
+        out = Vectorize(width=4, allow_gather=True).apply(strided_prog())
+        assert out.loops()[0].vector_width == 4
+
+    def test_invariant_refs_allowed(self):
+        x, c = Array("x", (8,)), Array("c", (1,))
+        prog = Program("p", [loop(i, 8, [stmt(reads=[x[i], c[0]], flops=1)])])
+        out = Vectorize().apply(prog)
+        assert out.loops()[0].vector_width == 4
+
+    def test_pure(self):
+        prog = unit_stride_prog()
+        Vectorize().apply(prog)
+        assert prog.loops()[0].vector_width == 1
+
+    def test_rejects_width_one(self):
+        with pytest.raises(TransformError):
+            Vectorize(width=1)
+
+    def test_eligible_loops_count(self):
+        assert Vectorize().eligible_loops(unit_stride_prog()) == 1
+        assert Vectorize().eligible_loops(strided_prog()) == 0
+
+    def test_gemm_mac_loop_vectorizes(self):
+        out = Vectorize().apply(build_kernel("gemm"))
+        inner = [lp for lp in out.loops() if lp.is_innermost]
+        assert all(lp.vector_width == 4 for lp in inner)
+
+    def test_trmm_does_not_vectorize(self):
+        out = Vectorize().apply(build_kernel("trmm"))
+        inner = [lp for lp in out.loops() if lp.is_innermost]
+        assert all(lp.vector_width == 1 for lp in inner)
+
+
+class TestInsertPrefetch:
+    def test_directives_for_varying_reads(self):
+        out = InsertPrefetch().apply(unit_stride_prog())
+        directives = out.loops()[0].prefetch
+        assert len(directives) == 1  # x only; y is write-only
+
+    def test_distance_scales_inversely_with_stride(self):
+        a = Array("A", (64, 64))
+        x = Array("x", (64,))
+        prog = Program(
+            "p",
+            [
+                loop(i, 64, [loop(j, 64, [stmt(reads=[a[j, i], x[j]], flops=1)])]),
+            ],
+        )
+        out = InsertPrefetch(ahead_bytes=128).apply(prog)
+        directives = dict()
+        for ref, dist in out.loops()[1].prefetch:
+            directives[ref.array.name] = dist
+        assert directives["A"] == 1  # 256-byte stride: next iteration
+        assert directives["x"] == 32  # 4-byte stride: 128/4 iterations
+
+    def test_stream_budget(self):
+        arrays = [Array(f"a{n}", (32,)) for n in range(8)]
+        prog = Program(
+            "many", [loop(i, 32, [stmt(reads=[a[i] for a in arrays], flops=1)])]
+        )
+        out = InsertPrefetch(max_streams=3).apply(prog)
+        assert len(out.loops()[0].prefetch) == 3
+
+    def test_duplicate_refs_single_directive(self):
+        x = Array("x", (16,))
+        prog = Program(
+            "dup",
+            [loop(i, 16, [stmt(reads=[x[i]], flops=1), stmt(reads=[x[i]], flops=1)])],
+        )
+        out = InsertPrefetch().apply(prog)
+        assert len(out.loops()[0].prefetch) == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(TransformError):
+            InsertPrefetch(ahead_bytes=0)
+        with pytest.raises(TransformError):
+            InsertPrefetch(max_streams=0)
+
+    def test_trace_gains_prefetches(self):
+        out = InsertPrefetch().apply(build_kernel("gemm"))
+        s = trace_summary(materialize_trace(out))
+        assert s["prefetches"] > 0
+
+
+class TestBranchOptimize:
+    def test_unrolls_innermost(self):
+        out = BranchOptimize(unroll=4).apply(unit_stride_prog())
+        assert out.loops()[0].unroll == 4
+
+    def test_deep_unrolls_everything(self):
+        prog = build_kernel("gemm")
+        out = BranchOptimize(unroll=4, deep=True).apply(prog)
+        assert all(lp.unroll == 4 for lp in out.loops())
+
+    def test_shallow_leaves_outer_loops(self):
+        prog = build_kernel("gemm")
+        out = BranchOptimize(unroll=4).apply(prog)
+        outer = [lp for lp in out.loops() if not lp.is_innermost]
+        assert all(lp.unroll == 1 for lp in outer)
+
+    def test_reduces_branch_events(self):
+        base = trace_summary(materialize_trace(unit_stride_prog()))
+        out = BranchOptimize(unroll=4).apply(unit_stride_prog())
+        opt = trace_summary(materialize_trace(out))
+        assert opt["branches"] < base["branches"]
+
+    def test_rejects_unroll_one(self):
+        with pytest.raises(TransformError):
+            BranchOptimize(unroll=1)
+
+
+class TestInterchange:
+    def _column_major_nest(self, n=8):
+        a = Array("A", (n, n))
+        inner = loop(j, n, [stmt(reads=[a[j, i]], flops=1)])
+        outer = loop(i, n, [inner], permutable=True)
+        return Program("cm", [outer])
+
+    def test_swaps_to_unit_stride(self):
+        out = Interchange().apply(self._column_major_nest())
+        inner = [lp for lp in out.loops() if lp.is_innermost][0]
+        ref = inner.statements()[0].reads[0]
+        assert ref.stride_elements(inner.var) == 1
+
+    def test_respects_permutable_flag(self):
+        prog = self._column_major_nest()
+        prog.loops()[0].permutable = False
+        out = Interchange().apply(prog)
+        inner = [lp for lp in out.loops() if lp.is_innermost][0]
+        assert inner.statements()[0].reads[0].stride_elements(inner.var) != 1
+
+    def test_leaves_good_nests_alone(self):
+        a = Array("A", (8, 8))
+        inner = loop(j, 8, [stmt(reads=[a[i, j]], flops=1)])
+        outer = loop(i, 8, [inner], permutable=True)
+        out = Interchange().apply(Program("rm", [outer]))
+        assert [lp.var.name for lp in out.loops()] == ["i", "j"]
+
+    def test_skips_triangular_bounds(self):
+        a = Array("A", (8, 8))
+        from repro.workloads.ir import Loop
+
+        inner = Loop(j, i + 1, 8, [stmt(reads=[a[j, i]], flops=1)])
+        outer = loop(i, 8, [inner], permutable=True)
+        out = Interchange().apply(Program("tri", [outer]))
+        assert [lp.var.name for lp in out.loops()] == ["i", "j"]
+
+
+class TestPipeline:
+    def test_levels(self):
+        assert transforms_for_level(OptLevel.NONE) == []
+        assert len(transforms_for_level(OptLevel.FULL)) == 3
+        assert len(transforms_for_level(OptLevel.PREFETCH)) == 1
+
+    def test_optimize_none_clones(self):
+        prog = unit_stride_prog()
+        out = optimize(prog, OptLevel.NONE)
+        assert out is not prog
+
+    def test_optimize_full_combines(self):
+        out = optimize(build_kernel("gemm"), OptLevel.FULL)
+        inner = [lp for lp in out.loops() if lp.is_innermost]
+        assert any(lp.vector_width > 1 for lp in inner)
+        assert any(lp.prefetch for lp in inner)
+        assert all(lp.unroll > 1 for lp in inner)
+
+    def test_apply_all_order(self):
+        out = apply_all(unit_stride_prog(), [InsertPrefetch(), Vectorize()])
+        lp = out.loops()[0]
+        assert lp.prefetch and lp.vector_width == 4

@@ -1,0 +1,116 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    BITS_PER_BYTE,
+    bits_to_bytes,
+    cycles_to_ns,
+    f2_to_mm2,
+    is_power_of_two,
+    kbit,
+    kib,
+    log2_exact,
+    mib,
+    ns_to_cycles,
+)
+
+
+class TestNsToCycles:
+    def test_sram_read_is_one_cycle_at_1ghz(self):
+        assert ns_to_cycles(0.787) == 1
+
+    def test_stt_mram_read_is_four_cycles_at_1ghz(self):
+        assert ns_to_cycles(3.37) == 4
+
+    def test_stt_mram_write_is_two_cycles_at_1ghz(self):
+        assert ns_to_cycles(1.86) == 2
+
+    def test_exact_cycle_boundary(self):
+        assert ns_to_cycles(3.0) == 3
+
+    def test_zero_latency_is_zero_cycles(self):
+        assert ns_to_cycles(0.0) == 0
+
+    def test_tiny_latency_rounds_up_to_one(self):
+        assert ns_to_cycles(0.001) == 1
+
+    def test_other_clock(self):
+        # 2 GHz: a 0.787 ns access needs 2 cycles of 0.5 ns.
+        assert ns_to_cycles(0.787, clock_hz=2e9) == 2
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ns_to_cycles(-1.0)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ns_to_cycles(1.0, clock_hz=0)
+
+
+class TestCyclesToNs:
+    def test_roundtrip_at_1ghz(self):
+        assert cycles_to_ns(4) == pytest.approx(4.0)
+
+    def test_other_clock(self):
+        assert cycles_to_ns(4, clock_hz=2e9) == pytest.approx(2.0)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycles_to_ns(1, clock_hz=-1)
+
+
+class TestCapacityHelpers:
+    def test_kib(self):
+        assert kib(64) == 65536
+
+    def test_mib(self):
+        assert mib(2) == 2 * 1024 * 1024
+
+    def test_kbit(self):
+        assert kbit(2) == 2048
+
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(512) == 64
+
+    def test_bits_to_bytes_rejects_partial(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes(12)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 1024])
+    def test_accepts_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100])
+    def test_rejects_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(64) == 6
+
+    def test_log2_exact_rejects(self):
+        with pytest.raises(ConfigurationError):
+            log2_exact(3)
+
+
+class TestAreaConversion:
+    def test_known_value(self):
+        # 1 bit of 1 F^2 at 1000 nm = (1e-3 mm)^2 = 1e-6 mm^2.
+        assert f2_to_mm2(1.0, 1, 1000.0) == pytest.approx(1e-6)
+
+    def test_scales_linearly_with_bits(self):
+        one = f2_to_mm2(42.0, 1, 32.0)
+        many = f2_to_mm2(42.0, 1000, 32.0)
+        assert many == pytest.approx(1000 * one)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            f2_to_mm2(0, 8, 32.0)
+
+    def test_bits_per_byte_constant(self):
+        assert BITS_PER_BYTE == 8

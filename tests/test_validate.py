@@ -1,0 +1,52 @@
+"""The headline-claim validation harness (on a fast kernel subset)."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+from repro.experiments.validate import render_claims, run, validate
+
+
+@pytest.fixture(scope="module")
+def claims():
+    return validate(ExperimentRunner(kernels=["gemm", "atax", "mvt", "2mm"]))
+
+
+class TestValidate:
+    def test_all_claims_have_details(self, claims):
+        assert len(claims) >= 9
+        assert all(c.detail for c in claims)
+        assert all(c.statement for c in claims)
+
+    def test_core_claims_pass_on_subset(self, claims):
+        by_name = {c.name: c for c in claims}
+        for name in (
+            "fig1-dropin-average",
+            "fig3-vwb-reduction",
+            "fig5-final-penalty",
+            "fig9-gains",
+            "fig4-read-dominates",
+        ):
+            assert by_name[name].passed, by_name[name].detail
+
+    def test_render(self, claims):
+        text = render_claims(claims)
+        assert "PASS" in text
+        assert "claims reproduced" in text
+
+    def test_figure_adapter(self):
+        result = run(ExperimentRunner(kernels=["gemm", "atax", "mvt", "2mm"]))
+        assert result.name == "validate"
+        assert set(result.series["passed"]) <= {0.0, 1.0}
+
+
+class TestLatencySensitivityAblation:
+    def test_write_scaling_flat_read_scaling_steep(self):
+        from repro.experiments.ablations import run_latency_sensitivity
+
+        runner = ExperimentRunner(kernels=["gemm", "atax"])
+        result = run_latency_sensitivity(runner, factors=(1.0, 0.25))
+        avg = result.averages()
+        # Halving/quartering the write latency barely moves the penalty...
+        assert abs(avg["write_x1"] - avg["write_x0.25"]) < 3.0
+        # ...while quartering the read latency removes almost all of it.
+        assert avg["read_x0.25"] < 0.2 * avg["read_x1"]

@@ -1,0 +1,119 @@
+"""The Very Wide Buffer structure."""
+
+import pytest
+
+from repro.core.vwb import VeryWideBuffer, VWBConfig
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_paper_default_geometry(self):
+        cfg = VWBConfig()
+        assert cfg.total_bits == 2048
+        assert cfg.n_lines == 2
+        assert cfg.window_bytes == 128  # 1 Kbit per wide line
+        assert cfg.lines_per_window == 2  # two 512-bit DL1 lines
+
+    def test_one_kbit_geometry(self):
+        cfg = VWBConfig(total_bits=1024)
+        assert cfg.window_bytes == 64
+        assert cfg.lines_per_window == 1
+
+    def test_four_kbit_geometry(self):
+        cfg = VWBConfig(total_bits=4096)
+        assert cfg.window_bytes == 256
+        assert cfg.lines_per_window == 4
+
+    def test_rejects_window_smaller_than_line(self):
+        with pytest.raises(ConfigurationError):
+            VWBConfig(total_bits=512, n_lines=2, cache_line_bytes=64)
+
+    def test_rejects_fractional_lines(self):
+        with pytest.raises(ConfigurationError):
+            VWBConfig(total_bits=2048, n_lines=3)
+
+    def test_rejects_non_power_of_two_window(self):
+        with pytest.raises(ConfigurationError):
+            VWBConfig(total_bits=3072, n_lines=2, cache_line_bytes=64)
+
+    def test_rejects_zero_hit_cycles(self):
+        with pytest.raises(ConfigurationError):
+            VWBConfig(hit_cycles=0)
+
+
+class TestLookupAllocate:
+    def test_window_addr_alignment(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        assert vwb.window_addr(0) == 0
+        assert vwb.window_addr(127) == 0
+        assert vwb.window_addr(128) == 128
+        assert vwb.window_addr(200) == 128
+
+    def test_empty_lookup(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        assert vwb.lookup(0) is None
+        assert not vwb.contains(0)
+
+    def test_allocate_and_contains(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        assert vwb.allocate(0) is None  # invalid line used, nothing evicted
+        assert vwb.contains(0)
+        assert vwb.contains(127)
+        assert not vwb.contains(128)
+
+    def test_allocate_existing_is_touch(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        vwb.allocate(0)
+        assert vwb.allocate(64) is None  # same window
+        assert len(vwb.resident_windows) == 1
+
+    def test_fills_invalid_lines_first(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        assert vwb.allocate(0) is None
+        assert vwb.allocate(128) is None
+        assert sorted(vwb.resident_windows) == [0, 128]
+
+    def test_lru_eviction(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        vwb.allocate(0)
+        vwb.allocate(128)
+        vwb.touch(vwb.lookup(0))  # 0 becomes MRU
+        evicted = vwb.allocate(256)
+        assert evicted.window_addr == 128
+        assert vwb.contains(0) and vwb.contains(256)
+
+    def test_eviction_reports_dirty(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        vwb.allocate(0)
+        vwb.touch(vwb.lookup(0), dirty=True)
+        vwb.allocate(128)
+        evicted = vwb.allocate(256)  # displaces window 0 (LRU)
+        assert evicted.window_addr == 0
+        assert evicted.dirty
+
+
+class TestDirtyInvalidate:
+    def test_dirty_tracking(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        vwb.allocate(0)
+        assert not vwb.is_dirty(0)
+        vwb.touch(vwb.lookup(0), dirty=True)
+        assert vwb.is_dirty(0)
+
+    def test_invalidate(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        vwb.allocate(0)
+        vwb.touch(vwb.lookup(0), dirty=True)
+        dropped = vwb.invalidate(0)
+        assert dropped.dirty
+        assert not vwb.contains(0)
+
+    def test_invalidate_absent(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        assert vwb.invalidate(0) is None
+
+    def test_reset(self):
+        vwb = VeryWideBuffer(VWBConfig())
+        vwb.allocate(0)
+        vwb.reset()
+        assert vwb.resident_windows == []

@@ -1,0 +1,193 @@
+"""The VWB front-end: the paper's Section IV load/store policy."""
+
+import pytest
+
+from repro.core.vwb import VWBConfig
+from repro.core.vwb_frontend import VWBFrontend
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.mainmem import MainMemory
+
+
+def make_frontend(banks=4, mem_latency=100.0, fill_buffers=6):
+    backing = Cache(
+        CacheConfig(
+            name="dl1",
+            capacity_bytes=4096,
+            associativity=2,
+            line_bytes=64,
+            read_hit_cycles=4,
+            write_hit_cycles=2,
+            banks=banks,
+        ),
+        MainMemory(latency_cycles=mem_latency, transfer_cycles=0.0),
+    )
+    return VWBFrontend(backing, VWBConfig(), fill_buffers=fill_buffers)
+
+
+class TestLoadPolicy:
+    def test_vwb_checked_first(self):
+        """'The VWB is always checked for the data first during a normal
+        read' — a resident window serves in one cycle."""
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)  # miss: promotes window 0
+        latency = fe.read(8, 4, 1000.0)
+        assert latency == 1.0
+        assert fe.stats.buffer_read_hits == 1
+
+    def test_miss_promotes_whole_window(self):
+        """'the cache line containing the data block is then transferred
+        into the processor and the VWB' — the adjacent DL1 line of the
+        window becomes a VWB hit."""
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        latency = fe.read(64, 4, 1000.0)  # second line of the same window
+        assert latency == 1.0
+
+    def test_dl1_hit_promotion_costs_array_read(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)  # window 0 resident in VWB, lines in DL1
+        fe.read(128, 4, 1000.0)  # window 128 promoted
+        fe.read(256, 4, 2000.0)  # window 0 evicted (LRU)
+        latency = fe.read(0, 4, 3000.0)  # re-promotion: NVM hit, wide read
+        assert latency == 4.0
+        assert fe.backing.stats.read_hits >= 2
+
+    def test_dl1_miss_served_from_next_level(self):
+        fe = make_frontend(mem_latency=100.0)
+        latency = fe.read(0, 4, 0.0)
+        assert latency >= 100.0
+        assert fe.backing.contains(0)
+
+    def test_promotion_counted(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        assert fe.stats.promotions == 1
+
+    def test_evicted_dirty_window_written_back_to_dl1(self):
+        """'The evicted data from the VWB is stored in the NVM DL1.'"""
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.write(0, 4, 1000.0)  # dirty in VWB
+        fe.read(128, 4, 2000.0)
+        fe.read(256, 4, 3000.0)  # evicts window 0 (dirty)
+        assert fe.stats.buffer_writebacks == 1
+        assert fe.backing.is_dirty(0)
+
+
+class TestStorePolicy:
+    def test_store_hit_updates_vwb_only(self):
+        """'The data block in the DL1 is only updated via the VWB if it's
+        already present in it.'"""
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        dl1_writes_before = fe.backing.stats.writes
+        latency = fe.write(8, 4, 1000.0)
+        assert latency == 1.0
+        assert fe.backing.stats.writes == dl1_writes_before
+        assert fe.vwb.is_dirty(0)
+
+    def test_store_miss_goes_directly_to_dl1(self):
+        """'Otherwise, it's directly updated via the processor' with
+        write-allocate in the array, non-allocate in the VWB."""
+        fe = make_frontend()
+        fe.write(0, 4, 0.0)
+        assert not fe.vwb.contains(0)  # non-allocate
+        assert fe.backing.contains(0)  # write-allocate
+        assert fe.backing.is_dirty(0)
+        assert fe.stats.buffer_write_misses == 1
+
+
+class TestPrefetch:
+    def test_prefetch_stages_without_evicting(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.read(128, 4, 1000.0)  # VWB now holds windows 0 and 128
+        fe.prefetch(256, 2000.0)
+        assert fe.vwb.contains(0) and fe.vwb.contains(128)
+        assert fe.pending_windows == 1
+
+    def test_prefetched_window_served_after_ready(self):
+        fe = make_frontend()
+        fe.prefetch(0, 0.0)
+        latency = fe.read(0, 4, 5000.0)
+        assert latency == 1.0
+
+    def test_early_read_waits_remaining_fill(self):
+        fe = make_frontend(mem_latency=100.0)
+        fe.prefetch(0, 0.0)  # ready past cycle 100
+        latency = fe.read(0, 4, 50.0)
+        assert 1.0 < latency < 120.0
+
+    def test_duplicate_prefetch_is_useless(self):
+        fe = make_frontend()
+        fe.prefetch(0, 0.0)
+        fe.prefetch(0, 1.0)
+        assert fe.stats.prefetches_useless == 1
+
+    def test_prefetch_of_resident_window_is_useless(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.prefetch(64, 1000.0)  # same window
+        assert fe.stats.prefetches_useless == 1
+
+    def test_full_fill_buffers_drop_hint_when_unready(self):
+        fe = make_frontend(fill_buffers=2, mem_latency=1000.0)
+        fe.prefetch(0, 0.0)
+        fe.prefetch(128, 0.0)
+        fe.prefetch(256, 1.0)  # both slots mid-flight: dropped
+        assert fe.pending_windows == 2
+        assert fe.stats.prefetches_useless == 1
+
+    def test_completed_staged_window_displaced_into_vwb(self):
+        fe = make_frontend(fill_buffers=1, mem_latency=10.0)
+        fe.prefetch(0, 0.0)  # ready quickly
+        fe.prefetch(128, 5000.0)  # displaces window 0 into a VWB line
+        assert fe.vwb.contains(0)
+        assert fe.pending_windows == 1
+
+    def test_store_to_staged_window_merges(self):
+        fe = make_frontend()
+        fe.prefetch(0, 0.0)
+        latency = fe.write(0, 4, 5000.0)
+        assert latency == 1.0
+        assert fe.stats.buffer_write_hits == 1
+
+
+class TestTimingDetails:
+    def test_bank_conflict_with_promotion(self):
+        """'the processor may try to fetch new data while the promotion
+        ... is taking place ... Otherwise, the processor must be
+        stalled' — an access to the same bank as an in-flight promotion
+        waits."""
+        fe = make_frontend(banks=2)
+        # Warm both windows into the DL1, then displace them from the VWB.
+        fe.read(0, 4, 0.0)
+        fe.read(128, 4, 1000.0)
+        fe.read(256, 4, 2000.0)
+        fe.read(384, 4, 3000.0)
+        # A background promotion (prefetch) occupies both banks of the
+        # 2-bank array; a demand promotion issued mid-flight must wait.
+        t = 10000.0
+        fe.prefetch(0, t)
+        lat = fe.read(128, 4, t + 1.0)
+        assert lat > 4.0  # bank wait on top of the wide read
+        assert fe.backing.stats.bank_wait_cycles > 0
+
+    def test_read_spanning_two_windows(self):
+        fe = make_frontend()
+        latency = fe.read(120, 16, 0.0)  # crosses windows 0 and 128
+        assert fe.vwb.contains(0) and fe.vwb.contains(128)
+        assert latency > 4.0
+
+    def test_reset(self):
+        fe = make_frontend()
+        fe.read(0, 4, 0.0)
+        fe.prefetch(128, 1.0)
+        fe.reset()
+        assert fe.pending_windows == 0
+        assert fe.stats.buffer_accesses == 0
+        assert not fe.backing.contains(0)
+
+    def test_fill_buffer_validation(self):
+        with pytest.raises(Exception):
+            make_frontend(fill_buffers=0)

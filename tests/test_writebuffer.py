@@ -1,0 +1,106 @@
+"""Write buffer drain/stall model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.writebuffer import WriteBuffer
+
+
+class TestWriteBuffer:
+    def test_accepts_when_empty(self):
+        wb = WriteBuffer(entries=2, drain_cycles=10.0)
+        assert wb.push(now=0.0) == 0.0
+
+    def test_fills_up_then_stalls(self):
+        wb = WriteBuffer(entries=2, drain_cycles=10.0)
+        assert wb.push(0.0) == 0.0  # drains at 10
+        assert wb.push(0.0) == 0.0  # drains at 20 (serialised)
+        stall = wb.push(0.0)  # must wait for the first drain
+        assert stall == 10.0
+
+    def test_drains_serialise(self):
+        wb = WriteBuffer(entries=4, drain_cycles=10.0)
+        wb.push(0.0)
+        wb.push(0.0)
+        assert wb.drain_time(0.0) == 20.0
+
+    def test_retires_over_time(self):
+        wb = WriteBuffer(entries=1, drain_cycles=5.0)
+        wb.push(0.0)
+        assert wb.occupancy(now=4.0) == 1
+        assert wb.occupancy(now=5.0) == 0
+
+    def test_no_stall_after_drain(self):
+        wb = WriteBuffer(entries=1, drain_cycles=5.0)
+        wb.push(0.0)
+        assert wb.push(100.0) == 0.0
+
+    def test_stall_statistics(self):
+        wb = WriteBuffer(entries=1, drain_cycles=10.0)
+        wb.push(0.0)
+        wb.push(0.0)
+        assert wb.total_pushes == 2
+        assert wb.total_stall_cycles == 10.0
+
+    def test_drain_time_empty(self):
+        wb = WriteBuffer(entries=1, drain_cycles=5.0)
+        assert wb.drain_time(0.0) == 0.0
+
+    def test_reset(self):
+        wb = WriteBuffer(entries=1, drain_cycles=5.0)
+        wb.push(0.0)
+        wb.reset()
+        assert wb.occupancy(0.0) == 0
+        assert wb.total_pushes == 0
+
+    def test_capacity(self):
+        assert WriteBuffer(entries=3, drain_cycles=1.0).capacity == 3
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(entries=0, drain_cycles=1.0)
+
+    def test_rejects_negative_drain(self):
+        with pytest.raises(ConfigurationError):
+            WriteBuffer(entries=1, drain_cycles=-1.0)
+
+
+class TestMainMemory:
+    def test_read_latency(self):
+        from repro.mem.mainmem import MainMemory
+
+        mem = MainMemory(latency_cycles=100.0, transfer_cycles=8.0)
+        assert mem.access(0, False, 0.0) == 100.0
+
+    def test_channel_serialises(self):
+        from repro.mem.mainmem import MainMemory
+
+        mem = MainMemory(latency_cycles=100.0, transfer_cycles=8.0)
+        mem.access(0, False, 0.0)
+        # Second request waits for the first transfer slot (8 cycles).
+        assert mem.access(64, False, 0.0) == 108.0
+
+    def test_posted_write_cost(self):
+        from repro.mem.mainmem import MainMemory
+
+        mem = MainMemory(latency_cycles=100.0, transfer_cycles=8.0)
+        assert mem.access(0, True, 0.0) == 8.0
+
+    def test_counters(self):
+        from repro.mem.mainmem import MainMemory
+
+        mem = MainMemory()
+        mem.access(0, False, 0.0)
+        mem.access(0, True, 0.0)
+        assert mem.reads == 1
+        assert mem.writes == 1
+        assert mem.accesses == 2
+
+    def test_reset(self):
+        from repro.mem.mainmem import MainMemory
+
+        mem = MainMemory()
+        mem.access(0, False, 0.0)
+        mem.reset()
+        assert mem.accesses == 0
+        assert mem.access(0, False, 0.0) == mem.latency_cycles
