@@ -1,0 +1,79 @@
+"""Bench: observability overhead guard — the NullProbe path is free.
+
+Every instrumentation site in the CPU/memory substrate is guarded by a
+local ``_probing`` boolean, so an un-probed run pays one attribute load
+and a predictable branch per site.  This bench pins that cost: running
+the fig1 kernel subset with the default :data:`~repro.obs.NULL_PROBE`
+must be within 5% of a run with no probe handling at all (``probe=None``
+skips even the attach/detach), best-of-N wall clock.
+
+It also guards the semantics the tier-1 suite relies on: cycle counts
+are bit-identical with and without the null probe.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.runner import ExperimentRunner, make_system
+from repro.cpu.system import warm_regions_of
+from repro.obs import NULL_PROBE, NullProbe
+
+#: Kernels of the Figure 1 comparison used for the timing run.
+KERNELS = ("gemm", "atax", "mvt")
+CONFIGS = ("vwb", "dropin")
+REPEATS = 6
+MAX_OVERHEAD = 1.05
+
+
+def _material(runner):
+    return [
+        (config, runner.trace(kernel), warm_regions_of(runner.program(kernel)))
+        for config in CONFIGS
+        for kernel in KERNELS
+    ]
+
+
+def _timed_pass(material, probe):
+    start = time.perf_counter()
+    cycles = []
+    for config, trace, regions in material:
+        system = make_system(config)
+        result = system.run(trace, warm_regions=regions, probe=probe)
+        cycles.append(result.cycles)
+    return time.perf_counter() - start, cycles
+
+
+def test_null_probe_overhead_within_budget():
+    runner = ExperimentRunner(kernels=list(KERNELS))
+    material = _material(runner)
+    _timed_pass(material, None)  # warm caches, imports, allocator
+
+    bare_times, null_times = [], []
+    bare_cycles = null_cycles = None
+    for _ in range(REPEATS):
+        elapsed, bare_cycles = _timed_pass(material, None)
+        bare_times.append(elapsed)
+        elapsed, null_cycles = _timed_pass(material, NullProbe())
+        null_times.append(elapsed)
+
+    # Bit-identical simulation either way.
+    assert null_cycles == bare_cycles
+
+    ratio = min(null_times) / min(bare_times)
+    print(
+        f"\nnull-probe overhead: best bare {min(bare_times):.3f}s, "
+        f"best nulled {min(null_times):.3f}s, ratio {ratio:.3f}"
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"NullProbe run is {ratio:.3f}x the bare run (budget {MAX_OVERHEAD}x)"
+    )
+
+
+def test_null_probe_is_inert():
+    assert NULL_PROBE.enabled is False
+    assert NullProbe().enabled is False
+    # Probe hooks are no-ops returning None — nothing to accumulate.
+    assert NULL_PROBE.begin_op("load", 0, 0.0) is None
+    assert NULL_PROBE.end_op(1.0, 1.0) is None
+    assert NULL_PROBE.cache_access("dl1", False, True, 0, 1.0, 1.0, 0.0) is None

@@ -27,6 +27,11 @@ class RunMetrics:
         store_share: Fraction of cycles attributed to stores.
         load_share: Fraction of cycles attributed to loads.
         compute_share: Fraction of cycles attributed to arithmetic.
+        bank_wait_share: Fraction of cycles the DL1 spent waiting on
+            busy banks (a subset of the load/store shares, not additive
+            with them).
+        writeback_stall_share: Fraction of cycles lost to a full DL1
+            write buffer (likewise a subset).
         buffer_hit_rate: Front-end buffer hit rate (0 for plain).
     """
 
@@ -37,6 +42,8 @@ class RunMetrics:
     store_share: float
     load_share: float
     compute_share: float
+    bank_wait_share: float
+    writeback_stall_share: float
     buffer_hit_rate: float
 
 
@@ -58,7 +65,7 @@ def metrics_of(result: RunResult) -> RunMetrics:
     )
     misses = dl1.get("read_misses", 0) + dl1.get("write_misses", 0)
 
-    return RunMetrics(
+    metrics = RunMetrics(
         cycles=result.cycles,
         ipc=result.ipc,
         amat_cycles=result.breakdown.get("load", 0.0) / loads,
@@ -66,8 +73,17 @@ def metrics_of(result: RunResult) -> RunMetrics:
         store_share=result.breakdown.get("store", 0.0) / result.cycles,
         load_share=result.breakdown.get("load", 0.0) / result.cycles,
         compute_share=result.breakdown.get("compute", 0.0) / result.cycles,
+        bank_wait_share=dl1.get("bank_wait_cycles", 0) / result.cycles,
+        writeback_stall_share=dl1.get("writeback_stall_cycles", 0) / result.cycles,
         buffer_hit_rate=buffer_hits / buffer_total if buffer_total else 0.0,
     )
+    # The breakdown partitions the run's cycles (plus ifetch/branch
+    # remainder), so the three op shares can never exceed the whole.
+    assert metrics.load_share + metrics.store_share + metrics.compute_share <= 1.0 + 1e-9, (
+        "cycle shares exceed 100%: "
+        f"{metrics.load_share + metrics.store_share + metrics.compute_share}"
+    )
+    return metrics
 
 
 def compare_runs(runs: Dict[str, RunResult]) -> str:
@@ -84,6 +100,8 @@ def compare_runs(runs: Dict[str, RunResult]) -> str:
         ("load cycle share", "{:.1%}", lambda m: m.load_share),
         ("store cycle share", "{:.1%}", lambda m: m.store_share),
         ("compute cycle share", "{:.1%}", lambda m: m.compute_share),
+        ("bank wait share", "{:.1%}", lambda m: m.bank_wait_share),
+        ("wb stall share", "{:.1%}", lambda m: m.writeback_stall_share),
         ("buffer hit rate", "{:.1%}", lambda m: m.buffer_hit_rate),
     ]
     width = max(len(n) for n in names + ["metric"]) + 2

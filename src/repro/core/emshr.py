@@ -117,6 +117,11 @@ class EMSHRFrontend(DCacheFrontend):
                 self.stats.buffer_read_misses += 1
             else:
                 self.stats.buffer_read_hits += 1
+            if self._probing:
+                self.probe.buffer_access(
+                    "emshr", False, wait == 0.0, line,
+                    wait + self._hit_cycles, self._hit_cycles, now,
+                )
             return wait + self._hit_cycles
         self.stats.buffer_read_misses += 1
         if self.backing.contains(line):
@@ -124,6 +129,8 @@ class EMSHRFrontend(DCacheFrontend):
             return self.backing.line_access(line, False, now)
         latency = self.backing.line_access(line, False, now)
         self._allocate(line, now + latency, now)
+        if self._probing:
+            self.probe.promotion("emshr", line, latency, now)
         return latency
 
     def _write_line(self, line: int, now: float) -> float:
@@ -132,6 +139,11 @@ class EMSHRFrontend(DCacheFrontend):
             wait = max(0.0, entry.ready_at - now)
             entry.dirty = True
             self.stats.buffer_write_hits += 1
+            if self._probing:
+                self.probe.buffer_access(
+                    "emshr", True, True, line,
+                    wait + self._hit_cycles, self._hit_cycles, now,
+                )
             return wait + self._hit_cycles
         self.stats.buffer_write_misses += 1
         return self.backing.access(

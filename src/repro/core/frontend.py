@@ -23,6 +23,7 @@ import abc
 from dataclasses import dataclass, fields
 
 from ..mem.cache import Cache
+from ..obs.probe import NULL_PROBE, Probe
 
 
 @dataclass
@@ -80,6 +81,15 @@ class DCacheFrontend(abc.ABC):
     def __init__(self, backing: Cache) -> None:
         self.backing = backing
         self.stats = FrontendStats()
+        self.probe: Probe = NULL_PROBE
+        self._probing = False
+
+    def set_probe(self, probe: Probe) -> None:
+        """Attach an observability probe to the front-end and its backing
+        cache.  Subclasses owning extra caches extend this."""
+        self.probe = probe
+        self._probing = probe.enabled
+        self.backing.set_probe(probe)
 
     @abc.abstractmethod
     def read(self, addr: int, size: int, now: float) -> float:

@@ -84,6 +84,12 @@ class HybridFrontend(DCacheFrontend):
             _NVMBackAdapter(backing),
         )
 
+    def set_probe(self, probe) -> None:
+        """Attach the probe to the SRAM partition as well; its accesses
+        report under the ``"dl1-sram-partition"`` component."""
+        super().set_probe(probe)
+        self.sram.set_probe(probe)
+
     def read(self, addr: int, size: int, now: float) -> float:
         """Load: SRAM partition first; misses fill from the NVM array."""
         if self.sram.contains(addr):

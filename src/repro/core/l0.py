@@ -136,6 +136,10 @@ class L0Frontend(DCacheFrontend):
                 self.stats.buffer_read_misses += 1
             else:
                 self.stats.buffer_read_hits += 1
+            if self._probing:
+                self.probe.buffer_access(
+                    "l0", False, wait == 0.0, line, wait + hit_cycles, hit_cycles, now
+                )
             return wait + hit_cycles
 
         self.stats.buffer_read_misses += 1
@@ -144,7 +148,10 @@ class L0Frontend(DCacheFrontend):
         index = self._store.lookup(line)
         if index is not None:
             self._store.touch(index)
-        return stall + max(hit_cycles, wait)
+        latency = stall + max(hit_cycles, wait)
+        if self._probing:
+            self.probe.buffer_access("l0", False, False, line, latency, 0.0, now)
+        return latency
 
     def _write_line(self, line: int, now: float) -> float:
         hit_cycles = float(self._store.config.hit_cycles)
@@ -153,6 +160,10 @@ class L0Frontend(DCacheFrontend):
             wait = self._fill_wait(line, now)
             self._store.touch(index, dirty=True)
             self.stats.buffer_write_hits += 1
+            if self._probing:
+                self.probe.buffer_access(
+                    "l0", True, True, line, wait + hit_cycles, hit_cycles, now
+                )
             return wait + hit_cycles
         self.stats.buffer_write_misses += 1
         return self.backing.access(
@@ -171,6 +182,8 @@ class L0Frontend(DCacheFrontend):
         self.stats.promotions += 1
         self.stats.promotion_cycles += int(stall + latency)
         self._fill_ready[line] = now + stall + latency
+        if self._probing:
+            self.probe.promotion("l0", line, stall + latency, now)
         return stall
 
     def _fill_wait(self, line: int, now: float) -> float:

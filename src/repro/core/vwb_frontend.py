@@ -153,6 +153,10 @@ class VWBFrontend(DCacheFrontend):
         if index is not None:
             self.vwb.touch(index)
             self.stats.buffer_read_hits += 1
+            if self._probing:
+                self.probe.buffer_access(
+                    "vwb", False, True, addr, hit_cycles, hit_cycles, now
+                )
             return hit_cycles
 
         staged = self._pending.get(window)
@@ -167,6 +171,10 @@ class VWBFrontend(DCacheFrontend):
                 self.stats.buffer_read_misses += 1
             else:
                 self.stats.buffer_read_hits += 1
+            if self._probing:
+                self.probe.buffer_access(
+                    "vwb", False, wait == 0.0, addr, wait + hit_cycles, hit_cycles, now
+                )
             return wait + hit_cycles
 
         # True miss: demand promotion — the line is "written into the VWB
@@ -179,7 +187,11 @@ class VWBFrontend(DCacheFrontend):
         )
         self.stats.promotions += 1
         self.stats.promotion_cycles += int(stall + result.latency)
-        return stall + max(hit_cycles, result.wait_for(line, now + stall))
+        latency = stall + max(hit_cycles, result.wait_for(line, now + stall))
+        if self._probing:
+            self.probe.promotion("vwb", window, stall + result.latency, now)
+            self.probe.buffer_access("vwb", False, False, addr, latency, 0.0, now)
+        return latency
 
     def _write_window(self, window: int, addr: int, size: int, now: float) -> float:
         hit_cycles = float(self.vwb.config.hit_cycles)
@@ -187,6 +199,10 @@ class VWBFrontend(DCacheFrontend):
         if index is not None:
             self.vwb.touch(index, dirty=True)
             self.stats.buffer_write_hits += 1
+            if self._probing:
+                self.probe.buffer_access(
+                    "vwb", True, True, addr, hit_cycles, hit_cycles, now
+                )
             return hit_cycles
 
         staged = self._pending.get(window)
@@ -196,6 +212,10 @@ class VWBFrontend(DCacheFrontend):
             wait = staged.result.wait_for(self.backing.line_addr(max(addr, window)), now)
             staged.dirty = True
             self.stats.buffer_write_hits += 1
+            if self._probing:
+                self.probe.buffer_access(
+                    "vwb", True, True, addr, wait + hit_cycles, hit_cycles, now
+                )
             return wait + hit_cycles
 
         # Non-allocate for the VWB: the store goes straight to the NVM
@@ -234,6 +254,8 @@ class VWBFrontend(DCacheFrontend):
         self.stats.promotions += 1
         self.stats.promotion_cycles += int(stall + result.latency)
         self._pending[window] = _PendingWindow(result)
+        if self._probing:
+            self.probe.promotion("vwb", window, stall + result.latency, now)
         return stall
 
     def _commit_oldest(self, now: float) -> float:

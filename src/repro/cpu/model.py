@@ -32,7 +32,8 @@ from typing import Deque, Dict, Iterable, Optional
 from ..core.frontend import DCacheFrontend
 from ..errors import ConfigurationError
 from ..mem.hierarchy import MemoryHierarchy
-from ..workloads.trace import Branch, Compute, Load, Prefetch, Store, TraceEvent
+from ..obs.probe import NULL_PROBE, Probe
+from ..workloads.trace import Branch, Compute, IRMark, Load, Prefetch, Store, TraceEvent
 
 #: Load-latency histogram cap: everything slower lands in this bucket.
 LOAD_HISTOGRAM_CAP = 256
@@ -104,6 +105,11 @@ class RunResult:
         frontend_stats: Per-front-end buffer counters (as a dict).
         dl1_stats: Backing DL1 counters (as a dict).
         l2_stats: L2 counters (as a dict).
+        il1_stats: IL1 counters (as a dict; all zero unless
+            ``model_ifetch`` is on).
+        mainmem_stats: Main-memory counters — reads, writes and
+            ``channel_busy_cycles`` (plus row-buffer counters under the
+            banked DRAM model).
         memory_accesses: DRAM line transfers.
         load_latency_histogram: Exposed-load-latency distribution,
             bucketed by whole cycles (key = ``int(exposed)``, capped at
@@ -118,11 +124,20 @@ class RunResult:
     frontend_stats: Dict[str, int] = field(default_factory=dict)
     dl1_stats: Dict[str, int] = field(default_factory=dict)
     l2_stats: Dict[str, int] = field(default_factory=dict)
+    il1_stats: Dict[str, int] = field(default_factory=dict)
+    mainmem_stats: Dict[str, float] = field(default_factory=dict)
     memory_accesses: int = 0
     load_latency_histogram: Dict[int, int] = field(default_factory=dict)
 
     def load_latency_quantile(self, q: float) -> float:
-        """Approximate q-quantile (0..1) of the exposed load latency."""
+        """Approximate q-quantile (0..1) of the exposed load latency.
+
+        The histogram buckets are whole cycles capped at
+        :data:`LOAD_HISTOGRAM_CAP`: every load slower than the cap lands
+        in the cap bucket, so high quantiles (p100 in particular) are
+        reported as the cap and are a *lower bound* on the true latency
+        whenever the overflow bucket is populated.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1]: {q}")
         total = sum(self.load_latency_histogram.values())
@@ -133,8 +148,8 @@ class RunResult:
         for bucket in sorted(self.load_latency_histogram):
             seen += self.load_latency_histogram[bucket]
             if seen >= threshold:
-                return float(bucket)
-        return float(max(self.load_latency_histogram))
+                return float(min(bucket, LOAD_HISTOGRAM_CAP))
+        return float(min(max(self.load_latency_histogram), LOAD_HISTOGRAM_CAP))
 
     @property
     def ipc(self) -> float:
@@ -172,6 +187,7 @@ class InOrderCPU:
         self.config = config
         self.frontend = frontend
         self.hierarchy = hierarchy
+        self.probe: Probe = NULL_PROBE
 
     def run(self, events: Iterable[TraceEvent]) -> RunResult:
         """Execute ``events`` in order; return the timing result."""
@@ -200,14 +216,20 @@ class InOrderCPU:
 
         frontend = self.frontend
         overlap = cfg.load_use_overlap
+        probe = self.probe
+        probing = probe.enabled
 
         for ev in events:
             kind = type(ev)
             if kind is Load:
                 counts["loads"] += 1
                 instructions += 1
+                if probing:
+                    probe.begin_op("load", ev.addr, cycles)
                 latency = frontend.read(ev.addr, ev.size, cycles)
                 exposed = max(1.0, latency - overlap)
+                if probing:
+                    probe.end_op(exposed, latency)
                 cycles += exposed
                 breakdown["load"] += exposed
                 bucket = min(int(exposed), LOAD_HISTOGRAM_CAP)
@@ -217,6 +239,8 @@ class InOrderCPU:
                 instructions += ev.ops
                 cycles += ev.ops
                 breakdown["compute"] += ev.ops
+                if probing:
+                    probe.op("compute", ev.ops, cycles)
             elif kind is Store:
                 counts["stores"] += 1
                 instructions += 1
@@ -226,11 +250,20 @@ class InOrderCPU:
                     store_queue.popleft()
                 if len(store_queue) >= cfg.store_buffer_entries:
                     cycles = store_queue.popleft()
+                if probing:
+                    probe.begin_op("store", ev.addr, start)
                 latency = frontend.write(ev.addr, ev.size, cycles)
                 tail = store_queue[-1] if store_queue else cycles
                 store_queue.append(max(cycles, tail) + latency)
                 cycles += cfg.store_issue_cycles
                 breakdown["store"] += cycles - start
+                if probing:
+                    # The exposed cost is the issue slot plus any wait for
+                    # a free store-buffer entry; the write itself retires
+                    # in the background.
+                    probe.end_op(
+                        cycles - start, latency, cycles - start - cfg.store_issue_cycles
+                    )
             elif kind is Branch:
                 counts["branches"] += 1
                 instructions += 1
@@ -239,12 +272,23 @@ class InOrderCPU:
                     cost += cfg.branch_mispredict_cycles
                 cycles += cost
                 breakdown["branch"] += cost
+                if probing:
+                    probe.op("branch", cost, cycles)
             elif kind is Prefetch:
                 counts["prefetches"] += 1
                 instructions += 1
+                if probing:
+                    probe.begin_op("prefetch", ev.addr, cycles)
                 stall = frontend.prefetch(ev.addr, cycles)
                 cycles += cfg.prefetch_issue_cycles + stall
                 breakdown["prefetch"] += cfg.prefetch_issue_cycles + stall
+                if probing:
+                    probe.end_op(cfg.prefetch_issue_cycles + stall, stall, stall)
+            elif kind is IRMark:
+                # Zero-cost region annotation (profiling traces only).
+                if probing:
+                    probe.mark(ev.label, cycles)
+                continue
 
             if cfg.model_ifetch:
                 new_instrs = instructions - fetch_budget
@@ -254,12 +298,16 @@ class InOrderCPU:
                     stall = max(0.0, latency - 1.0)
                     cycles += stall
                     breakdown["ifetch"] += stall
+                    if probing and stall > 0.0:
+                        probe.op("ifetch", stall, cycles)
                     fetch_pc = (fetch_pc + 64) % cfg.code_bytes
                     fetch_budget += cfg.instructions_per_fetch_line
                     new_instrs -= cfg.instructions_per_fetch_line
 
         # Drain the store buffer: the kernel is done when memory is.
         if store_queue:
+            if probing and store_queue[-1] > cycles:
+                probe.op("store_buffer_full", store_queue[-1] - cycles, cycles)
             cycles = max(cycles, store_queue[-1])
 
         return RunResult(

@@ -21,6 +21,7 @@ from ..errors import ConfigurationError
 from ..mem.cache import Cache, CacheConfig
 from ..mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from ..mem.prefetcher import StridePrefetcher
+from ..obs.probe import NULL_PROBE, Probe
 from ..tech.params import MemoryTechnology, get_technology
 from ..units import kib, ns_to_cycles
 from ..workloads.trace import TraceEvent
@@ -178,11 +179,18 @@ class System:
         self.frontend = build_frontend(config, self.dl1)
         self.cpu = InOrderCPU(config.cpu, self.frontend, self.hierarchy)
 
+    def attach_probe(self, probe: Probe) -> None:
+        """Thread ``probe`` through the CPU, front-end and hierarchy."""
+        self.cpu.probe = probe
+        self.frontend.set_probe(probe)
+        self.hierarchy.set_probe(probe)
+
     def run(
         self,
         events: Iterable[TraceEvent],
         reset: bool = True,
         warm_regions: Optional[Iterable] = None,
+        probe: Optional[Probe] = None,
     ) -> RunResult:
         """Execute a trace.
 
@@ -198,6 +206,11 @@ class System:
                 the paper's gem5 SE runs execute ahead of the kernel.
                 The L1 D-cache itself starts cold (initialisation touches
                 far more data than it holds).
+            probe: Optional observability probe for this run only.  It is
+                attached *after* the warm-up phase (warm-up cycles are not
+                part of the measured run), its ``finish`` hook runs with
+                the result (verifying the cycle ledger), and the system is
+                returned to the null probe before the call returns.
         """
         if reset:
             self.reset()
@@ -208,9 +221,19 @@ class System:
             self.frontend.clear_stats()
         if warm_regions is not None:
             self.warm_l2(warm_regions)
-        result = self.cpu.run(events)
+        if probe is not None:
+            self.attach_probe(probe)
+        try:
+            result = self.cpu.run(events)
+        finally:
+            if probe is not None:
+                self.attach_probe(NULL_PROBE)
         result.l2_stats = self.hierarchy.l2.stats.as_dict()
+        result.il1_stats = self.hierarchy.il1.stats.as_dict()
+        result.mainmem_stats = self.hierarchy.memory.stats_dict()
         result.memory_accesses = self.hierarchy.memory.accesses
+        if probe is not None:
+            probe.finish(result)
         return result
 
     def warm_l2(self, regions: Iterable) -> None:

@@ -1,8 +1,14 @@
-"""Machine-readable export of experiment results (JSON / CSV).
+"""Machine-readable export of experiment results (JSON / CSV / traces).
 
 ``python -m repro fig5 --json out/`` writes ``out/fig5.json`` alongside
 the text rendering; downstream plotting (matplotlib, gnuplot, a
 spreadsheet) consumes these instead of scraping the text tables.
+
+The profile exporters turn a :class:`~repro.obs.profile.ProfileResult`
+into a Chrome trace-event JSON file (loadable in Perfetto / ``chrome://
+tracing``), a per-region ledger CSV, and a collapsed-stack flamegraph
+summary.  One simulated cycle maps to one microsecond of trace time so
+the Perfetto timeline reads directly in cycles.
 """
 
 from __future__ import annotations
@@ -10,9 +16,15 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
-from typing import Union
+from typing import Dict, List, Union
 
+from ..obs import ProfileResult
 from .report import FigureResult
+
+#: pid of the CPU-side track and the memory-substrate tracks in the
+#: exported Chrome trace (one tid per reporting component).
+CPU_PID = 1
+MEM_PID = 2
 
 
 def figure_to_dict(result: FigureResult) -> dict:
@@ -51,3 +63,140 @@ def write_csv(result: FigureResult, directory: Union[str, pathlib.Path]) -> path
             avg = result.averages()
             writer.writerow(["AVERAGE"] + [avg[key] for key in result.series])
     return path
+
+
+# ----------------------------------------------------------------------
+# Profile export (Chrome trace events / CSV / flamegraph)
+# ----------------------------------------------------------------------
+
+
+def profile_to_chrome_trace(profile: ProfileResult) -> dict:
+    """Chrome trace-event JSON object for one profiling run.
+
+    CPU op brackets land on ``pid 1``; each memory-substrate component
+    (front-end buffer, cache level, DRAM) gets its own thread on
+    ``pid 2`` so Perfetto renders one swim-lane per component.  Events
+    are ``"X"`` (complete) records with ``ts``/``dur`` in simulated
+    cycles (1 cycle == 1 us of trace time), sorted by timestamp.
+    """
+    trace_events: List[dict] = [
+        {"ph": "M", "pid": CPU_PID, "name": "process_name", "args": {"name": "cpu"}},
+        {"ph": "M", "pid": MEM_PID, "name": "process_name", "args": {"name": "mem"}},
+        {"ph": "M", "pid": CPU_PID, "tid": 1, "name": "thread_name", "args": {"name": "ops"}},
+    ]
+    mem_tids: Dict[str, int] = {}
+    body: List[dict] = []
+    for ev in profile.events:
+        if ev.source == "cpu":
+            pid, tid = CPU_PID, 1
+        else:
+            tid = mem_tids.get(ev.source)
+            if tid is None:
+                tid = mem_tids[ev.source] = len(mem_tids) + 1
+            pid = MEM_PID
+        args: Dict[str, object] = {}
+        if ev.addr is not None:
+            args["addr"] = f"0x{ev.addr:x}"
+        if ev.region:
+            args["region"] = ev.region
+        if ev.args:
+            args.update(ev.args)
+        body.append(
+            {
+                "ph": "X",
+                "name": ev.kind,
+                "cat": ev.source,
+                "ts": ev.ts,
+                "dur": ev.dur,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    body.sort(key=lambda e: e["ts"])
+    for source, tid in sorted(mem_tids.items(), key=lambda kv: kv[1]):
+        trace_events.append(
+            {"ph": "M", "pid": MEM_PID, "tid": tid, "name": "thread_name", "args": {"name": source}}
+        )
+    trace_events.extend(body)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "kernel": profile.kernel,
+            "config": profile.config,
+            "level": profile.level,
+            "cycles": profile.result.cycles,
+            "dropped_events": profile.dropped_events,
+        },
+    }
+
+
+def write_perfetto(profile: ProfileResult, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write ``<directory>/profile_<kernel>_<config>.json``; returns the path."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"profile_{profile.kernel}_{profile.config}.json"
+    path.write_text(json.dumps(profile_to_chrome_trace(profile)) + "\n")
+    return path
+
+
+def write_profile_csv(profile: ProfileResult, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write the per-region cycle ledger as CSV; returns the path.
+
+    One row per (IR region, category) with non-zero cycles, followed by
+    overall ``TOTAL`` rows per category — ready for pivoting in a
+    spreadsheet.
+    """
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"profile_{profile.kernel}_{profile.config}.csv"
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["region", "category", "cycles"])
+        for region in sorted(profile.ledger.loop_totals):
+            sub = profile.ledger.loop_totals[region]
+            for category, cycles in sorted(sub.items(), key=lambda kv: -kv[1]):
+                if cycles > 0.0:
+                    writer.writerow([region or "(top)", category, cycles])
+        for category, cycles in profile.ledger.nonzero():
+            writer.writerow(["TOTAL", category, cycles])
+    return path
+
+
+def render_flame(profile: ProfileResult) -> str:
+    """Collapsed-stack flamegraph summary of the cycle ledger.
+
+    One ``kernel;region;category cycles`` line per non-zero bucket (the
+    input format of the classic ``flamegraph.pl`` tooling), ordered by
+    descending weight.
+    """
+    root = f"{profile.kernel}[{profile.config}]"
+    lines: List[str] = []
+    for region, sub in profile.ledger.loop_totals.items():
+        stack = f"{root};{region}" if region else root
+        for category, cycles in sub.items():
+            if cycles > 0.0:
+                lines.append((cycles, f"{stack};{category} {cycles:.10g}"))
+    lines.sort(key=lambda pair: -pair[0])
+    return "\n".join(text for _, text in lines)
+
+
+def render_profile(profile: ProfileResult) -> str:
+    """Full text report of one profiling run (ledger, histograms, flame)."""
+    result = profile.result
+    header = (
+        f"profile: {profile.kernel} on {profile.config} (level={profile.level})\n"
+        f"cycles: {result.cycles:.10g}  instructions: {result.instructions}  "
+        f"IPC: {result.ipc:.3f}"
+    )
+    if profile.dropped_events:
+        header += f"\n(timeline truncated: {profile.dropped_events} events dropped)"
+    parts = [
+        header,
+        profile.ledger.render(),
+        profile.histograms.render(),
+        "flamegraph (collapsed stacks):",
+        render_flame(profile),
+    ]
+    return "\n\n".join(part for part in parts if part)

@@ -15,9 +15,11 @@ from typing import Dict, List, Optional, Tuple
 from ..cpu.model import RunResult
 from ..cpu.system import System, SystemConfig, warm_regions_of
 from ..errors import ConfigurationError
+from ..obs import ProfileResult, RecordingProbe
 from ..transforms.pipeline import OptLevel, optimize
 from ..workloads import build_kernel, kernel_names, materialize_trace
 from ..workloads.datasets import DatasetSize
+from ..workloads.interp import TraceConfig
 from ..workloads.trace import TraceEvent
 
 #: The named platform configurations of the evaluation (Section VI).
@@ -30,17 +32,36 @@ CONFIGURATIONS: Dict[str, SystemConfig] = {
     "hybrid": SystemConfig(technology="stt-mram", frontend="hybrid"),
 }
 
+#: Spelled-out aliases accepted anywhere a configuration name is
+#: (``repro profile gemm --config nvm-vwb`` reads naturally).
+CONFIG_ALIASES: Dict[str, str] = {
+    "baseline": "sram",
+    "nvm": "dropin",
+    "nvm-dropin": "dropin",
+    "nvm-vwb": "vwb",
+    "nvm-l0": "l0",
+    "nvm-emshr": "emshr",
+    "nvm-hybrid": "hybrid",
+}
+
+
+def resolve_config_name(name: str) -> str:
+    """Canonical configuration name for ``name`` (aliases resolved)."""
+    name = name.strip().lower()
+    name = CONFIG_ALIASES.get(name, name)
+    if name not in CONFIGURATIONS:
+        valid = ", ".join(list(CONFIGURATIONS) + sorted(CONFIG_ALIASES))
+        raise ConfigurationError(
+            f"unknown configuration {name!r}; expected one of: {valid}"
+        )
+    return name
+
 
 def make_system(name_or_config) -> System:
     """Build a :class:`System` from a configuration name or object."""
     if isinstance(name_or_config, SystemConfig):
         return System(name_or_config)
-    if name_or_config not in CONFIGURATIONS:
-        valid = ", ".join(CONFIGURATIONS)
-        raise ConfigurationError(
-            f"unknown configuration {name_or_config!r}; expected one of: {valid}"
-        )
-    return System(CONFIGURATIONS[name_or_config])
+    return System(CONFIGURATIONS[resolve_config_name(name_or_config)])
 
 
 class ExperimentRunner:
@@ -62,6 +83,7 @@ class ExperimentRunner:
         self.kernels = list(kernels) if kernels is not None else kernel_names()
         self._programs: Dict[Tuple[str, OptLevel], object] = {}
         self._traces: Dict[Tuple[str, OptLevel], List[TraceEvent]] = {}
+        self._annotated_traces: Dict[Tuple[str, OptLevel], List[TraceEvent]] = {}
         self._results: Dict[Tuple, RunResult] = {}
 
     # ------------------------------------------------------------------
@@ -82,6 +104,19 @@ class ExperimentRunner:
         if key not in self._traces:
             self._traces[key] = materialize_trace(self.program(kernel, level))
         return self._traces[key]
+
+    def annotated_trace(self, kernel: str, level: OptLevel = OptLevel.NONE) -> List[TraceEvent]:
+        """Trace with zero-cost IR loop marks, for profiling runs.
+
+        Cached separately from :meth:`trace` so figure runs keep using
+        the seed's mark-free traces.
+        """
+        key = (kernel, level)
+        if key not in self._annotated_traces:
+            self._annotated_traces[key] = materialize_trace(
+                self.program(kernel, level), TraceConfig(annotate_ir=True)
+            )
+        return self._annotated_traces[key]
 
     # ------------------------------------------------------------------
     # Execution
@@ -121,6 +156,49 @@ class ExperimentRunner:
         if key is not None:
             self._results[key] = result
         return result
+
+    def profile(
+        self,
+        kernel: str,
+        config: str = "vwb",
+        level: OptLevel = OptLevel.NONE,
+        record_events: bool = True,
+        max_events: int = 200_000,
+    ) -> ProfileResult:
+        """Run one kernel under a :class:`RecordingProbe` and package it.
+
+        The run uses an IR-annotated trace (same cycle count as the plain
+        trace — marks are zero-cost) so the ledger carries per-IR-loop
+        subtotals, and verifies ledger exactness against the run's cycle
+        count before returning.
+
+        Args:
+            kernel: Kernel name.
+            config: Configuration name or alias (e.g. ``"nvm-vwb"``).
+            level: Optimization level of the code.
+            record_events: Keep the per-event timeline for trace export
+                (ledger/histograms are always collected).
+            max_events: Cap on retained timeline events; overflow is
+                counted in :attr:`ProfileResult.dropped_events`.
+        """
+        name = resolve_config_name(config)
+        system = make_system(name)
+        probe = RecordingProbe(record_events=record_events, max_events=max_events)
+        result = system.run(
+            self.annotated_trace(kernel, level),
+            warm_regions=warm_regions_of(self.program(kernel, level)),
+            probe=probe,
+        )
+        return ProfileResult(
+            kernel=kernel,
+            config=name,
+            level=level.name,
+            result=result,
+            ledger=probe.ledger,
+            histograms=probe.histograms,
+            events=probe.events,
+            dropped_events=probe.dropped_events,
+        )
 
     def penalty(
         self,

@@ -88,6 +88,26 @@ def build_summary(runner: Optional[ExperimentRunner] = None) -> List[SummaryRow]
     rows.append(SummaryRow("fig7", "penalty at 1 Kbit VWB", None, f7["vwb_1kbit"]))
     rows.append(SummaryRow("fig7", "penalty at 2 Kbit VWB", None, f7["vwb_2kbit"]))
     rows.append(SummaryRow("fig7", "penalty at 4 Kbit VWB", None, f7["vwb_4kbit"]))
+
+    # Down-hierarchy behaviour of the proposal (no paper counterpart —
+    # the paper only reports total cycles, but these counters explain
+    # them: an L1 organisation can only shift penalty it does not push
+    # into L2/DRAM traffic).
+    l2_mpki, dram_busy = [], []
+    for kernel in runner.kernels:
+        res = runner.run("vwb", kernel, OptLevel.NONE)
+        l2 = res.l2_stats
+        l2_mpki.append(
+            (l2.get("read_misses", 0) + l2.get("write_misses", 0))
+            / res.instructions
+            * 1000.0
+        )
+        busy = res.mainmem_stats.get("channel_busy_cycles", 0.0)
+        dram_busy.append(busy / res.cycles * 100.0)
+    rows.append(SummaryRow("memory", "L2 MPKI under VWB, average", None, avg(l2_mpki), unit=""))
+    rows.append(
+        SummaryRow("memory", "DRAM channel busy under VWB, average", None, avg(dram_busy))
+    )
     return rows
 
 

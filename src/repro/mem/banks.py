@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from ..errors import ConfigurationError
+from ..obs.probe import NULL_PROBE, Probe
 from ..units import is_power_of_two
 
 
@@ -36,6 +37,15 @@ class BankTimer:
             raise ConfigurationError(f"line size must be positive: {line_bytes}")
         self._line_bytes = line_bytes
         self._busy_until: List[float] = [0.0] * banks
+        self._probe: Probe = NULL_PROBE
+        self._probing = False
+        self._owner = ""
+
+    def set_probe(self, probe: Probe, owner: str) -> None:
+        """Attach ``probe``; conflicts are reported under ``owner``."""
+        self._probe = probe
+        self._probing = probe.enabled
+        self._owner = owner
 
     @property
     def banks(self) -> int:
@@ -63,7 +73,10 @@ class BankTimer:
         start = max(now, self._busy_until[bank])
         finish = start + occupancy
         self._busy_until[bank] = finish
-        return start - now, finish
+        wait = start - now
+        if self._probing and wait > 0.0:
+            self._probe.bank_conflict(self._owner, addr, wait, now)
+        return wait, finish
 
     def reserve_range(
         self, addr: int, n_lines: int, now: float, occupancy_per_line: float
@@ -96,6 +109,8 @@ class BankTimer:
         for i in range(n_lines):
             bank = self.bank_of(addr + i * self._line_bytes)
             self._busy_until[bank] = max(self._busy_until[bank], now + per_bank_extra[bank])
+        if self._probing and worst_wait > 0.0:
+            self._probe.bank_conflict(self._owner, addr, worst_wait, now)
         return worst_wait, last_finish
 
     def next_free(self, addr: int, now: float) -> float:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol
 
 from ..errors import ConfigurationError, SimulationError
+from ..obs.probe import NULL_PROBE, Probe
 from ..units import is_power_of_two, log2_exact
 from .banks import BankTimer
 from .mshr import MSHRFile
@@ -181,6 +182,16 @@ class Cache:
         )
         self._line_writes: Dict[int, int] = {}
         self._fast_write_credit = 0.0
+        self.probe: Probe = NULL_PROBE
+        self._probing = False
+
+    def set_probe(self, probe: Probe) -> None:
+        """Attach an observability probe to this cache and its sub-structures."""
+        self.probe = probe
+        self._probing = probe.enabled
+        self._banks.set_probe(probe, self.config.name)
+        self._write_buffer.set_probe(probe, self.config.name)
+        self._mshrs.set_probe(probe, self.config.name)
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -447,6 +458,11 @@ class Cache:
                 self.stats.write_hits += 1
             else:
                 self.stats.read_hits += 1
+            if self._probing:
+                self.probe.cache_access(
+                    self.config.name, is_write, True, line,
+                    wait + hit_cycles, float(hit_cycles), now,
+                )
             return wait + hit_cycles
 
         # Miss: first check for an in-flight fill (software prefetch).
@@ -462,9 +478,17 @@ class Cache:
                 if way is not None:
                     self._dirty[index][way] = True
                     self._count_line_write(index, way)
-                return remaining + self._array_write_cycles()
-            self.stats.read_misses += 1
-            return max(float(self.config.read_hit_cycles), remaining)
+                latency = remaining + self._array_write_cycles()
+            else:
+                self.stats.read_misses += 1
+                latency = max(float(self.config.read_hit_cycles), remaining)
+            if self._probing:
+                # The in-flight fill time is this level's to account for
+                # (its prefetch issued the next-level request earlier).
+                self.probe.cache_access(
+                    self.config.name, is_write, False, line, latency, latency, now
+                )
+            return latency
 
         # True miss: fetch from the next level (write-allocate for writes).
         if is_write:
@@ -481,8 +505,16 @@ class Cache:
             if way is not None:
                 self._dirty[index][way] = True
                 self._count_line_write(index, way)
-            return data_ready - now + self._array_write_cycles()
-        return data_ready - now
+            latency = data_ready - now + self._array_write_cycles()
+        else:
+            latency = data_ready - now
+        if self._probing:
+            # Only the tag check is this level's own time; the next level
+            # reported its share itself during the nested access call.
+            self.probe.cache_access(
+                self.config.name, is_write, False, line, latency, tag_check, now
+            )
+        return latency
 
     def _mshr_ready_fill(self, line: int, now: float) -> bool:
         """Install a completed prefetch for ``line`` if one is lingering."""

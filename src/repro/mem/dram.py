@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..errors import ConfigurationError
+from ..obs.probe import NULL_PROBE, Probe
 from ..units import is_power_of_two
 
 
@@ -75,6 +76,14 @@ class BankedMemory:
         self.writes = 0
         self.row_hits = 0
         self.row_misses = 0
+        self.channel_busy_cycles = 0.0
+        self.probe: Probe = NULL_PROBE
+        self._probing = False
+
+    def set_probe(self, probe: Probe) -> None:
+        """Attach an observability probe."""
+        self.probe = probe
+        self._probing = probe.enabled
 
     @property
     def accesses(self) -> int:
@@ -111,13 +120,18 @@ class BankedMemory:
         data_at = start + array_time
         bank.busy_until = data_at
         self._channel_free_at = data_at + cfg.transfer_cycles
+        self.channel_busy_cycles += cfg.transfer_cycles
 
         if is_write:
             self.writes += 1
             # Posted write: wait for the slot, not the array.
-            return start - now + cfg.transfer_cycles
-        self.reads += 1
-        return data_at + cfg.transfer_cycles - now
+            latency = start - now + cfg.transfer_cycles
+        else:
+            self.reads += 1
+            latency = data_at + cfg.transfer_cycles - now
+        if self._probing:
+            self.probe.mem_access("dram", is_write, latency, now)
+        return latency
 
     def clear_stats(self) -> None:
         """Zero counters and timing; open rows are also closed (a run
@@ -134,6 +148,7 @@ class BankedMemory:
         self.writes = 0
         self.row_hits = 0
         self.row_misses = 0
+        self.channel_busy_cycles = 0.0
 
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for reports."""
@@ -143,4 +158,9 @@ class BankedMemory:
             "row_hits": self.row_hits,
             "row_misses": self.row_misses,
             "row_hit_rate": self.row_hit_rate,
+            "channel_busy_cycles": self.channel_busy_cycles,
         }
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Uniform counter accessor shared with :class:`MainMemory`."""
+        return self.stats()

@@ -106,6 +106,12 @@ class MemoryHierarchy:
         self.l2_port = LineAccessAdapter(self.l2)
         self.il1 = Cache(config.il1, self.l2_port)
 
+    def set_probe(self, probe) -> None:
+        """Attach an observability probe to every shared level."""
+        self.memory.set_probe(probe)
+        self.l2.set_probe(probe)
+        self.il1.set_probe(probe)
+
     def ifetch(self, addr: int, now: float) -> float:
         """Fetch one instruction line through the IL1."""
         return self.il1.line_access(addr, False, now)

@@ -10,7 +10,10 @@ free in the dataset-scaling ablation.
 
 from __future__ import annotations
 
+from typing import Dict
+
 from ..errors import ConfigurationError
+from ..obs.probe import NULL_PROBE, Probe
 
 
 class MainMemory:
@@ -30,6 +33,14 @@ class MainMemory:
         self._channel_free_at = 0.0
         self.reads = 0
         self.writes = 0
+        self.channel_busy_cycles = 0.0
+        self.probe: Probe = NULL_PROBE
+        self._probing = False
+
+    def set_probe(self, probe: Probe) -> None:
+        """Attach an observability probe."""
+        self.probe = probe
+        self._probing = probe.enabled
 
     @property
     def accesses(self) -> int:
@@ -45,12 +56,25 @@ class MainMemory:
         """
         start = max(now, self._channel_free_at)
         self._channel_free_at = start + self.transfer_cycles
+        self.channel_busy_cycles += self.transfer_cycles
         if is_write:
             self.writes += 1
             # Posted write: the requester only waits for the channel slot.
-            return start - now + self.transfer_cycles
-        self.reads += 1
-        return start - now + self.latency_cycles
+            latency = start - now + self.transfer_cycles
+        else:
+            self.reads += 1
+            latency = start - now + self.latency_cycles
+        if self._probing:
+            self.probe.mem_access("dram", is_write, latency, now)
+        return latency
+
+    def stats_dict(self) -> Dict[str, float]:
+        """Counter snapshot (reads, writes, channel occupancy) for reports."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "channel_busy_cycles": self.channel_busy_cycles,
+        }
 
     def clear_stats(self) -> None:
         """Zero counters and channel state (main memory has no contents)."""
@@ -61,3 +85,4 @@ class MainMemory:
         self._channel_free_at = 0.0
         self.reads = 0
         self.writes = 0
+        self.channel_busy_cycles = 0.0

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import ConfigurationError
+from ..obs.probe import NULL_PROBE, Probe
 
 
 @dataclass
@@ -46,6 +47,15 @@ class MSHRFile:
         self.allocations = 0
         self.merges = 0
         self.full_rejections = 0
+        self._probe: Probe = NULL_PROBE
+        self._probing = False
+        self._owner = ""
+
+    def set_probe(self, probe: Probe, owner: str) -> None:
+        """Attach ``probe``; MSHR events are reported under ``owner``."""
+        self._probe = probe
+        self._probing = probe.enabled
+        self._owner = owner
 
     @property
     def capacity(self) -> int:
@@ -69,17 +79,23 @@ class MSHRFile:
         existing = self._entries.get(line_addr)
         if existing is not None:
             self.merges += 1
+            if self._probing:
+                self._probe.mshr_event(self._owner, "merge", line_addr, now)
             return existing
         if len(self._entries) >= self._capacity:
             self.reclaim_completed(now)
         if len(self._entries) >= self._capacity:
             self.full_rejections += 1
+            if self._probing:
+                self._probe.mshr_event(self._owner, "full", line_addr, now)
             return None
         entry = MSHREntry(
             line_addr=line_addr, ready_at=ready_at, issued_at=now, is_prefetch=is_prefetch
         )
         self._entries[line_addr] = entry
         self.allocations += 1
+        if self._probing:
+            self._probe.mshr_event(self._owner, "allocate", line_addr, now)
         return entry
 
     def release(self, line_addr: int) -> None:

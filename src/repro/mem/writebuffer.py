@@ -15,6 +15,7 @@ from collections import deque
 from typing import Deque
 
 from ..errors import ConfigurationError
+from ..obs.probe import NULL_PROBE, Probe
 
 
 class WriteBuffer:
@@ -39,6 +40,15 @@ class WriteBuffer:
         self._completions: Deque[float] = deque()
         self.total_pushes = 0
         self.total_stall_cycles = 0.0
+        self._probe: Probe = NULL_PROBE
+        self._probing = False
+        self._owner = ""
+
+    def set_probe(self, probe: Probe, owner: str) -> None:
+        """Attach ``probe``; stalls are reported under ``owner``."""
+        self._probe = probe
+        self._probing = probe.enabled
+        self._owner = owner
 
     @property
     def capacity(self) -> int:
@@ -57,6 +67,7 @@ class WriteBuffer:
             Stall cycles suffered by the producer (0 when a slot is free).
         """
         self._retire(now)
+        at = now
         stall = 0.0
         if len(self._completions) >= self._entries:
             # Wait for the oldest entry to drain, freeing one slot.
@@ -67,6 +78,8 @@ class WriteBuffer:
         self._completions.append(start + self._drain_cycles)
         self.total_pushes += 1
         self.total_stall_cycles += stall
+        if self._probing and stall > 0.0:
+            self._probe.wb_stall(self._owner, stall, at)
         return stall
 
     def drain_time(self, now: float) -> float:

@@ -1,0 +1,37 @@
+"""Observability layer: cycle-attribution probes, ledger, histograms.
+
+``repro.obs`` answers the question every figure of the paper implicitly
+argues about — *where do the cycles go?* — with hard numbers instead of
+aggregate counters:
+
+- :mod:`repro.obs.probe` defines the :class:`~repro.obs.probe.Probe`
+  interface threaded through the CPU, every D-cache front-end and the
+  whole memory substrate, plus the zero-overhead
+  :class:`~repro.obs.probe.NullProbe` default and the
+  :class:`~repro.obs.probe.RecordingProbe` used by ``repro profile``;
+- :mod:`repro.obs.ledger` holds the :class:`~repro.obs.ledger.CycleLedger`
+  that attributes every exposed CPU cycle to one category and checks the
+  attribution is exact (totals equal ``RunResult.cycles``);
+- :mod:`repro.obs.histograms` generalises the per-load latency histogram
+  to every component of the hierarchy;
+- :mod:`repro.obs.profile` bundles one instrumented run into a
+  :class:`~repro.obs.profile.ProfileResult` for the exporters in
+  :mod:`repro.experiments.export`.
+"""
+
+from .histograms import LatencyHistograms
+from .ledger import LEDGER_CATEGORIES, CycleLedger
+from .probe import NULL_PROBE, NullProbe, Probe, ProbeEvent, RecordingProbe
+from .profile import ProfileResult
+
+__all__ = [
+    "LEDGER_CATEGORIES",
+    "CycleLedger",
+    "LatencyHistograms",
+    "NULL_PROBE",
+    "NullProbe",
+    "Probe",
+    "ProbeEvent",
+    "ProfileResult",
+    "RecordingProbe",
+]

@@ -1,0 +1,97 @@
+"""Per-component latency histograms.
+
+Generalises :attr:`repro.cpu.model.RunResult.load_latency_histogram`
+(which only sees loads, from the CPU's point of view) to every probed
+component of the hierarchy: DL1 reads and writes, L2, DRAM, the
+front-end buffers, bank-conflict waits and write-buffer stalls each get
+their own histogram, keyed by component name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Latencies at or above the cap share one overflow bucket, matching the
+#: CPU-side ``LOAD_HISTOGRAM_CAP`` convention.
+HISTOGRAM_CAP = 256
+
+
+class LatencyHistograms:
+    """A family of integer-bucketed latency histograms.
+
+    Latencies are bucketed by ``int(latency)`` clamped to
+    :data:`HISTOGRAM_CAP`, so half-cycle values land in the bucket of
+    their integer floor and pathological latencies cannot blow up the
+    bucket count.
+    """
+
+    __slots__ = ("cap", "data")
+
+    def __init__(self, cap: int = HISTOGRAM_CAP) -> None:
+        self.cap = cap
+        self.data: Dict[str, Dict[int, int]] = {}
+
+    def add(self, component: str, latency: float) -> None:
+        """Record one observation of ``latency`` for ``component``."""
+        bucket = int(latency)
+        if bucket > self.cap:
+            bucket = self.cap
+        hist = self.data.get(component)
+        if hist is None:
+            hist = self.data[component] = {}
+        hist[bucket] = hist.get(bucket, 0) + 1
+
+    def components(self) -> List[str]:
+        """Component names with at least one observation, sorted."""
+        return sorted(self.data)
+
+    def count(self, component: str) -> int:
+        """Total observations recorded for ``component``."""
+        return sum(self.data.get(component, {}).values())
+
+    def quantile(self, component: str, q: float) -> float:
+        """The ``q``-quantile latency bucket for ``component``.
+
+        Like :meth:`repro.cpu.model.RunResult.load_latency_quantile`,
+        the answer is the *bucket* (latencies are floored into integer
+        buckets and capped at :attr:`cap`), so the true p100 may exceed
+        the returned value when observations overflowed the cap.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        hist = self.data.get(component, {})
+        total = sum(hist.values())
+        if total == 0:
+            return 0.0
+        target = q * total
+        seen = 0
+        for bucket in sorted(hist):
+            seen += hist[bucket]
+            if seen >= target:
+                return float(min(bucket, self.cap))
+        return float(min(max(hist), self.cap))
+
+    def summary(self, component: str) -> Tuple[int, float, float, float]:
+        """``(count, p50, p95, p100-bucket)`` for ``component``."""
+        return (
+            self.count(component),
+            self.quantile(component, 0.5),
+            self.quantile(component, 0.95),
+            self.quantile(component, 1.0),
+        )
+
+    def as_dict(self) -> Dict[str, Dict[int, int]]:
+        """Plain-dict copy (component -> bucket -> count) for export."""
+        return {name: dict(hist) for name, hist in self.data.items()}
+
+    def render(self) -> str:
+        """Aligned text table of per-component count/p50/p95/p100."""
+        header = f"{'component':<24}{'count':>10}{'p50':>8}{'p95':>8}{'p100':>8}"
+        lines = [header, "-" * len(header)]
+        for name in self.components():
+            count, p50, p95, p100 = self.summary(name)
+            cap_mark = "+" if self.data[name].get(self.cap) else " "
+            lines.append(
+                f"{name:<24}{count:>10}{p50:>8.0f}{p95:>8.0f}{p100:>7.0f}{cap_mark}"
+            )
+        return "\n".join(lines)

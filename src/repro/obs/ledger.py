@@ -1,0 +1,198 @@
+"""The cycle ledger: exact attribution of every exposed CPU cycle.
+
+Every cycle the :class:`~repro.cpu.model.InOrderCPU` adds to the run
+clock is charged to exactly one category, so the category totals sum to
+``RunResult.cycles`` *exactly* — not approximately — which is what lets
+the ledger arbitrate claims like "the drop-in penalty is dominated by
+NVM read latency" (Figure 1) or "the VWB removes the long NVM read from
+the critical path" (Figure 3).
+
+Attribution scheme
+------------------
+
+Simple costs (compute ops, branches, i-fetch stalls) are charged
+directly.  A demand access's *exposed* cost (latency minus whatever the
+pipeline overlapped) is split over the latency components the memory
+substrate reported while serving it, deepest component first: DRAM time
+is charged before L2 time before bank-conflict waits before the local
+array read, and whatever the overlap hid comes out of the shallow end —
+matching how an in-order pipeline actually hides latency (the load-use
+slot overlaps the front of the access, never the DRAM tail).  All
+arithmetic is subtraction and ``min`` over cycle counts that are exact
+binary fractions (the timing model deals in halves), so no rounding
+residue can accumulate.
+
+Stores and prefetches retire in the background; their exposed cost is
+the issue slot plus any structural stall (full store buffer, full write
+buffer), and the background components the access touched are excluded
+so they are never double-charged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import SimulationError
+
+#: Every ledger category, in report order.  ``compute``/``branch`` are
+#: the datapath floor; ``frontend_hit`` is a VWB/L0/EMSHR/hybrid-SRAM
+#: buffer hit; ``dl1_read``/``dl1_write`` are NVM (or SRAM) array time;
+#: ``bank_conflict``/``writeback_stall``/``store_buffer_full`` are the
+#: structural stalls; ``l2``/``dram`` are below-DL1 time; ``prefetch``
+#: is prefetch issue slots and ``ifetch`` the optional IL1 stalls.
+LEDGER_CATEGORIES: Tuple[str, ...] = (
+    "compute",
+    "branch",
+    "frontend_hit",
+    "dl1_read",
+    "dl1_write",
+    "bank_conflict",
+    "writeback_stall",
+    "l2",
+    "dram",
+    "store_buffer_full",
+    "prefetch",
+    "ifetch",
+)
+
+#: Component charge order for demand loads: deepest (least hideable)
+#: first.  Anything left after all reported components goes to the
+#: DL1 read array time (the default home of a load's cycles).
+_LOAD_PRIORITY: Tuple[str, ...] = (
+    "dram",
+    "l2",
+    "bank_conflict",
+    "writeback_stall",
+    "frontend_hit",
+    "dl1_read",
+    "dl1_write",
+)
+
+
+class CycleLedger:
+    """Per-category (and per-IR-loop) totals of exposed CPU cycles.
+
+    Attributes:
+        totals: Cycles charged per :data:`LEDGER_CATEGORIES` entry.
+        loop_totals: Per-IR-region subtotals (region label -> category
+            -> cycles).  Populated only when the trace carries
+            :class:`~repro.workloads.trace.IRMark` annotations.
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {c: 0.0 for c in LEDGER_CATEGORIES}
+        self.loop_totals: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+
+    def charge(self, category: str, cycles: float, region: str = "") -> None:
+        """Charge ``cycles`` to ``category`` (and the region subtotal)."""
+        if category not in self.totals:
+            raise SimulationError(f"unknown ledger category {category!r}")
+        self.totals[category] += cycles
+        if region:
+            bucket = self.loop_totals.setdefault(region, {})
+            bucket[category] = bucket.get(category, 0.0) + cycles
+
+    def attribute_op(
+        self,
+        kind: str,
+        cost: float,
+        wait: float,
+        components: Sequence[Tuple[str, float]],
+        region: str = "",
+    ) -> None:
+        """Attribute one demand op's exposed ``cost``.
+
+        Args:
+            kind: ``"load"``, ``"store"`` or ``"prefetch"``.
+            cost: Exposed cycles the CPU was charged for the op.
+            wait: Structural-stall portion of ``cost`` (store-buffer-full
+                wait for stores, commit write-back stall for prefetches;
+                0 for loads, whose components carry the detail).
+            components: ``(category, cycles)`` latency contributions the
+                memory substrate reported while serving the op.
+            region: Current IR region label, if any.
+        """
+        remaining = cost
+        if kind == "store":
+            # Background retirement: only the structural wait and the
+            # issue slot are exposed; array/L2/DRAM contributions the
+            # write touched happen off the critical path.
+            take = min(remaining, wait)
+            if take > 0.0:
+                self.charge("store_buffer_full", take, region)
+                remaining -= take
+            self.charge("dl1_write", remaining, region)
+            return
+        if kind == "prefetch":
+            take = min(remaining, wait)
+            if take > 0.0:
+                self.charge("writeback_stall", take, region)
+                remaining -= take
+            self.charge("prefetch", remaining, region)
+            return
+        # Demand load: split over reported components, deepest first.
+        sums: Dict[str, float] = {}
+        for category, cycles in components:
+            sums[category] = sums.get(category, 0.0) + cycles
+        for category in _LOAD_PRIORITY:
+            reported = sums.get(category, 0.0)
+            if reported <= 0.0 or remaining <= 0.0:
+                continue
+            take = min(remaining, reported)
+            self.charge(category, take, region)
+            remaining -= take
+        if remaining > 0.0:
+            self.charge("dl1_read", remaining, region)
+
+    # ------------------------------------------------------------------
+    # Totals and verification
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """Sum of all category totals."""
+        return sum(self.totals.values())
+
+    def residual(self, expected_cycles: float) -> float:
+        """``expected_cycles - total`` (0.0 when the ledger is exact)."""
+        return expected_cycles - self.total
+
+    def verify(self, expected_cycles: float) -> None:
+        """Assert the ledger accounts for every cycle of a run.
+
+        Raises:
+            SimulationError: If the category totals do not equal
+                ``expected_cycles`` exactly.
+        """
+        if self.total != expected_cycles:
+            raise SimulationError(
+                f"cycle ledger does not balance: categories sum to "
+                f"{self.total!r} but the run took {expected_cycles!r} "
+                f"cycles (residual {self.residual(expected_cycles)!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def nonzero(self) -> List[Tuple[str, float]]:
+        """``(category, cycles)`` pairs with nonzero totals, largest first."""
+        pairs = [(c, v) for c, v in self.totals.items() if v != 0.0]
+        pairs.sort(key=lambda cv: -cv[1])
+        return pairs
+
+    def render(self) -> str:
+        """Aligned text table of the category totals."""
+        total = self.total
+        lines = [f"{'category':<20}{'cycles':>14}{'share':>9}"]
+        lines.append("-" * len(lines[0]))
+        for category, cycles in self.nonzero():
+            share = cycles / total if total else 0.0
+            lines.append(f"{category:<20}{cycles:>14.1f}{share:>8.1%}")
+        lines.append("-" * len(lines[0]))
+        lines.append(f"{'total':<20}{total:>14.1f}{1.0:>8.1%}" if total else "total 0")
+        return "\n".join(lines)

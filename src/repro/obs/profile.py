@@ -1,0 +1,39 @@
+"""Bundle of one instrumented run, consumed by the exporters and CLI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+from .histograms import LatencyHistograms
+from .ledger import CycleLedger
+from .probe import ProbeEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cpu imports obs)
+    from ..cpu.model import RunResult
+
+
+@dataclass
+class ProfileResult:
+    """Everything one ``repro profile`` run produced.
+
+    Attributes:
+        kernel: Kernel name profiled.
+        config: D-cache configuration name (resolved, e.g. ``"vwb"``).
+        level: Optimisation-level name the trace was generated at.
+        result: The ordinary :class:`~repro.cpu.model.RunResult`.
+        ledger: Exact cycle attribution (verified against ``result``).
+        histograms: Per-component latency histograms.
+        events: Structured trace events (empty when event recording was
+            off or the cap was 0).
+        dropped_events: Events discarded once ``max_events`` was hit.
+    """
+
+    kernel: str
+    config: str
+    level: str
+    result: "RunResult"
+    ledger: CycleLedger
+    histograms: LatencyHistograms
+    events: List[ProbeEvent] = field(default_factory=list)
+    dropped_events: int = 0

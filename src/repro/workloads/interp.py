@@ -34,7 +34,7 @@ from typing import Dict, Iterator, List, Tuple
 
 from ..errors import WorkloadError
 from .ir import Loop, Node, Program, Ref, Statement
-from .trace import Branch, Compute, Load, Prefetch, Store, TraceEvent
+from .trace import Branch, Compute, IRMark, Load, Prefetch, Store, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -51,11 +51,17 @@ class TraceConfig:
             innermost loops (on, like any optimising compiler).
         layout_base: Base address for array layout when the program has
             not been laid out yet.
+        annotate_ir: Emit a zero-cost :class:`~repro.workloads.trace.IRMark`
+            each time a loop (level) is entered, labelled with the dotted
+            loop-variable path (e.g. ``"i.k.j"``).  Off by default so the
+            figures' traces are byte-identical to the seed; the profiler
+            turns it on to get per-IR-loop cycle subtotals.
     """
 
     prefetch_block_bytes: int = 64
     scalar_replacement: bool = True
     layout_base: int = 0x10_0000
+    annotate_ir: bool = False
 
 
 def generate_trace(program: Program, config: TraceConfig = TraceConfig()) -> Iterator[TraceEvent]:
@@ -77,20 +83,27 @@ def materialize_trace(program: Program, config: TraceConfig = TraceConfig()) -> 
 # ----------------------------------------------------------------------
 
 
-def _run_node(node: Node, env: Dict[str, int], cfg: TraceConfig) -> Iterator[TraceEvent]:
+def _run_node(
+    node: Node, env: Dict[str, int], cfg: TraceConfig, path: str = ""
+) -> Iterator[TraceEvent]:
     if isinstance(node, Statement):
         yield from _run_statement(node, env)
         return
     if node.is_innermost:
-        yield from _run_innermost(node, env, cfg)
+        yield from _run_innermost(node, env, cfg, path)
         return
     lo = node.lower.evaluate(env)
     hi = node.upper.evaluate(env)
     branch_every = max(1, node.unroll)
+    label = f"{path}.{node.var.name}" if path else node.var.name
     for i, v in enumerate(range(lo, hi)):
         env[node.var.name] = v
+        if cfg.annotate_ir:
+            # Re-marked each iteration so the region pops back correctly
+            # after a nested loop overrode it.
+            yield IRMark(label)
         for child in node.body:
-            yield from _run_node(child, env, cfg)
+            yield from _run_node(child, env, cfg, label)
         if (i + 1) % branch_every == 0 or v == hi - 1:
             yield Branch(taken=v != hi - 1)
     env.pop(node.var.name, None)
@@ -149,11 +162,15 @@ def _split_refs(
     return preloads, poststores, per_stmt
 
 
-def _run_innermost(node: Loop, env: Dict[str, int], cfg: TraceConfig) -> Iterator[TraceEvent]:
+def _run_innermost(
+    node: Loop, env: Dict[str, int], cfg: TraceConfig, path: str = ""
+) -> Iterator[TraceEvent]:
     lo = node.lower.evaluate(env)
     hi = node.upper.evaluate(env)
     if hi <= lo:
         return
+    if cfg.annotate_ir:
+        yield IRMark(f"{path}.{node.var.name}" if path else node.var.name)
     preloads, poststores, per_stmt = _split_refs(node, cfg)
 
     # Hoisted loads execute once, before the loop (scalar replacement).

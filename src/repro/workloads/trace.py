@@ -79,13 +79,31 @@ class Prefetch(TraceEvent):
         return f"Prefetch({self.addr:#x})"
 
 
+class IRMark(TraceEvent):
+    """A zero-cost region marker naming the IR loop being entered.
+
+    Emitted only when :attr:`~repro.workloads.interp.TraceConfig.annotate_ir`
+    is on (profiling runs); the CPU model executes it in zero cycles and
+    zero instructions, so annotated and plain traces time identically.
+    ``label`` is the dotted loop-variable path, e.g. ``"i.k.j"``.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"IRMark({self.label!r})"
+
+
 def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, int]:
     """Count events by kind; useful in tests and workload reports.
 
     Returns:
         A dict with keys ``loads``, ``stores``, ``prefetches``,
         ``branches``, ``compute_events``, ``compute_ops``,
-        ``load_bytes`` and ``store_bytes``.
+        ``load_bytes``, ``store_bytes`` and ``ir_marks``.
     """
     counts = {
         "loads": 0,
@@ -96,6 +114,7 @@ def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, int]:
         "compute_ops": 0,
         "load_bytes": 0,
         "store_bytes": 0,
+        "ir_marks": 0,
     }
     for ev in events:
         kind = type(ev)
@@ -112,4 +131,6 @@ def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, int]:
             counts["branches"] += 1
         elif kind is Prefetch:
             counts["prefetches"] += 1
+        elif kind is IRMark:
+            counts["ir_marks"] += 1
     return counts

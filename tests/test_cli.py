@@ -38,3 +38,39 @@ class TestCLI:
 
     def test_size_option(self, capsys):
         assert main(["fig1", "--kernels", "syrk", "--size", "MINI"]) == 0
+
+
+class TestProfileCommand:
+    def test_profile_requires_a_kernel(self, capsys):
+        assert main(["profile"]) == 2
+        assert "kernel" in capsys.readouterr().err
+
+    def test_profile_unknown_config(self, capsys, tmp_path):
+        assert main(["profile", "gemm", "--config", "warp", "--out", str(tmp_path)]) == 1
+        assert "unknown configuration" in capsys.readouterr().err
+
+    def test_profile_gemm_nvm_vwb(self, capsys, tmp_path):
+        # The acceptance path: a ledger that balances and a Perfetto-
+        # loadable trace on disk.
+        import json
+
+        assert main(["profile", "gemm", "--config", "nvm-vwb", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "gemm on vwb" in out
+        assert "compute" in out and "frontend_hit" in out
+        trace_path = tmp_path / "profile_gemm_vwb.json"
+        assert "profile_gemm_vwb.json" in out
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_profile_csv_option(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "profile", "gemm", "--config", "vwb",
+                    "--out", str(tmp_path), "--csv", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "profile_gemm_vwb.csv").exists()

@@ -1,0 +1,103 @@
+"""The profile exporters: Chrome trace JSON, CSV and flamegraph text."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    profile_to_chrome_trace,
+    render_flame,
+    render_profile,
+    write_perfetto,
+    write_profile_csv,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.obs import LEDGER_CATEGORIES
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return ExperimentRunner(kernels=["gemm"]).profile("gemm", config="nvm-vwb")
+
+
+class TestChromeTrace:
+    def test_round_trips_through_json(self, profile):
+        doc = json.loads(json.dumps(profile_to_chrome_trace(profile)))
+        assert doc["traceEvents"]
+        assert doc["otherData"]["kernel"] == "gemm"
+        assert doc["otherData"]["config"] == "vwb"  # alias resolved
+
+    def test_timestamps_are_monotonic(self, profile):
+        doc = profile_to_chrome_trace(profile)
+        ts = [e["ts"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ts, "no complete events exported"
+        assert all(a <= b for a, b in zip(ts, ts[1:]))
+        assert all(e["dur"] >= 0.0 for e in doc["traceEvents"] if e["ph"] == "X")
+
+    def test_pid_tid_per_component(self, profile):
+        doc = profile_to_chrome_trace(profile)
+        meta = {
+            (e.get("pid"), e.get("tid")): e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] in ("process_name", "thread_name")
+        }
+        # CPU ops on pid 1, each memory component on its own pid-2 thread.
+        assert meta[(1, None)] == "cpu"
+        assert meta[(2, None)] == "mem"
+        assert meta[(1, 1)] == "ops"
+        mem_threads = {name for (pid, tid), name in meta.items() if pid == 2 and tid}
+        assert {"dl1", "l2", "vwb"} <= mem_threads
+        # Every X event lands on a named (pid, tid) lane.
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X":
+                assert (e["pid"], e["tid"]) in meta
+
+    def test_events_carry_region_and_addr(self, profile):
+        doc = profile_to_chrome_trace(profile)
+        regions = {
+            e["args"].get("region")
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["args"].get("region")
+        }
+        assert "i.k.j" in regions
+        assert any(
+            e["args"].get("addr", "").startswith("0x")
+            for e in doc["traceEvents"]
+            if e["ph"] == "X"
+        )
+
+    def test_write_perfetto_names_file_by_kernel_and_config(self, profile, tmp_path):
+        path = write_perfetto(profile, tmp_path)
+        assert path.name == "profile_gemm_vwb.json"
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+
+class TestCsvAndText:
+    def test_profile_csv_rows(self, profile, tmp_path):
+        path = write_profile_csv(profile, tmp_path)
+        with open(path, newline="") as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["region", "category", "cycles"]
+        body = rows[1:]
+        assert all(len(r) == 3 for r in body)
+        categories = {r[1] for r in body}
+        assert categories <= set(LEDGER_CATEGORIES)
+        totals = [r for r in body if r[0] == "TOTAL"]
+        assert totals
+        assert sum(float(r[2]) for r in totals) == profile.result.cycles
+
+    def test_flamegraph_collapsed_stacks(self, profile):
+        lines = render_flame(profile).splitlines()
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            float(value)
+            assert stack.startswith("gemm[vwb];")
+
+    def test_render_profile_mentions_everything(self, profile):
+        text = render_profile(profile)
+        assert "gemm on vwb" in text
+        assert "category" in text and "compute" in text
+        assert "flamegraph" in text

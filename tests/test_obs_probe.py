@@ -1,0 +1,98 @@
+"""Probes must never perturb the simulation they observe.
+
+Two invariants: the default :class:`NullProbe` path is bit-identical to
+a run with no probe attached at all, and a full :class:`RecordingProbe`
+(which exercises every hook) still yields the same cycle count — the
+instrumentation is read-only by construction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.system import System, SystemConfig
+from repro.experiments.runner import CONFIGURATIONS, make_system
+from repro.obs import NULL_PROBE, NullProbe, RecordingProbe
+from repro.workloads.trace import Branch, Compute, Load, Prefetch, Store
+
+_EVENTS = st.one_of(
+    st.builds(Load, addr=st.integers(0, 0x4000).map(lambda a: 0x10_0000 + a * 4), size=st.just(4)),
+    st.builds(Store, addr=st.integers(0, 0x4000).map(lambda a: 0x10_0000 + a * 4), size=st.just(4)),
+    st.builds(Compute, ops=st.integers(1, 4)),
+    st.builds(Branch, taken=st.booleans()),
+    st.builds(Prefetch, addr=st.integers(0, 0x4000).map(lambda a: 0x10_0000 + a * 64)),
+)
+
+
+def _run(config_name, trace, probe=None):
+    system = make_system(config_name)
+    return system.run(trace, probe=probe)
+
+
+class TestProbeNeutrality:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        trace=st.lists(_EVENTS, min_size=1, max_size=120),
+        config=st.sampled_from(sorted(CONFIGURATIONS)),
+    )
+    def test_null_probe_runs_are_bit_identical(self, trace, config):
+        bare = _run(config, trace)
+        nulled = _run(config, trace, probe=NullProbe())
+        assert nulled.cycles == bare.cycles
+        assert nulled.instructions == bare.instructions
+        assert nulled.breakdown == bare.breakdown
+        assert nulled.load_latency_histogram == bare.load_latency_histogram
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        trace=st.lists(_EVENTS, min_size=1, max_size=120),
+        config=st.sampled_from(sorted(CONFIGURATIONS)),
+    )
+    def test_recording_probe_does_not_perturb_timing(self, trace, config):
+        bare = _run(config, trace)
+        probe = RecordingProbe()
+        recorded = _run(config, trace, probe=probe)
+        assert recorded.cycles == bare.cycles
+        assert recorded.instructions == bare.instructions
+        # finish() ran and the ledger balanced to the bit.
+        assert probe.verified
+        assert probe.ledger.total == recorded.cycles
+
+
+class TestProbeLifecycle:
+    def test_probe_detached_after_run(self):
+        system = make_system("vwb")
+        trace = [Load(0x10_0000, 4), Compute(1)]
+        probe = RecordingProbe()
+        system.run(trace, probe=probe)
+        assert system.cpu.probe is NULL_PROBE
+        assert system.frontend.probe is NULL_PROBE
+
+    def test_probe_detached_even_when_run_raises(self):
+        system = make_system("vwb")
+        probe = RecordingProbe()
+        try:
+            system.run([object()], probe=probe)  # not a TraceEvent
+        except Exception:
+            pass
+        assert system.cpu.probe is NULL_PROBE
+
+    def test_warmup_not_recorded(self):
+        # The probe attaches after warm-up, so warm fills never appear
+        # in the ledger (which must balance against measured cycles only).
+        system = System(SystemConfig(technology="stt-mram", frontend="plain"))
+        probe = RecordingProbe()
+        result = system.run(
+            [Load(0x10_0000, 4)],
+            warm_regions=[(0x10_0000, 4096)],
+            probe=probe,
+        )
+        assert probe.ledger.total == result.cycles
+
+    def test_event_cap_counts_drops(self):
+        probe = RecordingProbe(record_events=True, max_events=4)
+        trace = [Load(0x10_0000 + i * 4, 4) for i in range(64)]
+        _run("sram", trace, probe=probe)
+        assert len(probe.events) == 4
+        assert probe.dropped_events > 0
+        # The ledger is unaffected by the event cap.
+        assert probe.ledger.total > 0.0
