@@ -33,6 +33,12 @@ class RunMetrics:
         writeback_stall_share: Fraction of cycles lost to a full DL1
             write buffer (likewise a subset).
         buffer_hit_rate: Front-end buffer hit rate (0 for plain).
+        write_retry_rate: DL1 write-verify retries per array write
+            (0 without fault injection).
+        fault_overhead_share: Fraction of cycles the reliability
+            mechanisms inserted (retries + ECC decode + refills; a
+            subset of the load/store shares, not additive with them).
+        retired_lines: Line slots retired by graceful degradation.
     """
 
     cycles: float
@@ -45,6 +51,9 @@ class RunMetrics:
     bank_wait_share: float
     writeback_stall_share: float
     buffer_hit_rate: float
+    write_retry_rate: float = 0.0
+    fault_overhead_share: float = 0.0
+    retired_lines: int = 0
 
 
 def metrics_of(result: RunResult) -> RunMetrics:
@@ -65,6 +74,16 @@ def metrics_of(result: RunResult) -> RunMetrics:
     )
     misses = dl1.get("read_misses", 0) + dl1.get("write_misses", 0)
 
+    rel = result.reliability_stats
+    array_writes = (
+        dl1.get("write_hits", 0) + dl1.get("write_misses", 0) + dl1.get("fills", 0)
+    )
+    fault_cycles = (
+        rel.get("write_retry_cycles", 0.0)
+        + rel.get("ecc_decode_cycles", 0.0)
+        + rel.get("fault_refill_cycles", 0.0)
+    )
+
     metrics = RunMetrics(
         cycles=result.cycles,
         ipc=result.ipc,
@@ -76,6 +95,11 @@ def metrics_of(result: RunResult) -> RunMetrics:
         bank_wait_share=dl1.get("bank_wait_cycles", 0) / result.cycles,
         writeback_stall_share=dl1.get("writeback_stall_cycles", 0) / result.cycles,
         buffer_hit_rate=buffer_hits / buffer_total if buffer_total else 0.0,
+        write_retry_rate=rel.get("write_retries", 0) / array_writes
+        if array_writes
+        else 0.0,
+        fault_overhead_share=fault_cycles / result.cycles,
+        retired_lines=result.retired_lines,
     )
     # The breakdown partitions the run's cycles (plus ifetch/branch
     # remainder), so the three op shares can never exceed the whole.
@@ -104,6 +128,12 @@ def compare_runs(runs: Dict[str, RunResult]) -> str:
         ("wb stall share", "{:.1%}", lambda m: m.writeback_stall_share),
         ("buffer hit rate", "{:.1%}", lambda m: m.buffer_hit_rate),
     ]
+    if any(r.reliability_stats for r in runs.values()):
+        rows += [
+            ("write retry rate", "{:.4f}", lambda m: m.write_retry_rate),
+            ("fault cycle share", "{:.2%}", lambda m: m.fault_overhead_share),
+            ("retired lines", "{:d}", lambda m: m.retired_lines),
+        ]
     width = max(len(n) for n in names + ["metric"]) + 2
     lines = ["metric".ljust(22) + "".join(n.rjust(width) for n in names)]
     for label, fmt, getter in rows:

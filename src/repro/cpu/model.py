@@ -115,6 +115,12 @@ class RunResult:
             bucketed by whole cycles (key = ``int(exposed)``, capped at
             :data:`LOAD_HISTOGRAM_CAP`).  The VWB shows up here as a
             bimodal shape: a 1-cycle hit mode and a promotion mode.
+        reliability_stats: Fault-injection counters and cycle totals
+            (see :class:`~repro.reliability.faults.ReliabilityStats`);
+            empty unless the system was configured with fault injection
+            enabled.
+        retired_lines: DL1 line slots retired by graceful degradation
+            during the run (0 without fault injection).
     """
 
     cycles: float
@@ -128,6 +134,8 @@ class RunResult:
     mainmem_stats: Dict[str, float] = field(default_factory=dict)
     memory_accesses: int = 0
     load_latency_histogram: Dict[int, int] = field(default_factory=dict)
+    reliability_stats: Dict[str, float] = field(default_factory=dict)
+    retired_lines: int = 0
 
     def load_latency_quantile(self, q: float) -> float:
         """Approximate q-quantile (0..1) of the exposed load latency.

@@ -22,6 +22,7 @@ from ..mem.cache import Cache, CacheConfig
 from ..mem.hierarchy import HierarchyConfig, MemoryHierarchy
 from ..mem.prefetcher import StridePrefetcher
 from ..obs.probe import NULL_PROBE, Probe
+from ..reliability.faults import FaultInjector, ReliabilityConfig
 from ..tech.params import MemoryTechnology, get_technology
 from ..units import kib, ns_to_cycles
 from ..workloads.trace import TraceEvent
@@ -72,6 +73,12 @@ class SystemConfig:
             :class:`~repro.mem.cache.CacheConfig`).
         dl1_fast_write_fraction: Fraction of fast writes under AWARE.
         track_line_writes: Record per-line DL1 write counts (endurance).
+        dl1_replacement_seed: Seed for the DL1's ``random`` replacement
+            policy (ignored by the deterministic policies).
+        reliability: Optional DL1 fault-injection parameters
+            (:class:`~repro.reliability.faults.ReliabilityConfig`).
+            ``None`` — and any config whose fault rates are all zero —
+            leaves the timing bit-exact with the fault-free model.
         cpu: Core timing parameters.
         hierarchy: IL1/L2/DRAM parameters.
     """
@@ -92,6 +99,8 @@ class SystemConfig:
     dl1_fast_write_cycles: Optional[int] = None
     dl1_fast_write_fraction: float = 0.5
     track_line_writes: bool = False
+    dl1_replacement_seed: int = 0
+    reliability: Optional[ReliabilityConfig] = None
     cpu: CPUConfig = field(default_factory=CPUConfig)
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
 
@@ -119,6 +128,7 @@ class SystemConfig:
             write_hit_cycles=ns_to_cycles(tech.write_latency_ns),
             banks=self.dl1_banks,
             replacement=self.dl1_replacement,
+            replacement_seed=self.dl1_replacement_seed,
             track_line_writes=self.track_line_writes,
             fast_write_cycles=self.dl1_fast_write_cycles,
             fast_write_fraction=self.dl1_fast_write_fraction,
@@ -175,7 +185,12 @@ class System:
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.hierarchy = MemoryHierarchy(config.resolved_hierarchy())
-        self.dl1 = Cache(config.dl1_cache_config(), self.hierarchy.l2_port)
+        injector: Optional[FaultInjector] = None
+        if config.reliability is not None:
+            injector = FaultInjector(
+                config.reliability, config.resolved_line_bytes() * 8
+            )
+        self.dl1 = Cache(config.dl1_cache_config(), self.hierarchy.l2_port, injector)
         self.frontend = build_frontend(config, self.dl1)
         self.cpu = InOrderCPU(config.cpu, self.frontend, self.hierarchy)
 
@@ -232,6 +247,9 @@ class System:
         result.il1_stats = self.hierarchy.il1.stats.as_dict()
         result.mainmem_stats = self.hierarchy.memory.stats_dict()
         result.memory_accesses = self.hierarchy.memory.accesses
+        if self.dl1.reliability is not None:
+            result.reliability_stats = self.dl1.reliability.stats.as_dict()
+            result.retired_lines = self.dl1.retired_lines
         if probe is not None:
             probe.finish(result)
         return result

@@ -12,7 +12,7 @@ costs one trace generation per (kernel, optimization level).
 from .runner import ExperimentRunner, CONFIGURATIONS, make_system
 from .report import FigureResult, render_figure
 from . import table1, fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9
-from . import ablations, energy, summary, validate
+from . import ablations, energy, reliability, summary, validate
 
 #: Registry: experiment name -> callable(runner=None) -> FigureResult.
 EXPERIMENTS = {
@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "ablation-dram": ablations.run_dram_model_study,
     "energy": energy.run,
     "endurance": energy.run_endurance,
+    "reliability": reliability.run,
     "validate": validate.run,
     "summary": summary.run,
 }

@@ -125,14 +125,22 @@ def run_prefetch_distance_sweep(
 def run_replacement_sweep(
     runner: Optional[ExperimentRunner] = None,
     policies: Sequence[str] = ("lru", "plru", "fifo", "random"),
+    seed: int = 0,
 ) -> FigureResult:
-    """DL1 replacement policy sensitivity for the NVM+VWB system."""
+    """DL1 replacement policy sensitivity for the NVM+VWB system.
+
+    ``seed`` feeds the ``random`` policy's generator (through
+    :func:`repro.reliability.rng.make_rng`); the deterministic policies
+    ignore it.
+    """
     runner = runner or ExperimentRunner()
     series = {}
     for policy in policies:
-        config = replace(CONFIGURATIONS["vwb"], dl1_replacement=policy)
+        config = replace(
+            CONFIGURATIONS["vwb"], dl1_replacement=policy, dl1_replacement_seed=seed
+        )
         series[policy] = [
-            runner.penalty(config, k, OptLevel.FULL, cache_key=f"repl-{policy}")
+            runner.penalty(config, k, OptLevel.FULL, cache_key=f"repl-{policy}-{seed}")
             for k in runner.kernels
         ]
     avgs = {k: sum(v) / len(v) for k, v in series.items()}

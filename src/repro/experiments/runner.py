@@ -10,12 +10,14 @@ baseline runs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cpu.model import RunResult
 from ..cpu.system import System, SystemConfig, warm_regions_of
 from ..errors import ConfigurationError
 from ..obs import ProfileResult, RecordingProbe
+from ..reliability.faults import ReliabilityConfig
 from ..transforms.pipeline import OptLevel, optimize
 from ..workloads import build_kernel, kernel_names, materialize_trace
 from ..workloads.datasets import DatasetSize
@@ -229,3 +231,51 @@ class ExperimentRunner:
             self.penalty(config, k, level, baseline_level, cache_key=cache_key)
             for k in self.kernels
         ]
+
+    def reliability_sweep(
+        self,
+        kernel: str,
+        rates: Sequence[float],
+        configs: Sequence[str] = ("dropin", "vwb"),
+        seed: int = 0,
+        level: OptLevel = OptLevel.NONE,
+    ) -> Dict[str, List[float]]:
+        """Penalty curves over a raw-bit-error-rate sweep.
+
+        For each configuration, each point enables stochastic write
+        faults at the given rber (with write-verify-retry, SECDED and
+        line retirement at their defaults) and reports the penalty
+        against the fault-free SRAM baseline — the Figure 5 metric, with
+        reliability overhead added on top of the technology penalty.
+
+        Args:
+            kernel: Kernel name.
+            rates: Raw per-bit write error rates to sweep.
+            configs: Configuration names/aliases to compare.
+            seed: Fault-injection seed shared by every point.
+            level: Optimization level of the code.
+
+        Returns:
+            Mapping of canonical configuration name to per-rate
+            penalties (%), in ``rates`` order.
+        """
+        curves: Dict[str, List[float]] = {}
+        for config in configs:
+            name = resolve_config_name(config)
+            base = CONFIGURATIONS[name]
+            points: List[float] = []
+            for rate in rates:
+                faulty = replace(
+                    base,
+                    reliability=ReliabilityConfig(seed=seed, write_error_rate=rate),
+                )
+                points.append(
+                    self.penalty(
+                        faulty,
+                        kernel,
+                        level,
+                        cache_key=f"{name}+rber={rate:g}+seed={seed}",
+                    )
+                )
+            curves[name] = points
+        return curves

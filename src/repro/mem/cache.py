@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Protocol
 
 from ..errors import ConfigurationError, SimulationError
 from ..obs.probe import NULL_PROBE, Probe
+from ..reliability.degrade import LineRetirementMap
+from ..reliability.faults import FaultInjector
 from ..units import is_power_of_two, log2_exact
 from .banks import BankTimer
 from .mshr import MSHRFile
@@ -159,12 +161,35 @@ class Cache:
         next_level: Where misses and write-backs go (another
             :class:`Cache` via :class:`_LineAccessAdapter`, or a
             :class:`~repro.mem.mainmem.MainMemory`).
+        reliability: Optional fault injector
+            (:class:`~repro.reliability.faults.FaultInjector`) enabling
+            stochastic write failures with write-verify-retry, a SECDED
+            decode stage on array reads, and retirement of worn line
+            slots.  ``None`` (and any injector whose config has every
+            rate at zero) leaves the timing bit-exact with the
+            fault-free model.
     """
 
-    def __init__(self, config: CacheConfig, next_level: NextLevel) -> None:
+    def __init__(
+        self,
+        config: CacheConfig,
+        next_level: NextLevel,
+        reliability: Optional[FaultInjector] = None,
+    ) -> None:
         self.config = config
         self.next_level = next_level
         self.stats = CacheStats()
+        self.reliability = reliability
+        self._injector: Optional[FaultInjector] = (
+            reliability if reliability is not None and reliability.config.enabled else None
+        )
+        self._retirement: Optional[LineRetirementMap] = None
+        if self._injector is not None and self._injector.config.retire_after_retries > 0:
+            self._retirement = LineRetirementMap(
+                config.sets,
+                config.associativity,
+                self._injector.config.retire_after_retries,
+            )
         self._offset_bits = log2_exact(config.line_bytes)
         self._index_bits = log2_exact(config.sets)
         self._tags: List[List[Optional[int]]] = [
@@ -227,6 +252,11 @@ class Cache:
     def resident_lines(self) -> int:
         """Number of valid lines currently stored."""
         return sum(1 for ways in self._tags for t in ways if t is not None)
+
+    @property
+    def retired_lines(self) -> int:
+        """Line slots retired by the reliability mechanism (0 without one)."""
+        return 0 if self._retirement is None else self._retirement.retired_lines
 
     @property
     def line_write_counts(self) -> Dict[int, int]:
@@ -353,12 +383,14 @@ class Cache:
         for line in resident:
             wait, finish = self._banks.reserve(line, now, float(self.config.read_hit_cycles))
             self.stats.bank_wait_cycles += int(wait)
-            line_ready[line] = finish
             index, tag = self._index_tag(line)
             way = self._find_way(index, tag)
             if way is not None:
                 self._repl[index].touch(way)
                 self.stats.read_hits += 1
+                if self._injector is not None:
+                    finish += self._verified_read(line, index, way, finish)
+            line_ready[line] = finish
         return WideReadResult(issued_at=now, line_ready=line_ready)
 
     def install_line(self, addr: int, dirty: bool, now: float) -> float:
@@ -378,11 +410,17 @@ class Cache:
         way = self._find_way(index, tag)
         if way is not None:
             if dirty:
-                wait, _ = self._banks.reserve(line, now, float(self._array_write_cycles()))
+                cycles = float(self._array_write_cycles())
+                wait, finish = self._banks.reserve(line, now, cycles)
                 self.stats.bank_wait_cycles += int(wait)
                 self._dirty[index][way] = True
                 self._count_line_write(index, way)
                 self.stats.write_hits += 1
+                if self._injector is not None:
+                    # Retries run in the background (the VWB eviction
+                    # already left the critical path) but still occupy
+                    # the bank and wear the slot.
+                    self._verify_write(line, index, way, finish, cycles)
             return 0.0
         if dirty:
             stall = self._write_buffer.push(now)
@@ -408,6 +446,8 @@ class Cache:
         self._mshrs.reset()
         self._write_buffer.reset()
         self._line_writes.clear()
+        if self.reliability is not None:
+            self.reliability.clear_stats()
 
     def reset(self) -> None:
         """Invalidate all lines and clear all timing/statistics state."""
@@ -422,6 +462,10 @@ class Cache:
         self._line_writes.clear()
         self._fast_write_credit = 0.0
         self.stats = CacheStats()
+        if self.reliability is not None:
+            self.reliability.reset()
+        if self._retirement is not None:
+            self._retirement.reset()
 
     # ------------------------------------------------------------------
     # Internals
@@ -443,27 +487,194 @@ class Cache:
             return cfg.fast_write_cycles
         return cfg.write_hit_cycles
 
+    # ------------------------------------------------------------------
+    # Reliability internals (no-ops unless a fault injector is attached)
+    # ------------------------------------------------------------------
+
+    def _verify_write(
+        self, line: int, index: int, way: int, start: float, write_cycles: float
+    ) -> float:
+        """Write-verify-retry for one array line write completing at ``start``.
+
+        Each failed verification re-issues the write, re-occupying the
+        line's bank for a full array write — that extra occupancy (and
+        the longer drain time returned to the store path) is what
+        back-pressures the store and write buffers.  A write that
+        exhausts its retry budget falls back to write-through: the
+        update is posted to the next level so no architectural data is
+        lost, and the local dirty bit is dropped because the next level
+        now holds the authoritative copy.  Slots whose cumulative retry
+        count crosses the retirement threshold are retired.
+
+        Returns:
+            Extra cycles beyond the first write attempt.
+        """
+        inj = self._injector
+        if inj is None or inj.config.write_error_rate == 0.0:
+            return 0.0
+        attempts = inj.write_attempts()
+        extra = 0.0
+        finish = start
+        if attempts > 1:
+            retry_cycles = 0.0
+            for _ in range(attempts - 1):
+                wait, finish = self._banks.reserve(line, finish, write_cycles)
+                self.stats.bank_wait_cycles += int(wait)
+                retry_cycles += wait + write_cycles
+            inj.stats.write_retry_cycles += retry_cycles
+            extra += retry_cycles
+            if self._probing:
+                self.probe.fault(self.config.name, "write_retry", line, retry_cycles, start)
+        if inj.last_write_failed() and self._dirty[index][way]:
+            stall = self._write_buffer.push(finish)
+            self.stats.writebacks += 1
+            self.stats.writeback_stall_cycles += int(stall)
+            self.next_level.access(line, True, finish + stall)
+            self._dirty[index][way] = False
+            extra += stall
+        if self._retirement is not None and self._retirement.record_retries(
+            index, way, attempts - 1
+        ):
+            self._retire_slot(line, index, way, finish)
+        return extra
+
+    def _retire_slot(self, line: int, index: int, way: int, now: float) -> None:
+        """Retire line slot ``(index, way)``: flush it, then disable it.
+
+        A dirty resident line is forwarded to the next level first; the
+        slot is invalidated and marked unusable in the retirement map,
+        shrinking the set's effective associativity by one (the map
+        never retires the last usable way of a set).
+        """
+        if self._tags[index][way] is not None:
+            if self._dirty[index][way]:
+                stall = self._write_buffer.push(now)
+                self.stats.writebacks += 1
+                self.stats.writeback_stall_cycles += int(stall)
+                self.next_level.access(self._victim_addr(index, way), True, now + stall)
+            self._tags[index][way] = None
+            self._dirty[index][way] = False
+        self._retirement.retire(index, way)
+        self._injector.stats.retired_lines += 1
+        if self._probing:
+            self.probe.fault(self.config.name, "line_retired", line, 0.0, now)
+
+    def _verified_read(self, line: int, index: int, way: int, finish: float) -> float:
+        """SECDED stage (and fault handling) for one array read hit.
+
+        Every protected read pays the fixed decode adder.  When the
+        decode reports an uncorrectable pattern the line is re-read once
+        (transient read disturb need not repeat) at the cost of a second
+        bank occupancy and decode; if the re-read still fails, the line
+        is refilled from the next level and the array copy rewritten in
+        the background — graceful degradation: the requester waits out
+        the refill instead of the machine stopping.  A dirty line's
+        local update is lost in that last case (the refill restores the
+        next level's copy); running past SECDED's strength is not free.
+
+        Returns:
+            Extra cycles the requester waits beyond the plain array read.
+        """
+        inj = self._injector
+        if inj is None:
+            return 0.0
+        decode = float(inj.config.ecc_decode_cycles)
+        extra = decode
+        inj.stats.ecc_decode_cycles += decode
+        if self._probing and decode > 0.0:
+            self.probe.fault(self.config.name, "ecc_decode", line, decode, finish)
+        if not inj.config.read_fault_possible:
+            return extra
+        if inj.decode(inj.read_faulty_bits()).usable:
+            return extra
+        # Detected-uncorrectable: re-read the array once.
+        inj.stats.ecc_rereads += 1
+        read_cycles = float(self.config.read_hit_cycles)
+        wait, refinish = self._banks.reserve(line, finish + decode, read_cycles)
+        self.stats.bank_wait_cycles += int(wait)
+        inj.stats.fault_refill_cycles += wait + read_cycles
+        inj.stats.ecc_decode_cycles += decode
+        extra += wait + read_cycles + decode
+        if self._probing:
+            self.probe.fault(
+                self.config.name, "fault_refill", line, wait + read_cycles, finish + decode
+            )
+            if decode > 0.0:
+                self.probe.fault(self.config.name, "ecc_decode", line, decode, refinish)
+        if inj.decode(inj.read_faulty_bits()).usable:
+            return extra
+        # Still uncorrectable: refill from the next level (which reports
+        # its own share to the ledger during the nested access) and
+        # rewrite the array in the background.
+        inj.stats.fault_refills += 1
+        t = refinish + decode
+        next_latency = self.next_level.access(line, False, t)
+        inj.stats.fault_refill_cycles += next_latency
+        extra += next_latency
+        self._dirty[index][way] = False
+        self._count_line_write(index, way)
+        wait, _ = self._banks.reserve(line, t + next_latency, float(self._array_write_cycles()))
+        self.stats.bank_wait_cycles += int(wait)
+        return extra
+
+    def _choose_victim(self, index: int) -> int:
+        """Pick the fill victim for set ``index``, avoiding retired slots.
+
+        Retired slots are presented to the policy as *occupied* (their
+        tag is ``None``, so they would otherwise look attractively free)
+        and the policy is nudged off them with ``touch`` when it still
+        names one; FIFO and random rotate on the repeated ``victim``
+        call itself.  A deterministic scan backstops policies that
+        cannot be steered.
+        """
+        valid = [t is not None for t in self._tags[index]]
+        retirement = self._retirement
+        if retirement is None or retirement.enabled_ways(index) == self.config.associativity:
+            return self._repl[index].victim(valid)
+        masked = [v or retirement.is_disabled(index, w) for w, v in enumerate(valid)]
+        repl = self._repl[index]
+        for _ in range(4 * self.config.associativity):
+            way = repl.victim(masked)
+            if not retirement.is_disabled(index, way):
+                return way
+            repl.touch(way)
+        for way, is_valid in enumerate(valid):
+            if not is_valid and not retirement.is_disabled(index, way):
+                return way
+        for way in range(self.config.associativity):
+            if not retirement.is_disabled(index, way):
+                return way
+        raise SimulationError(
+            f"{self.config.name}: set {index} has no usable way left"
+        )
+
     def _access_line(self, line: int, is_write: bool, now: float) -> float:
         index, tag = self._index_tag(line)
         way = self._find_way(index, tag)
         hit_cycles = self._array_write_cycles() if is_write else self.config.read_hit_cycles
 
         if way is not None:
-            wait, _ = self._banks.reserve(line, now, float(hit_cycles))
+            wait, finish = self._banks.reserve(line, now, float(hit_cycles))
             self.stats.bank_wait_cycles += int(wait)
             self._repl[index].touch(way)
+            extra = 0.0
             if is_write:
                 self._dirty[index][way] = True
                 self._count_line_write(index, way)
                 self.stats.write_hits += 1
+                if self._injector is not None:
+                    extra = self._verify_write(line, index, way, finish, float(hit_cycles))
             else:
                 self.stats.read_hits += 1
+                if self._injector is not None:
+                    extra = self._verified_read(line, index, way, finish)
+            latency = wait + hit_cycles + extra
             if self._probing:
                 self.probe.cache_access(
                     self.config.name, is_write, True, line,
-                    wait + hit_cycles, float(hit_cycles), now,
+                    latency, float(hit_cycles), now,
                 )
-            return wait + hit_cycles
+            return latency
 
         # Miss: first check for an in-flight fill (software prefetch).
         entry = self._mshrs.lookup(line)
@@ -478,6 +689,10 @@ class Cache:
                 if way is not None:
                     self._dirty[index][way] = True
                     self._count_line_write(index, way)
+                else:
+                    # The slot was retired while filling: post the write
+                    # straight to the next level instead.
+                    self.next_level.access(line, True, now + remaining)
                 latency = remaining + self._array_write_cycles()
             else:
                 self.stats.read_misses += 1
@@ -505,6 +720,10 @@ class Cache:
             if way is not None:
                 self._dirty[index][way] = True
                 self._count_line_write(index, way)
+            else:
+                # The slot was retired while filling: post the write
+                # straight to the next level instead.
+                self.next_level.access(line, True, data_ready)
             latency = data_ready - now + self._array_write_cycles()
         else:
             latency = data_ready - now
@@ -537,8 +756,7 @@ class Cache:
             raise SimulationError(
                 f"{self.config.name}: fill for already-resident line {line:#x}"
             )
-        valid = [t is not None for t in self._tags[index]]
-        victim = self._repl[index].victim(valid)
+        victim = self._choose_victim(index)
         if self._tags[index][victim] is not None:
             self.stats.evictions += 1
             if self._dirty[index][victim]:
@@ -552,8 +770,12 @@ class Cache:
         self._repl[index].touch(victim)
         self.stats.fills += 1
         self._count_line_write(index, victim)
-        wait, _ = self._banks.reserve(line, when, float(self.config.write_hit_cycles))
+        wait, finish = self._banks.reserve(line, when, float(self.config.write_hit_cycles))
         self.stats.bank_wait_cycles += int(wait)
+        if self._injector is not None:
+            # The fill write is verified too; it happens off the critical
+            # path, so its retries cost bank occupancy, not latency.
+            self._verify_write(line, index, victim, finish, float(self.config.write_hit_cycles))
 
     def _victim_addr(self, index: int, way: int) -> int:
         tag = self._tags[index][way]

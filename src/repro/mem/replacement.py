@@ -17,6 +17,7 @@ import random
 from typing import List, Sequence
 
 from ..errors import ConfigurationError
+from ..reliability.rng import make_rng
 from ..units import is_power_of_two
 
 
@@ -132,7 +133,7 @@ class RandomPolicy(ReplacementPolicy):
     name = "random"
 
     def __init__(self, seed: int = 0) -> None:
-        self._rng = random.Random(seed)
+        self._rng = make_rng(seed)
 
     def make_set(self, assoc: int) -> SetState:
         return _RandomSet(assoc, self._rng)

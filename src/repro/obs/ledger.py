@@ -38,8 +38,12 @@ from ..errors import SimulationError
 #: the datapath floor; ``frontend_hit`` is a VWB/L0/EMSHR/hybrid-SRAM
 #: buffer hit; ``dl1_read``/``dl1_write`` are NVM (or SRAM) array time;
 #: ``bank_conflict``/``writeback_stall``/``store_buffer_full`` are the
-#: structural stalls; ``l2``/``dram`` are below-DL1 time; ``prefetch``
-#: is prefetch issue slots and ``ifetch`` the optional IL1 stalls.
+#: structural stalls; ``ecc_decode``/``write_retry``/``fault_refill``
+#: are the reliability mechanisms (SECDED decode adders, write-verify
+#: retries, uncorrectable-error refills — all zero unless fault
+#: injection is enabled); ``l2``/``dram`` are below-DL1 time;
+#: ``prefetch`` is prefetch issue slots and ``ifetch`` the optional IL1
+#: stalls.
 LEDGER_CATEGORIES: Tuple[str, ...] = (
     "compute",
     "branch",
@@ -48,6 +52,9 @@ LEDGER_CATEGORIES: Tuple[str, ...] = (
     "dl1_write",
     "bank_conflict",
     "writeback_stall",
+    "ecc_decode",
+    "write_retry",
+    "fault_refill",
     "l2",
     "dram",
     "store_buffer_full",
@@ -58,11 +65,18 @@ LEDGER_CATEGORIES: Tuple[str, ...] = (
 #: Component charge order for demand loads: deepest (least hideable)
 #: first.  Anything left after all reported components goes to the
 #: DL1 read array time (the default home of a load's cycles).
+#: ``fault_refill`` sits above ``l2`` because a refill's own L2/DRAM
+#: time is reported separately by those levels; the refill category
+#: carries only the DL1-side re-read/re-write overhead, which is as
+#: unhideable as a bank conflict.
 _LOAD_PRIORITY: Tuple[str, ...] = (
     "dram",
     "l2",
+    "fault_refill",
     "bank_conflict",
     "writeback_stall",
+    "write_retry",
+    "ecc_decode",
     "frontend_hit",
     "dl1_read",
     "dl1_write",
@@ -120,10 +134,20 @@ class CycleLedger:
         if kind == "store":
             # Background retirement: only the structural wait and the
             # issue slot are exposed; array/L2/DRAM contributions the
-            # write touched happen off the critical path.
+            # write touched happen off the critical path.  When the
+            # substrate reported write-verify retries for this store,
+            # up to that many of the stalled cycles are attributed to
+            # them — retries hold store-buffer entries longer, which is
+            # exactly how the back-pressure arises.
             take = min(remaining, wait)
             if take > 0.0:
-                self.charge("store_buffer_full", take, region)
+                retry = min(
+                    take, sum(c for cat, c in components if cat == "write_retry")
+                )
+                if retry > 0.0:
+                    self.charge("write_retry", retry, region)
+                if take - retry > 0.0:
+                    self.charge("store_buffer_full", take - retry, region)
                 remaining -= take
             self.charge("dl1_write", remaining, region)
             return

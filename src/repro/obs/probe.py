@@ -117,6 +117,13 @@ class Probe:
     def mem_access(self, level: str, is_write: bool, latency: float, now: float) -> None:
         """One line served by main memory."""
 
+    def fault(self, level: str, kind: str, addr: int, cycles: float, now: float) -> None:
+        """A reliability mechanism inserted ``cycles`` into the timing.
+
+        ``kind`` is a ledger category (``ecc_decode``/``write_retry``/
+        ``fault_refill``) or the record-only ``line_retired``.
+        """
+
 
 class NullProbe(Probe):
     """The zero-overhead default probe (see :data:`NULL_PROBE`)."""
@@ -324,3 +331,9 @@ class RecordingProbe(Probe):
             self._attrs.append(("dram", latency))
         self.histograms.add(f"{level}.{'write' if is_write else 'read'}", latency)
         self._emit(now, latency, level, "write" if is_write else "read")
+
+    def fault(self, level: str, kind: str, addr: int, cycles: float, now: float) -> None:
+        if self._op is not None and cycles > 0.0 and kind != "line_retired":
+            self._attrs.append((kind, cycles))
+        self.histograms.add(f"{level}.{kind}", cycles)
+        self._emit(now, cycles, level, kind, addr)

@@ -1,0 +1,48 @@
+"""Reliability modelling: stochastic faults, ECC, retry and degradation.
+
+Real STT-MRAM is not only slow-to-write but *stochastic*: a write pulse
+fails to switch the cell with a thermally-activated probability, reads
+can disturb the stored value, and weakly-written cells decay before
+their nominal retention time.  Every practical STT-MRAM cache proposal
+therefore pairs the array with write-verify-retry, ECC, or retention
+management (Khoshavi et al.'s read-tuned hierarchies, Jadidi et al.'s
+retention-relaxed caches).  This package supplies those mechanisms for
+the reproduced platform, with *timing consequences* rather than mere
+counters:
+
+- :mod:`repro.reliability.rng` — the single seeded-generator helper
+  every stochastic path in the repository draws from, so two runs with
+  the same seed are bit-identical;
+- :mod:`repro.reliability.faults` — :class:`ReliabilityConfig` and the
+  deterministic :class:`FaultInjector` sampling per-bit write failures
+  (thermal-stability model), read-disturb and retention-decay faults;
+- :mod:`repro.reliability.ecc` — a SECDED code model: fixed decode
+  latency on reads, single-bit correction, detected-uncorrectable
+  outcomes that trigger re-reads and line refills;
+- :mod:`repro.reliability.degrade` — the line disable-and-remap map
+  that retires cache line slots whose write-retry count crosses a
+  threshold (graceful degradation: effective associativity shrinks).
+
+The mechanisms are wired into :class:`repro.mem.cache.Cache`; enable
+them by passing a :class:`ReliabilityConfig` with nonzero fault rates
+through :attr:`repro.cpu.system.SystemConfig.reliability`.  With every
+rate at zero (the default everywhere) the fault path is never entered
+and timing is bit-exact with the fault-free simulator.
+"""
+
+from .degrade import LineRetirementMap
+from .ecc import EccOutcome, SECDEDCode, secded_check_bits
+from .faults import FaultInjector, ReliabilityConfig, ReliabilityStats
+from .rng import derive_seed, make_rng
+
+__all__ = [
+    "EccOutcome",
+    "FaultInjector",
+    "LineRetirementMap",
+    "ReliabilityConfig",
+    "ReliabilityStats",
+    "SECDEDCode",
+    "derive_seed",
+    "make_rng",
+    "secded_check_bits",
+]

@@ -1,0 +1,94 @@
+"""Graceful degradation: disable-and-remap of worn cache line slots.
+
+A cell whose writes keep failing verification is not going to get
+better; burning the full retry budget on it for every store wastes bank
+bandwidth forever.  The standard response (used by every NVM cache
+proposal with a repair story) is to *retire* the line slot: mark the
+(set, way) unusable, let the set run at reduced associativity, and remap
+its traffic onto the surviving ways.  The performance cost is visible as
+extra conflict misses rather than as a hard failure — exactly the
+"graceful line degradation" a production deployment needs.
+
+:class:`LineRetirementMap` tracks cumulative write-retry counts per line
+slot and decides when a slot crosses the retirement threshold.  The
+owning :class:`~repro.mem.cache.Cache` consults :meth:`is_disabled`
+during way lookup and victim selection; the map itself never touches
+tags or data.  One slot per set is always kept in service — a set with
+zero usable ways would turn every access into an unservable miss — so a
+pathologically bad array degrades to direct-mapped, never to broken.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+
+class LineRetirementMap:
+    """Tracks per-slot retry wear and the set of retired slots.
+
+    Args:
+        sets: Number of cache sets.
+        associativity: Ways per set.
+        retire_after_retries: Cumulative write retries a slot sustains
+            before it is retired; 0 disables retirement entirely.
+    """
+
+    def __init__(self, sets: int, associativity: int, retire_after_retries: int) -> None:
+        if sets <= 0 or associativity <= 0:
+            raise ConfigurationError("retirement map needs positive geometry")
+        if retire_after_retries < 0:
+            raise ConfigurationError(
+                f"retirement threshold must be non-negative: {retire_after_retries}"
+            )
+        self._sets = sets
+        self._assoc = associativity
+        self._threshold = retire_after_retries
+        self._retries: Dict[Tuple[int, int], int] = {}
+        self._disabled: Dict[int, List[bool]] = {}
+
+    @property
+    def retired_lines(self) -> int:
+        """Number of line slots currently retired."""
+        return sum(sum(ways) for ways in self._disabled.values())
+
+    def enabled_ways(self, index: int) -> int:
+        """Usable ways remaining in set ``index``."""
+        ways = self._disabled.get(index)
+        if ways is None:
+            return self._assoc
+        return self._assoc - sum(ways)
+
+    def is_disabled(self, index: int, way: int) -> bool:
+        """True if slot ``(index, way)`` has been retired."""
+        ways = self._disabled.get(index)
+        return ways is not None and ways[way]
+
+    def record_retries(self, index: int, way: int, retries: int) -> bool:
+        """Accumulate ``retries`` on a slot; return True if it must retire.
+
+        A slot is flagged for retirement when its cumulative retry count
+        reaches the threshold — unless it is the last usable way of its
+        set, which always stays in service (degraded, but functional).
+        The caller performs the actual invalidation and then calls
+        :meth:`retire`.
+        """
+        if retries <= 0 or self._threshold == 0:
+            return False
+        key = (index, way)
+        total = self._retries.get(key, 0) + retries
+        self._retries[key] = total
+        if total < self._threshold or self.is_disabled(index, way):
+            return False
+        return self.enabled_ways(index) > 1
+
+    def retire(self, index: int, way: int) -> None:
+        """Mark slot ``(index, way)`` retired."""
+        ways = self._disabled.setdefault(index, [False] * self._assoc)
+        ways[way] = True
+
+    def reset(self) -> None:
+        """Forget all wear state and return every slot to service."""
+        self._retries.clear()
+        self._disabled.clear()

@@ -1,0 +1,256 @@
+"""Deterministic, seeded fault injection for the NVM array path.
+
+Three fault classes, each with its own per-bit probability:
+
+- **stochastic write failure** — a write pulse fails to switch a cell
+  with probability :attr:`ReliabilityConfig.write_error_rate` (the raw
+  bit error rate, *rber*).  Physically this is thermal activation: see
+  :meth:`repro.tech.params.MemoryTechnology.write_error_rate` for the
+  model that derives a default rate from the technology's thermal
+  stability factor.  The cache responds with write-verify-retry.
+- **read disturb** — the read current flips a cell with probability
+  :attr:`ReliabilityConfig.read_disturb_rate` per bit read.
+- **retention decay** — a weakly-written cell has decayed by the time it
+  is read, with probability :attr:`ReliabilityConfig.retention_fault_rate`
+  per bit.  Both read classes are caught (or not) by the SECDED stage.
+
+Determinism
+-----------
+
+All sampling draws from one :func:`repro.reliability.rng.make_rng`
+generator (stream ``"faults"``), so a run is a pure function of
+``(seed, access stream)``: same seed, same trace -> bit-identical
+:class:`~repro.cpu.model.RunResult`.  A fault class whose rate is zero
+consumes *no* draws, so enabling writes-only faults does not perturb the
+read stream and vice versa.  Bit-error counts are sampled with a
+geometric-gap binomial sampler — O(errors), not O(bits), so a 512-bit
+line write at rber 1e-4 costs one uniform draw almost always.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from random import Random
+
+from ..errors import ConfigurationError
+from .ecc import EccOutcome, SECDEDCode
+from .rng import make_rng
+
+#: Stream label the injector derives its generator from.
+FAULT_RNG_STREAM = "faults"
+
+
+def sample_bit_errors(rng: Random, bits: int, rate: float) -> int:
+    """Sample a Binomial(``bits``, ``rate``) error count.
+
+    Uses geometric gaps between failures so the cost is proportional to
+    the number of *errors* (usually zero), not the number of bits.
+
+    Raises:
+        ConfigurationError: If ``bits`` is negative or ``rate`` is
+            outside [0, 1].
+    """
+    if bits < 0:
+        raise ConfigurationError(f"bit count must be non-negative: {bits}")
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"error rate must be in [0, 1]: {rate}")
+    if rate == 0.0 or bits == 0:
+        return 0
+    if rate == 1.0:
+        return bits
+    log_miss = math.log1p(-rate)
+    errors = 0
+    position = 0
+    while True:
+        # Geometric gap to the next failing bit.
+        gap = int(math.log(1.0 - rng.random()) / log_miss)
+        position += gap + 1
+        if position > bits:
+            return errors
+        errors += 1
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Fault-injection and protection parameters of one NVM array.
+
+    The default instance is inert: every rate is zero, so no generator
+    is ever consulted and the timing path is bit-exact with a
+    fault-free simulator.
+
+    Attributes:
+        seed: Master seed for the injector's generator (stream
+            ``"faults"`` of :func:`repro.reliability.rng.make_rng`).
+        write_error_rate: Per-bit probability that a write pulse fails
+            (the raw bit error rate swept by the reliability
+            experiments).
+        read_disturb_rate: Per-bit probability that a read flips a cell.
+        retention_fault_rate: Per-bit probability that a cell has
+            decayed by the time it is read.
+        max_write_attempts: Write-verify-retry budget (first attempt
+            included); each retry re-occupies the line's bank for a full
+            array write.
+        ecc_decode_cycles: Fixed SECDED decode latency added to every
+            array read while any fault rate is nonzero.
+        retire_after_retries: Cumulative write retries after which a
+            line slot is retired (0 disables retirement).
+    """
+
+    seed: int = 0
+    write_error_rate: float = 0.0
+    read_disturb_rate: float = 0.0
+    retention_fault_rate: float = 0.0
+    max_write_attempts: int = 4
+    ecc_decode_cycles: int = 1
+    retire_after_retries: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("write_error_rate", "read_disturb_rate", "retention_fault_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]: {value}")
+        if self.max_write_attempts < 1:
+            raise ConfigurationError(
+                f"need at least one write attempt: {self.max_write_attempts}"
+            )
+        if self.ecc_decode_cycles < 0:
+            raise ConfigurationError(
+                f"ECC decode latency must be non-negative: {self.ecc_decode_cycles}"
+            )
+        if self.retire_after_retries < 0:
+            raise ConfigurationError(
+                f"retirement threshold must be non-negative: {self.retire_after_retries}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault class can actually fire."""
+        return (
+            self.write_error_rate > 0.0
+            or self.read_disturb_rate > 0.0
+            or self.retention_fault_rate > 0.0
+        )
+
+    @property
+    def read_fault_possible(self) -> bool:
+        """True when reads can observe faulty bits."""
+        return self.read_disturb_rate > 0.0 or self.retention_fault_rate > 0.0
+
+
+@dataclass
+class ReliabilityStats:
+    """Counters and cycle totals accumulated by one :class:`FaultInjector`.
+
+    Event counters are in events; ``*_cycles`` fields accumulate the
+    extra cycles the corresponding mechanism inserted into the timing
+    (bank re-occupancy for retries, decode adders, refill round trips).
+    """
+
+    write_faults: int = 0
+    write_retries: int = 0
+    write_failures: int = 0
+    read_disturb_faults: int = 0
+    retention_faults: int = 0
+    ecc_corrections: int = 0
+    ecc_detected: int = 0
+    ecc_rereads: int = 0
+    fault_refills: int = 0
+    retired_lines: int = 0
+    write_retry_cycles: float = 0.0
+    ecc_decode_cycles: float = 0.0
+    fault_refill_cycles: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, for :attr:`RunResult.reliability_stats`."""
+        return {f.name: getattr(self, f.name) for f in fields(ReliabilityStats)}
+
+
+class FaultInjector:
+    """Samples fault events for one NVM array, deterministically.
+
+    Args:
+        config: Fault rates, retry budget and ECC parameters.
+        line_bits: Data bits per cache line (the protection granule).
+    """
+
+    def __init__(self, config: ReliabilityConfig, line_bits: int) -> None:
+        if line_bits <= 0:
+            raise ConfigurationError(f"line width must be positive: {line_bits}")
+        self.config = config
+        self.line_bits = line_bits
+        self.ecc = SECDEDCode(line_bits)
+        self.stats = ReliabilityStats()
+        self._rng = make_rng(config.seed, FAULT_RNG_STREAM)
+        self._last_write_failed = False
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def write_attempts(self) -> int:
+        """Attempts one line write needs under write-verify-retry.
+
+        Returns at least 1; values above 1 mean ``result - 1`` retries.
+        A return of :attr:`ReliabilityConfig.max_write_attempts` with
+        :meth:`last_write_failed` True means the budget was exhausted
+        with bits still unwritten.
+        """
+        cfg = self.config
+        self._last_write_failed = False
+        if cfg.write_error_rate == 0.0:
+            return 1
+        attempts = 1
+        errors = sample_bit_errors(self._rng, self.line_bits, cfg.write_error_rate)
+        if errors > 0:
+            self.stats.write_faults += 1
+        while errors > 0 and attempts < cfg.max_write_attempts:
+            attempts += 1
+            self.stats.write_retries += 1
+            # The retry only needs to re-write the bits that failed.
+            errors = sample_bit_errors(self._rng, errors, cfg.write_error_rate)
+        if errors > 0:
+            self.stats.write_failures += 1
+            self._last_write_failed = True
+        return attempts
+
+    def last_write_failed(self) -> bool:
+        """True if the most recent write exhausted its retry budget."""
+        return self._last_write_failed
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def read_faulty_bits(self) -> int:
+        """Sample the faulty bits a line read observes (both classes)."""
+        cfg = self.config
+        faults = 0
+        if cfg.read_disturb_rate > 0.0:
+            disturbed = sample_bit_errors(self._rng, self.line_bits, cfg.read_disturb_rate)
+            self.stats.read_disturb_faults += disturbed
+            faults += disturbed
+        if cfg.retention_fault_rate > 0.0:
+            decayed = sample_bit_errors(self._rng, self.line_bits, cfg.retention_fault_rate)
+            self.stats.retention_faults += decayed
+            faults += decayed
+        return faults
+
+    def decode(self, faulty_bits: int) -> EccOutcome:
+        """SECDED decode of a line read, with statistics."""
+        outcome = self.ecc.decode(faulty_bits)
+        if outcome is EccOutcome.CORRECTED:
+            self.stats.ecc_corrections += 1
+        elif outcome is EccOutcome.DETECTED:
+            self.stats.ecc_detected += 1
+        return outcome
+
+    def reset(self) -> None:
+        """Reset statistics and re-seed the generator (fresh run)."""
+        self.stats = ReliabilityStats()
+        self._rng = make_rng(self.config.seed, FAULT_RNG_STREAM)
+        self._last_write_failed = False
+
+    def clear_stats(self) -> None:
+        """Zero statistics but keep the generator position (warm run)."""
+        self.stats = ReliabilityStats()

@@ -30,9 +30,22 @@ paper's technology-choice argument quantitatively.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, replace
 
 from ..errors import ConfigurationError
+
+#: Attempt time of thermally-activated magnetisation switching (the
+#: inverse attempt frequency ~1 GHz), in nanoseconds.  Standard constant
+#: of the thermal write-error model below.
+THERMAL_ATTEMPT_TIME_NS = 1.0
+
+#: Default write-current overdrive (I / Ic0) assumed by
+#: :meth:`MemoryTechnology.write_error_rate`.  1.03 reproduces the
+#: single-digit-ppm raw bit error rates reported for dual-MTJ cells at
+#: nominal write pulses; raise it to model a more aggressively driven
+#: (lower-WER, higher-energy) array.
+DEFAULT_WRITE_OVERDRIVE = 1.03
 
 
 class TechnologyKind(enum.Enum):
@@ -76,6 +89,11 @@ class MemoryTechnology:
         endurance_writes: Number of write cycles a cell sustains before
             wear-out (``float("inf")`` for SRAM).
         retention_seconds: Data retention without power (0 for SRAM).
+        thermal_stability: Thermal stability factor Δ = E_b / k_B·T of
+            the storage element (dimensionless).  Governs both retention
+            and the stochastic write-error rate of NVM cells; 0 for SRAM
+            (its cell is bistable-by-feedback, not by an energy
+            barrier, and writes are deterministic).
     """
 
     name: str
@@ -89,8 +107,13 @@ class MemoryTechnology:
     write_energy_pj_per_bit: float
     endurance_writes: float
     retention_seconds: float
+    thermal_stability: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.thermal_stability < 0:
+            raise ConfigurationError(
+                f"thermal stability must be non-negative for {self.name}"
+            )
         if self.feature_nm <= 0:
             raise ConfigurationError(f"feature size must be positive: {self.feature_nm}")
         if self.read_latency_ns <= 0 or self.write_latency_ns <= 0:
@@ -121,6 +144,53 @@ class MemoryTechnology:
         """
         return replace(self, read_latency_ns=read_ns, write_latency_ns=write_ns)
 
+    def write_error_rate(
+        self,
+        pulse_ns: "float | None" = None,
+        overdrive: float = DEFAULT_WRITE_OVERDRIVE,
+    ) -> float:
+        """Raw per-bit write error rate under the thermal-activation model.
+
+        Spin-transfer-torque switching is thermally activated: a write
+        pulse of duration ``t`` fails to switch the cell with
+        probability ``WER(t) = exp(-t / tau)`` where the switching time
+        constant ``tau = tau0 * exp(-Δ * (I/Ic0 - 1))`` shortens
+        exponentially with current overdrive (Khoshavi et al.; Noguchi
+        et al., VLSI 2014).  Longer pulses and harder drive both buy
+        exponentially lower error rates — which is exactly the
+        latency/reliability trade the write-verify-retry policy exploits
+        by re-issuing only the failed writes.
+
+        Args:
+            pulse_ns: Write pulse duration; defaults to the
+                technology's nominal write latency.
+            overdrive: Write current as a fraction of the critical
+                switching current (I/Ic0); must exceed 1.
+
+        Returns:
+            Per-bit write failure probability in [0, 1); exactly 0.0
+            for technologies without an energy barrier
+            (``thermal_stability == 0``, i.e. SRAM), whose writes are
+            deterministic.
+
+        Raises:
+            ConfigurationError: If the pulse is not positive or the
+                overdrive does not exceed 1.
+        """
+        if self.thermal_stability == 0.0:
+            return 0.0
+        t = self.write_latency_ns if pulse_ns is None else pulse_ns
+        if t <= 0:
+            raise ConfigurationError(f"write pulse must be positive: {t} ns")
+        if overdrive <= 1.0:
+            raise ConfigurationError(
+                f"overdrive must exceed the critical current: {overdrive}"
+            )
+        tau_ns = THERMAL_ATTEMPT_TIME_NS * math.exp(
+            -self.thermal_stability * (overdrive - 1.0)
+        )
+        return math.exp(-t / tau_ns)
+
 
 #: 32 nm high-performance SRAM — Table I left column.
 SRAM_32NM_HP = MemoryTechnology(
@@ -150,6 +220,7 @@ STT_MRAM_32NM = MemoryTechnology(
     write_energy_pj_per_bit=0.30,
     endurance_writes=1e15,
     retention_seconds=10.0 * 365 * 24 * 3600,
+    thermal_stability=60.0,
 )
 
 #: 32 nm ReRAM — Section II comparison point (fast reads, poor endurance).
@@ -165,6 +236,7 @@ RERAM_32NM = MemoryTechnology(
     write_energy_pj_per_bit=0.60,
     endurance_writes=1e11,
     retention_seconds=10.0 * 365 * 24 * 3600,
+    thermal_stability=55.0,
 )
 
 #: 32 nm PRAM — Section II comparison point (very slow writes).
@@ -180,6 +252,7 @@ PRAM_32NM = MemoryTechnology(
     write_energy_pj_per_bit=1.20,
     endurance_writes=1e9,
     retention_seconds=10.0 * 365 * 24 * 3600,
+    thermal_stability=55.0,
 )
 
 #: Registry of presets, keyed by short names accepted on the CLI.

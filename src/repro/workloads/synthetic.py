@@ -21,10 +21,10 @@ trace feeds (System.run, reuse profiling, trace files).
 
 from __future__ import annotations
 
-import random
 from typing import List
 
 from ..errors import WorkloadError
+from ..reliability.rng import make_rng
 from .trace import Branch, Compute, Load, Store, TraceEvent
 
 #: Base address synthetic working sets are laid out at.
@@ -90,7 +90,7 @@ def random_access(
     """Uniform random 4-byte touches over a working set (seeded)."""
     if working_set_bytes < 4 or accesses <= 0:
         raise WorkloadError("random_access needs a working set and access count")
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     slots = working_set_bytes // 4
     addresses = [BASE_ADDR + rng.randrange(slots) * 4 for _ in range(accesses)]
     return _mix(addresses, compute_per_access, write_every)
@@ -111,7 +111,7 @@ def pointer_chase(
     """
     if working_set_bytes < line_bytes or rounds <= 0:
         raise WorkloadError("pointer_chase needs at least one line and one round")
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     lines = list(range(working_set_bytes // line_bytes))
     rng.shuffle(lines)
     addresses = [
@@ -134,7 +134,7 @@ def hot_cold(
         raise WorkloadError(f"hot probability must be in [0, 1]: {hot_probability}")
     if hot_bytes < 4 or cold_bytes < 4 or accesses <= 0:
         raise WorkloadError("hot_cold needs positive region sizes and accesses")
-    rng = random.Random(seed)
+    rng = make_rng(seed)
     cold_base = BASE_ADDR + hot_bytes
     addresses = []
     for _ in range(accesses):

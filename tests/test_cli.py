@@ -46,7 +46,8 @@ class TestProfileCommand:
         assert "kernel" in capsys.readouterr().err
 
     def test_profile_unknown_config(self, capsys, tmp_path):
-        assert main(["profile", "gemm", "--config", "warp", "--out", str(tmp_path)]) == 1
+        # Unknown configuration -> ConfigurationError -> usage exit code.
+        assert main(["profile", "gemm", "--config", "warp", "--out", str(tmp_path)]) == 2
         assert "unknown configuration" in capsys.readouterr().err
 
     def test_profile_gemm_nvm_vwb(self, capsys, tmp_path):

@@ -53,3 +53,21 @@ class TestLifetime:
     def test_rejects_nonpositive_time(self):
         with pytest.raises(ConfigurationError):
             EnduranceModel(STT_MRAM_32NM).estimate({0: 1}, 0.0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel(STT_MRAM_32NM).estimate({0: 1}, -1.0)
+
+    def test_empty_counts_report_zero_rates(self):
+        est = EnduranceModel(STT_MRAM_32NM).estimate({}, 1.0)
+        assert est.hottest_line_writes_per_second == 0.0
+        assert est.mean_writes_per_second == 0.0
+        assert est.lifetime_years_mean == float("inf")
+        assert est.viable_for_decade
+
+    def test_sram_unbounded_even_under_extreme_traffic(self):
+        # 1e12 writes/s would wear any NVM out in seconds; SRAM's
+        # feedback cell has no endurance bound at all.
+        est = EnduranceModel(SRAM_32NM_HP).estimate({0: 10**12}, 1.0)
+        assert est.lifetime_years_mean == float("inf")
+        assert est.viable_for_decade

@@ -83,4 +83,5 @@ class TestInspectCLI:
     def test_cli_inspect_unknown_kernel(self, capsys):
         from repro.cli import main
 
-        assert main(["inspect", "--kernels", "bogus"]) == 1
+        # Unknown kernel -> WorkloadError -> runtime exit code.
+        assert main(["inspect", "--kernels", "bogus"]) == 3

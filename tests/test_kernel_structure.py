@@ -145,5 +145,6 @@ class TestCLIErrors:
     def test_unknown_kernel_graceful(self, capsys):
         from repro.cli import main
 
-        assert main(["fig1", "--kernels", "linpack"]) == 1
+        # Unknown kernel -> WorkloadError -> runtime exit code.
+        assert main(["fig1", "--kernels", "linpack"]) == 3
         assert "error:" in capsys.readouterr().err

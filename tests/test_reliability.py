@@ -1,0 +1,298 @@
+"""Fault injection: determinism, bit-exactness, ECC, retry and retirement."""
+
+import random
+
+import pytest
+
+from repro.cpu.system import System, SystemConfig
+from repro.errors import ConfigurationError
+from repro.obs.probe import RecordingProbe
+from repro.reliability.degrade import LineRetirementMap
+from repro.reliability.ecc import EccOutcome, SECDEDCode, secded_check_bits
+from repro.reliability.faults import FaultInjector, ReliabilityConfig, sample_bit_errors
+from repro.reliability.rng import derive_seed, make_rng
+from repro.tech.params import SRAM_32NM_HP, STT_MRAM_32NM
+from repro.workloads.synthetic import random_access
+
+FAULTY = ReliabilityConfig(
+    seed=7,
+    write_error_rate=2e-3,
+    read_disturb_rate=1e-4,
+    retention_fault_rate=1e-4,
+    retire_after_retries=8,
+)
+
+
+def _events(accesses=2000, seed=3):
+    return random_access(accesses=accesses, seed=seed)
+
+
+class TestRng:
+    def test_make_rng_matches_plain_random(self):
+        # Bit-exactness of pre-existing users (synthetic workloads, the
+        # random replacement policy) depends on this equivalence.
+        a, b = make_rng(42), random.Random(42)
+        assert [a.random() for _ in range(8)] == [b.random() for _ in range(8)]
+
+    def test_streams_are_separated_and_deterministic(self):
+        assert derive_seed(1, "faults") == derive_seed(1, "faults")
+        assert derive_seed(1, "faults") != derive_seed(1, "workload")
+        assert derive_seed(1, "faults") != derive_seed(2, "faults")
+
+    def test_stream_rng_reproducible(self):
+        assert make_rng(5, "x").random() == make_rng(5, "x").random()
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_seed(1, "")
+
+
+class TestSECDED:
+    def test_check_bits_for_standard_widths(self):
+        # Hamming bound + 1 parity bit: (64, 8) and (512, 11) are the
+        # textbook SECDED geometries.
+        assert secded_check_bits(64) == 8
+        assert secded_check_bits(512) == 11
+
+    def test_decode_outcomes(self):
+        code = SECDEDCode(512)
+        assert code.decode(0) is EccOutcome.CLEAN
+        assert code.decode(1) is EccOutcome.CORRECTED
+        assert code.decode(2) is EccOutcome.DETECTED
+        assert code.decode(5) is EccOutcome.DETECTED
+
+    def test_usable_property(self):
+        assert EccOutcome.CLEAN.usable
+        assert EccOutcome.CORRECTED.usable
+        assert not EccOutcome.DETECTED.usable
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SECDEDCode(512).decode(-1)
+
+
+class TestSampling:
+    def test_zero_rate_draws_nothing(self):
+        rng = make_rng(0)
+        before = rng.getstate()
+        assert sample_bit_errors(rng, 512, 0.0) == 0
+        assert rng.getstate() == before
+
+    def test_certain_rate_flips_everything(self):
+        assert sample_bit_errors(make_rng(0), 512, 1.0) == 512
+
+    def test_counts_are_binomial_ish(self):
+        rng = make_rng(1)
+        total = sum(sample_bit_errors(rng, 512, 0.01) for _ in range(2000))
+        assert total == pytest.approx(512 * 0.01 * 2000, rel=0.15)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_bit_errors(make_rng(0), -1, 0.5)
+        with pytest.raises(ConfigurationError):
+            sample_bit_errors(make_rng(0), 8, 1.5)
+
+
+class TestConfig:
+    def test_default_config_is_inert(self):
+        cfg = ReliabilityConfig()
+        assert not cfg.enabled
+        assert not cfg.read_fault_possible
+
+    def test_enabled_by_any_rate(self):
+        assert ReliabilityConfig(write_error_rate=1e-6).enabled
+        assert ReliabilityConfig(read_disturb_rate=1e-6).read_fault_possible
+        assert ReliabilityConfig(retention_fault_rate=1e-6).read_fault_possible
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityConfig(write_error_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ReliabilityConfig(max_write_attempts=0)
+        with pytest.raises(ConfigurationError):
+            ReliabilityConfig(ecc_decode_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            ReliabilityConfig(retire_after_retries=-1)
+
+
+class TestInjector:
+    def test_attempts_bounded_by_budget(self):
+        inj = FaultInjector(
+            ReliabilityConfig(seed=0, write_error_rate=0.9, max_write_attempts=3), 512
+        )
+        for _ in range(50):
+            assert 1 <= inj.write_attempts() <= 3
+
+    def test_budget_exhaustion_flags_failure(self):
+        inj = FaultInjector(
+            ReliabilityConfig(seed=0, write_error_rate=1.0, max_write_attempts=2), 8
+        )
+        inj.write_attempts()
+        assert inj.last_write_failed()
+        assert inj.stats.write_failures == 1
+
+    def test_reset_replays_identically(self):
+        inj = FaultInjector(FAULTY, 512)
+        first = [inj.write_attempts() for _ in range(100)]
+        inj.reset()
+        assert [inj.write_attempts() for _ in range(100)] == first
+
+
+class TestRetirementMap:
+    def test_threshold_crossing(self):
+        m = LineRetirementMap(4, 2, retire_after_retries=3)
+        assert not m.record_retries(0, 0, 2)
+        assert m.record_retries(0, 0, 1)
+        m.retire(0, 0)
+        assert m.is_disabled(0, 0)
+        assert m.enabled_ways(0) == 1
+        assert m.retired_lines == 1
+
+    def test_last_way_never_retires(self):
+        m = LineRetirementMap(4, 2, retire_after_retries=1)
+        assert m.record_retries(0, 0, 5)
+        m.retire(0, 0)
+        # Way 1 is the last usable way of set 0: it must stay in service.
+        assert not m.record_retries(0, 1, 100)
+
+    def test_zero_threshold_disables_retirement(self):
+        m = LineRetirementMap(4, 2, retire_after_retries=0)
+        assert not m.record_retries(0, 0, 10**6)
+
+    def test_reset_restores_service(self):
+        m = LineRetirementMap(4, 2, retire_after_retries=1)
+        m.record_retries(0, 0, 1)
+        m.retire(0, 0)
+        m.reset()
+        assert m.retired_lines == 0
+        assert not m.is_disabled(0, 0)
+
+
+class TestThermalModel:
+    def test_sram_writes_are_deterministic(self):
+        assert SRAM_32NM_HP.write_error_rate() == 0.0
+
+    def test_stt_mram_rate_is_single_digit_ppm(self):
+        rate = STT_MRAM_32NM.write_error_rate()
+        assert 1e-7 < rate < 1e-4
+
+    def test_longer_pulse_is_exponentially_safer(self):
+        short = STT_MRAM_32NM.write_error_rate(pulse_ns=1.0)
+        long = STT_MRAM_32NM.write_error_rate(pulse_ns=4.0)
+        assert long < short**2
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            STT_MRAM_32NM.write_error_rate(pulse_ns=0.0)
+        with pytest.raises(ConfigurationError):
+            STT_MRAM_32NM.write_error_rate(overdrive=1.0)
+
+
+class TestSystemDeterminism:
+    def test_zero_rates_bit_exact_with_fault_free(self):
+        events = _events()
+        for frontend in ("plain", "vwb"):
+            base = System(SystemConfig(technology="stt-mram", frontend=frontend))
+            inert = System(
+                SystemConfig(
+                    technology="stt-mram",
+                    frontend=frontend,
+                    reliability=ReliabilityConfig(seed=9),
+                )
+            )
+            r0, r1 = base.run(events), inert.run(events)
+            assert r1.cycles == r0.cycles
+            assert r1.dl1_stats == r0.dl1_stats
+            # An inert injector reports stats, but they are all zero.
+            assert r1.reliability_stats
+            assert not any(r1.reliability_stats.values())
+
+    def test_same_seed_reproduces_identical_run(self):
+        events = _events()
+        cfg = SystemConfig(technology="stt-mram", frontend="vwb", reliability=FAULTY)
+        a, b = System(cfg).run(events), System(cfg).run(events)
+        assert a.cycles == b.cycles
+        assert a.reliability_stats == b.reliability_stats
+        assert a.dl1_stats == b.dl1_stats
+        assert a.retired_lines == b.retired_lines
+
+    def test_reset_reproduces_identical_run(self):
+        events = _events()
+        system = System(
+            SystemConfig(technology="stt-mram", frontend="vwb", reliability=FAULTY)
+        )
+        a = system.run(events)
+        b = system.run(events)  # run() resets, re-seeding the injector
+        assert a.cycles == b.cycles
+        assert a.reliability_stats == b.reliability_stats
+
+    def test_faults_slow_the_machine_down(self):
+        events = _events()
+        clean = System(SystemConfig(technology="stt-mram", frontend="plain")).run(events)
+        faulty = System(
+            SystemConfig(technology="stt-mram", frontend="plain", reliability=FAULTY)
+        ).run(events)
+        assert faulty.cycles > clean.cycles
+        assert faulty.reliability_stats["write_retries"] > 0
+
+    def test_different_seeds_diverge(self):
+        events = _events()
+        runs = []
+        for seed in (1, 2):
+            cfg = SystemConfig(
+                technology="stt-mram",
+                frontend="plain",
+                reliability=ReliabilityConfig(seed=seed, write_error_rate=2e-3),
+            )
+            runs.append(System(cfg).run(events))
+        assert runs[0].reliability_stats != runs[1].reliability_stats
+
+
+class TestLedgerExactness:
+    @pytest.mark.parametrize("frontend", ["plain", "vwb"])
+    def test_ledger_balances_under_faults(self, frontend):
+        probe = RecordingProbe()
+        system = System(
+            SystemConfig(technology="stt-mram", frontend=frontend, reliability=FAULTY)
+        )
+        system.run(_events(), probe=probe)  # probe.finish verifies exactness
+        assert probe.verified
+        assert probe.ledger.totals["ecc_decode"] > 0.0
+
+    def test_new_categories_stay_zero_without_faults(self):
+        probe = RecordingProbe()
+        System(SystemConfig(technology="stt-mram", frontend="vwb")).run(
+            _events(), probe=probe
+        )
+        assert probe.verified
+        for category in ("ecc_decode", "write_retry", "fault_refill"):
+            assert probe.ledger.totals[category] == 0.0
+
+
+class TestGracefulDegradation:
+    def test_hot_retirement_shrinks_associativity_without_breaking(self):
+        cfg = SystemConfig(
+            technology="stt-mram",
+            frontend="plain",
+            reliability=ReliabilityConfig(
+                seed=0, write_error_rate=5e-2, retire_after_retries=1
+            ),
+        )
+        result = System(cfg).run(_events())
+        assert result.retired_lines > 0
+        # Never below one usable way per set.
+        dl1 = SystemConfig().dl1_cache_config()
+        assert result.retired_lines <= dl1.sets * (dl1.associativity - 1)
+
+    def test_retirement_survives_every_replacement_policy(self):
+        for policy in ("lru", "plru", "fifo", "random"):
+            cfg = SystemConfig(
+                technology="stt-mram",
+                frontend="plain",
+                dl1_replacement=policy,
+                reliability=ReliabilityConfig(
+                    seed=0, write_error_rate=5e-2, retire_after_retries=1
+                ),
+            )
+            result = System(cfg).run(_events(accesses=800))
+            assert result.retired_lines > 0, policy

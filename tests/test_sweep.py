@@ -83,4 +83,5 @@ class TestSweepCLI:
     def test_cli_sweep_bad_param(self, capsys):
         from repro.cli import main
 
-        assert main(["sweep", "--param", "bogus", "--values", "1", "--kernels", "gemm"]) == 1
+        # Unknown sweep parameter -> ConfigurationError -> usage exit code.
+        assert main(["sweep", "--param", "bogus", "--values", "1", "--kernels", "gemm"]) == 2
