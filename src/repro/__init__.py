@@ -9,7 +9,9 @@ The package builds the paper's whole experimental platform in Python:
 - :mod:`repro.cpu` — the in-order ARM-like core and system assembly;
 - :mod:`repro.workloads` — the PolyBench kernel subset as an affine IR;
 - :mod:`repro.transforms` — the paper's code transformations;
-- :mod:`repro.experiments` — one module per reproduced table/figure.
+- :mod:`repro.experiments` — one module per reproduced table/figure;
+- :mod:`repro.exec` — the parallel experiment engine and its
+  content-addressed run cache (``--jobs``/``--cache-dir`` on the CLI).
 
 Quickstart::
 
@@ -24,6 +26,7 @@ Quickstart::
 from .analysis import RunMetrics, compare_runs, metrics_of
 from .cpu.model import CPUConfig, RunResult
 from .cpu.system import System, SystemConfig, warm_regions_of
+from .exec import ExecutionEngine, RunCache, RunPoint, make_engine
 from .core.vwb import VWBConfig, VeryWideBuffer
 from .tech.params import (
     SRAM_32NM_HP,
@@ -46,6 +49,10 @@ __all__ = [
     "System",
     "SystemConfig",
     "warm_regions_of",
+    "ExecutionEngine",
+    "RunCache",
+    "RunPoint",
+    "make_engine",
     "VWBConfig",
     "VeryWideBuffer",
     "SRAM_32NM_HP",

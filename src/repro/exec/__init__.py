@@ -1,0 +1,52 @@
+"""Parallel experiment execution with a content-addressed run cache.
+
+The paper's evaluation — and every sweep this repository adds on top —
+is hundreds of independent ``(kernel, configuration, optimization
+level, seed)`` simulations.  ``repro.exec`` turns that from a serial
+loop into a scheduled batch:
+
+- :mod:`repro.exec.point` defines :class:`RunPoint` (one simulation)
+  and the pure worker function :func:`execute_point`;
+- :mod:`repro.exec.cache` keys every point by a SHA-256 over its kernel
+  IR, full system configuration, technology parameters, optimization
+  level, seed and the simulator's own code fingerprint, and stores
+  results as atomic JSON entries (:class:`RunCache`);
+- :mod:`repro.exec.engine` fans cache-missing points out over a process
+  pool (:class:`ExecutionEngine`, CLI ``--jobs N``) with deterministic,
+  input-ordered results, replaying hits instantly and persisting each
+  completion so interrupted sweeps resume.
+
+The engine plugs into
+:class:`~repro.experiments.runner.ExperimentRunner` (``engine=`` or the
+CLI's ``--jobs``/``--cache-dir``/``--no-cache`` flags); cached, parallel
+and inline executions of the same point are bit-identical.  See
+``docs/EXPERIMENTS_GUIDE.md`` for the cookbook and
+``docs/ARCHITECTURE.md`` §2.8 for the cache design.
+"""
+
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    DEFAULT_CACHE_DIR,
+    RunCache,
+    cache_key_of,
+    code_fingerprint,
+    ir_fingerprint,
+    key_material_of,
+)
+from .engine import ExecStats, ExecutionEngine, make_engine
+from .point import RunPoint, execute_point
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ExecStats",
+    "ExecutionEngine",
+    "RunCache",
+    "RunPoint",
+    "cache_key_of",
+    "code_fingerprint",
+    "execute_point",
+    "ir_fingerprint",
+    "key_material_of",
+    "make_engine",
+]

@@ -1,0 +1,310 @@
+"""The parallel experiment engine: fan points out, replay what's cached.
+
+:class:`ExecutionEngine` takes a batch of independent
+:class:`~repro.exec.point.RunPoint` simulations and returns their
+:class:`~repro.cpu.model.RunResult` list **in input order**, regardless
+of how the work was scheduled:
+
+1. every point's content-addressed key is computed
+   (:func:`~repro.exec.cache.cache_key_of`) and looked up in the
+   :class:`~repro.exec.cache.RunCache` — hits replay from disk;
+2. the remaining points are deduplicated by key (a figure batch shares
+   one SRAM baseline across configurations) and executed — inline when
+   ``jobs == 1``, else on a :class:`~concurrent.futures.ProcessPoolExecutor`
+   with ``jobs`` workers;
+3. each result is persisted to the cache the moment it completes, so an
+   interrupted sweep resumes from the finished points.
+
+Because :func:`~repro.exec.point.execute_point` is deterministic and
+self-contained, results are bit-identical whether a point ran inline,
+in a worker, or was replayed from the cache — the engine's central
+invariant, pinned by ``tests/test_exec.py``.
+
+Per-point progress and the hit/miss counters are surfaced through the
+:mod:`repro.obs` probe layer (:meth:`~repro.obs.probe.Probe.exec_point`)
+and summarised in :class:`ExecStats`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TextIO
+
+from ..cpu.model import RunResult
+from ..errors import ConfigurationError
+from ..obs.probe import NULL_PROBE, Probe
+from .cache import RunCache, cache_key_of, key_material_of
+from .point import RunPoint, execute_point
+
+
+@dataclass
+class ExecStats:
+    """Counters accumulated by one :class:`ExecutionEngine`.
+
+    Attributes
+    ----------
+    points : int
+        Points requested across all batches (duplicates included).
+    hits : int
+        Points replayed from the run cache.
+    misses : int
+        Points not found in the cache (``executed`` + ``deduplicated``).
+    executed : int
+        Simulations actually run.
+    deduplicated : int
+        Cache-missing points that shared a key with another point of the
+        same batch and were computed only once.
+    elapsed : float
+        Wall-clock seconds spent inside :meth:`ExecutionEngine.run_points`.
+    """
+
+    points: int = 0
+    hits: int = 0
+    misses: int = 0
+    executed: int = 0
+    deduplicated: int = 0
+    elapsed: float = 0.0
+
+    def hit_rate(self) -> float:
+        """Cache hit rate in percent (100.0 for an all-hit batch).
+
+        Returns
+        -------
+        float
+            ``hits / points * 100``, or 0.0 before any point ran.
+        """
+        return self.hits / self.points * 100.0 if self.points else 0.0
+
+
+@dataclass
+class _Pending:
+    """One unique cache-missing key and the input slots it fills."""
+
+    point: RunPoint
+    indices: List[int] = field(default_factory=list)
+
+
+class ExecutionEngine:
+    """Runs batches of simulation points, in parallel and cached.
+
+    Parameters
+    ----------
+    jobs : int
+        Worker processes for cache-missing points.  ``1`` (the default)
+        executes inline in this process; results are bit-identical
+        either way.
+    cache_dir : str or pathlib.Path, optional
+        Run-cache directory.  ``None`` disables the cache entirely
+        (every point recomputes).
+    probe : Probe, optional
+        Observability probe notified per point via
+        :meth:`~repro.obs.probe.Probe.exec_point`.
+    progress : TextIO, optional
+        Stream for one human-readable line per completed point (the CLI
+        passes ``sys.stderr``); ``None`` silences progress output.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``jobs`` is not a positive integer.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        probe: Probe = NULL_PROBE,
+        progress: Optional[TextIO] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"--jobs must be at least 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache = RunCache(cache_dir) if cache_dir is not None else None
+        self.probe = probe
+        self.progress = progress
+        self.stats = ExecStats()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _report(self, point: RunPoint, status: str, index: int, total: int, dt: float) -> None:
+        """Emit one per-point progress record (probe + progress stream)."""
+        self.probe.exec_point(point.display(), status, index, total, dt)
+        if self.progress is not None:
+            print(
+                f"[{index + 1}/{total}] {point.display()}: {status} ({dt:.2f}s)",
+                file=self.progress,
+                flush=True,
+            )
+
+    def summary(self) -> str:
+        """One-line account of the engine's work so far.
+
+        Returns
+        -------
+        str
+            E.g. ``exec: 26 points — 26 cache hits, 0 misses (100% cache
+            hits), jobs=4, cache .repro-cache``.
+        """
+        s = self.stats
+        where = str(self.cache.root) if self.cache is not None else "off"
+        return (
+            f"exec: {s.points} points — {s.hits} cache hits, {s.misses} misses "
+            f"({s.hit_rate():.0f}% cache hits), jobs={self.jobs}, cache {where}"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_points(self, points: Sequence[RunPoint]) -> List[RunResult]:
+        """Execute a batch; results come back in input order.
+
+        Cache hits replay instantly; unique misses run with up to
+        ``jobs``-way parallelism and are persisted as they finish.  The
+        output order depends only on ``points``, never on scheduling.
+
+        Parameters
+        ----------
+        points : sequence of RunPoint
+            Independent simulation points.
+
+        Returns
+        -------
+        list of RunResult
+            ``results[i]`` is the outcome of ``points[i]``.
+        """
+        started = time.monotonic()
+        points = list(points)
+        total = len(points)
+        self.stats.points += total
+        results: List[Optional[RunResult]] = [None] * total
+
+        pending: Dict[str, _Pending] = {}
+        for i, point in enumerate(points):
+            key = cache_key_of(point)
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                self.stats.hits += 1
+                results[i] = cached
+                self._report(point, "hit", i, total, 0.0)
+                continue
+            self.stats.misses += 1
+            if key in pending:
+                self.stats.deduplicated += 1
+                pending[key].indices.append(i)
+            else:
+                pending[key] = _Pending(point, [i])
+
+        if pending:
+            self._execute_pending(pending, results, total)
+
+        self.stats.elapsed += time.monotonic() - started
+        return [r for r in results if r is not None]
+
+    def _execute_pending(
+        self,
+        pending: Dict[str, _Pending],
+        results: List[Optional[RunResult]],
+        total: int,
+    ) -> None:
+        """Run the unique cache-missing points and fill their slots."""
+        if self.jobs == 1 or len(pending) == 1:
+            for key, entry in pending.items():
+                t0 = time.monotonic()
+                result = execute_point(entry.point)
+                self._complete(key, entry, result, results, total, time.monotonic() - t0)
+            return
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
+            futures = {}
+            submitted = {}
+            for key, entry in pending.items():
+                futures[pool.submit(execute_point, entry.point)] = key
+                submitted[key] = time.monotonic()
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures[future]
+                    entry = pending[key]
+                    result = future.result()
+                    self._complete(
+                        key, entry, result, results, total, time.monotonic() - submitted[key]
+                    )
+
+    def _complete(
+        self,
+        key: str,
+        entry: _Pending,
+        result: RunResult,
+        results: List[Optional[RunResult]],
+        total: int,
+        dt: float,
+    ) -> None:
+        """Persist one finished point and fill every slot it serves."""
+        self.stats.executed += 1
+        if self.cache is not None:
+            self.cache.put(key, result, key_material_of(entry.point))
+        for i in entry.indices:
+            results[i] = result
+        self._report(entry.point, "run", entry.indices[0], total, dt)
+
+
+def make_engine(
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
+    probe: Probe = NULL_PROBE,
+    progress: Optional[TextIO] = None,
+) -> Optional[ExecutionEngine]:
+    """Build an engine from CLI-style options, or ``None`` for the
+    classic serial path.
+
+    The engine engages when parallelism or caching was requested: plain
+    ``repro fig1`` keeps the historical in-process behaviour with no
+    side effects on the filesystem.
+
+    Parameters
+    ----------
+    jobs : int
+        Requested worker count (``--jobs``).
+    cache_dir : str, optional
+        Requested cache directory (``--cache-dir``); when ``None`` but
+        ``jobs > 1``, :data:`~repro.exec.cache.DEFAULT_CACHE_DIR` is
+        used unless ``no_cache`` is set.
+    no_cache : bool
+        Disable the run cache (``--no-cache``) while keeping ``jobs``.
+    probe : Probe, optional
+        Forwarded to :class:`ExecutionEngine`.
+    progress : TextIO, optional
+        Forwarded to :class:`ExecutionEngine`; defaults to ``sys.stderr``
+        when the engine engages from the CLI helper.
+
+    Returns
+    -------
+    ExecutionEngine or None
+        ``None`` when neither ``--jobs`` nor a cache was asked for.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"--jobs must be at least 1, got {jobs}")
+    if jobs == 1 and cache_dir is None:
+        return None
+    from .cache import DEFAULT_CACHE_DIR
+
+    resolved_dir: Optional[str] = cache_dir
+    if no_cache:
+        resolved_dir = None
+    elif resolved_dir is None:
+        resolved_dir = DEFAULT_CACHE_DIR
+    if jobs == 1 and resolved_dir is None:
+        return None
+    return ExecutionEngine(
+        jobs=jobs,
+        cache_dir=resolved_dir,
+        probe=probe,
+        progress=progress if progress is not None else sys.stderr,
+    )

@@ -7,6 +7,11 @@ and is registered in :data:`EXPERIMENTS` for the CLI
 The shared :class:`~repro.experiments.runner.ExperimentRunner` caches
 kernel traces across experiments so regenerating the full evaluation
 costs one trace generation per (kernel, optimization level).
+Constructed with a :class:`~repro.exec.engine.ExecutionEngine`, the
+runner additionally fans each figure's independent points across
+worker processes and replays unchanged points from the engine's
+content-addressed run cache (``python -m repro all --jobs 4``) —
+results are bit-identical to the serial path either way.
 """
 
 from .runner import ExperimentRunner, CONFIGURATIONS, make_system

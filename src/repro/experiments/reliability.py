@@ -39,12 +39,24 @@ def run(
 ) -> FigureResult:
     """Reliability penalty curves for one kernel, drop-in vs VWB.
 
-    Args:
-        runner: Shared experiment runner (a fresh one by default).
-        kernel: Kernel to sweep.
-        rates: Raw per-bit write error rates.
-        configs: Configuration names/aliases to compare.
-        seed: Fault-injection seed.
+    Parameters
+    ----------
+    runner : ExperimentRunner, optional
+        Shared experiment runner (a fresh one by default); an attached
+        execution engine fans the whole rber grid out in parallel.
+    kernel : str
+        Kernel to sweep.
+    rates : sequence of float
+        Raw per-bit write error rates.
+    configs : sequence of str
+        Configuration names/aliases to compare.
+    seed : int
+        Fault-injection seed.
+
+    Returns
+    -------
+    FigureResult
+        One penalty curve per configuration, in ``rates`` order.
     """
     runner = runner if runner is not None else ExperimentRunner()
     names = [resolve_config_name(c) for c in configs]

@@ -17,14 +17,22 @@ from typing import Dict, List, Optional, Sequence
 class FigureResult:
     """One reproduced table/figure.
 
-    Attributes:
-        name: Experiment id (``"fig5"``).
-        title: Human title matching the paper's caption.
-        labels: Row labels (kernels, or sweep points).
-        series: Ordered mapping column -> per-label values.
-        unit: Unit of the values (``"%"`` for penalties).
-        notes: Paper-vs-measured commentary lines.
-        average_row: Append an AVERAGE row (the paper's figures do).
+    Attributes
+    ----------
+    name : str
+        Experiment id (``"fig5"``).
+    title : str
+        Human title matching the paper's caption.
+    labels : list of str
+        Row labels (kernels, or sweep points).
+    series : dict
+        Ordered mapping column -> per-label values.
+    unit : str
+        Unit of the values (``"%"`` for penalties).
+    notes : list of str
+        Paper-vs-measured commentary lines.
+    average_row : bool
+        Append an AVERAGE row (the paper's figures do).
     """
 
     name: str
@@ -58,10 +66,18 @@ def _bar(value: float, scale: float, width: int = 24) -> str:
 def render_figure(result: FigureResult, bars: bool = True) -> str:
     """Render a :class:`FigureResult` as an aligned text table.
 
-    Args:
-        result: The experiment output.
-        bars: Append an ASCII bar for the first series (visual analogue
-            of the paper's charts).
+    Parameters
+    ----------
+    result : FigureResult
+        The experiment output.
+    bars : bool
+        Append an ASCII bar for the first series (visual analogue of
+        the paper's charts).
+
+    Returns
+    -------
+    str
+        The table, notes included, ready to print.
     """
     headers = ["benchmark"] + list(result.series)
     labels = list(result.labels)

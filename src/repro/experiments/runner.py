@@ -6,12 +6,18 @@ kernel/level trace once, warms the L2 with the kernel's arrays (the
 paper's gem5 runs execute PolyBench's initialisation before the measured
 kernel), and caches results keyed by configuration so the figures share
 baseline runs.
+
+When constructed with an :class:`~repro.exec.engine.ExecutionEngine`,
+the runner fans independent points of a figure or sweep out across
+worker processes and replays unchanged points from the engine's
+content-addressed run cache; results are bit-identical to the serial
+path (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cpu.model import RunResult
 from ..cpu.system import System, SystemConfig, warm_regions_of
@@ -48,7 +54,31 @@ CONFIG_ALIASES: Dict[str, str] = {
 
 
 def resolve_config_name(name: str) -> str:
-    """Canonical configuration name for ``name`` (aliases resolved)."""
+    """Canonical configuration name for ``name`` (aliases resolved).
+
+    Parameters
+    ----------
+    name : str
+        A configuration name from :data:`CONFIGURATIONS` or an alias
+        from :data:`CONFIG_ALIASES`, case-insensitively.
+
+    Returns
+    -------
+    str
+        The canonical :data:`CONFIGURATIONS` key.
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown names — never a bare ``KeyError`` — listing every
+        valid name and alias; the CLI maps it to the documented usage
+        exit code 2.
+    """
+    if not isinstance(name, str):
+        valid = ", ".join(list(CONFIGURATIONS) + sorted(CONFIG_ALIASES))
+        raise ConfigurationError(
+            f"configuration name must be a string, got {name!r}; expected one of: {valid}"
+        )
     name = name.strip().lower()
     name = CONFIG_ALIASES.get(name, name)
     if name not in CONFIGURATIONS:
@@ -59,30 +89,73 @@ def resolve_config_name(name: str) -> str:
     return name
 
 
-def make_system(name_or_config) -> System:
-    """Build a :class:`System` from a configuration name or object."""
-    if isinstance(name_or_config, SystemConfig):
-        return System(name_or_config)
-    return System(CONFIGURATIONS[resolve_config_name(name_or_config)])
+def resolve_config(config: Union[str, SystemConfig]) -> SystemConfig:
+    """The :class:`SystemConfig` for a name, alias or config object.
+
+    Parameters
+    ----------
+    config : str or SystemConfig
+        A named configuration/alias, or an already-built config.
+
+    Returns
+    -------
+    SystemConfig
+        The configuration object (named configs are shared instances).
+
+    Raises
+    ------
+    ConfigurationError
+        For unknown configuration names (see :func:`resolve_config_name`).
+    """
+    if isinstance(config, SystemConfig):
+        return config
+    return CONFIGURATIONS[resolve_config_name(config)]
+
+
+def make_system(name_or_config: Union[str, SystemConfig]) -> System:
+    """Build a :class:`System` from a configuration name or object.
+
+    Parameters
+    ----------
+    name_or_config : str or SystemConfig
+        A named configuration/alias, or a config object.
+
+    Returns
+    -------
+    System
+        A freshly assembled platform.
+    """
+    return System(resolve_config(name_or_config))
 
 
 class ExperimentRunner:
     """Caches traces and run results across the experiment suite.
 
-    Args:
-        size: Dataset size class for every kernel (MINI reproduces the
-            paper; larger sizes feed the dataset-scaling ablation).
-        kernels: Kernel subset to evaluate (default: the full 12-kernel
-            registry, in figure order).
+    Parameters
+    ----------
+    size : DatasetSize
+        Dataset size class for every kernel (MINI reproduces the paper;
+        larger sizes feed the dataset-scaling ablation).
+    kernels : list of str, optional
+        Kernel subset to evaluate (default: the full 12-kernel
+        registry, in figure order).
+    engine : repro.exec.ExecutionEngine, optional
+        Parallel/cached execution engine.  ``None`` (the default) keeps
+        the classic in-process serial path; with an engine, whole-figure
+        batches run with up to ``engine.jobs``-way parallelism and
+        unchanged points replay from the engine's run cache.  Results
+        are bit-identical either way.
     """
 
     def __init__(
         self,
         size: DatasetSize = DatasetSize.MINI,
         kernels: Optional[List[str]] = None,
+        engine: Optional["ExecutionEngine"] = None,
     ) -> None:
         self.size = size
         self.kernels = list(kernels) if kernels is not None else kernel_names()
+        self.engine = engine
         self._programs: Dict[Tuple[str, OptLevel], object] = {}
         self._traces: Dict[Tuple[str, OptLevel], List[TraceEvent]] = {}
         self._annotated_traces: Dict[Tuple[str, OptLevel], List[TraceEvent]] = {}
@@ -93,7 +166,20 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def program(self, kernel: str, level: OptLevel = OptLevel.NONE):
-        """The (possibly transformed) program for a kernel, cached."""
+        """The (possibly transformed) program for a kernel, cached.
+
+        Parameters
+        ----------
+        kernel : str
+            Kernel name.
+        level : OptLevel
+            Optimization level to apply.
+
+        Returns
+        -------
+        repro.workloads.ir.Program
+            The kernel IR after the level's transformation passes.
+        """
         key = (kernel, level)
         if key not in self._programs:
             base = build_kernel(kernel, self.size)
@@ -101,7 +187,20 @@ class ExperimentRunner:
         return self._programs[key]
 
     def trace(self, kernel: str, level: OptLevel = OptLevel.NONE) -> List[TraceEvent]:
-        """The materialised event trace for a kernel/level, cached."""
+        """The materialised event trace for a kernel/level, cached.
+
+        Parameters
+        ----------
+        kernel : str
+            Kernel name.
+        level : OptLevel
+            Optimization level of the traced code.
+
+        Returns
+        -------
+        list of TraceEvent
+            The architectural event stream.
+        """
         key = (kernel, level)
         if key not in self._traces:
             self._traces[key] = materialize_trace(self.program(kernel, level))
@@ -112,6 +211,18 @@ class ExperimentRunner:
 
         Cached separately from :meth:`trace` so figure runs keep using
         the seed's mark-free traces.
+
+        Parameters
+        ----------
+        kernel : str
+            Kernel name.
+        level : OptLevel
+            Optimization level of the traced code.
+
+        Returns
+        -------
+        list of TraceEvent
+            The event stream with ``IRMark`` region annotations.
         """
         key = (kernel, level)
         if key not in self._annotated_traces:
@@ -124,40 +235,137 @@ class ExperimentRunner:
     # Execution
     # ------------------------------------------------------------------
 
+    def _memo_key(
+        self,
+        config: Union[str, SystemConfig],
+        kernel: str,
+        level: OptLevel,
+        cache_key: Optional[str],
+    ) -> Optional[Tuple]:
+        """In-memory result key for a run request (``None``: don't memoise)."""
+        if isinstance(config, str):
+            return (resolve_config_name(config), kernel, level, self.size)
+        if cache_key is not None:
+            return (cache_key, kernel, level, self.size)
+        return None
+
+    def _point(
+        self,
+        config: Union[str, SystemConfig],
+        kernel: str,
+        level: OptLevel,
+        cache_key: Optional[str] = None,
+    ) -> "RunPoint":
+        """Build the :class:`~repro.exec.point.RunPoint` for a run request."""
+        from ..exec.point import RunPoint
+
+        if isinstance(config, str):
+            label = resolve_config_name(config)
+        else:
+            label = cache_key or config.frontend
+        return RunPoint(
+            kernel=kernel,
+            config=resolve_config(config),
+            level=level,
+            size=self.size,
+            label=f"{kernel}/{label}/{level.name}",
+        )
+
     def run(
         self,
-        config,
+        config: Union[str, SystemConfig],
         kernel: str,
         level: OptLevel = OptLevel.NONE,
         cache_key: Optional[str] = None,
     ) -> RunResult:
         """Run one kernel/level on one configuration (L2 pre-warmed).
 
-        Args:
-            config: A configuration name from :data:`CONFIGURATIONS` or a
-                :class:`SystemConfig`.
-            kernel: Kernel name.
-            level: Optimization level of the code.
-            cache_key: Override for the result-cache key when passing ad
-                hoc :class:`SystemConfig` objects (named configs cache
-                automatically; unnamed ones are cached by this key or not
-                at all).
+        Parameters
+        ----------
+        config : str or SystemConfig
+            A configuration name/alias from :data:`CONFIGURATIONS` or a
+            :class:`SystemConfig`.
+        kernel : str
+            Kernel name.
+        level : OptLevel
+            Optimization level of the code.
+        cache_key : str, optional
+            Override for the result-memo key when passing ad hoc
+            :class:`SystemConfig` objects (named configs memoise
+            automatically; unnamed ones by this key, by content when an
+            engine is attached, or not at all).
+
+        Returns
+        -------
+        RunResult
+            The timing result (shared across repeat requests).
         """
-        if isinstance(config, str):
-            key = (config, kernel, level, self.size)
-        elif cache_key is not None:
-            key = (cache_key, kernel, level, self.size)
-        else:
-            key = None
+        key = self._memo_key(config, kernel, level, cache_key)
         if key is not None and key in self._results:
             return self._results[key]
-        system = make_system(config)
-        trace = self.trace(kernel, level)
-        regions = warm_regions_of(self.program(kernel, level))
-        result = system.run(trace, warm_regions=regions)
+        if self.engine is not None:
+            from ..exec.cache import cache_key_of
+
+            point = self._point(config, kernel, level, cache_key)
+            if key is None:
+                key = ("exec", cache_key_of(point))
+                if key in self._results:
+                    return self._results[key]
+            result = self.engine.run_points([point])[0]
+        else:
+            system = make_system(config)
+            trace = self.trace(kernel, level)
+            regions = warm_regions_of(self.program(kernel, level))
+            result = system.run(trace, warm_regions=regions)
         if key is not None:
             self._results[key] = result
         return result
+
+    def prefetch(
+        self,
+        specs: Sequence[Tuple],
+    ) -> None:
+        """Batch-execute run requests through the engine (if attached).
+
+        The whole batch is handed to the engine at once, so independent
+        points run with up to ``engine.jobs``-way parallelism and cache
+        hits replay immediately; results land in the runner's in-memory
+        memo, making the subsequent :meth:`run` calls instant.  Without
+        an engine this is a no-op (the serial path computes on demand).
+
+        Parameters
+        ----------
+        specs : sequence of tuple
+            ``(config, kernel, level)`` or ``(config, kernel, level,
+            cache_key)`` tuples, exactly as :meth:`run` would receive
+            them.  Already-memoised and duplicate requests are skipped.
+        """
+        if self.engine is None:
+            return
+        from ..exec.cache import cache_key_of
+
+        points, keys = [], []
+        seen = set()
+        for spec in specs:
+            config, kernel, level = spec[0], spec[1], spec[2]
+            cache_key = spec[3] if len(spec) > 3 else None
+            key = self._memo_key(config, kernel, level, cache_key)
+            if key is None:
+                point = self._point(config, kernel, level, cache_key)
+                key = ("exec", cache_key_of(point))
+            else:
+                point = None
+            if key in self._results or key in seen:
+                continue
+            seen.add(key)
+            if point is None:
+                point = self._point(config, kernel, level, cache_key)
+            points.append(point)
+            keys.append(key)
+        if not points:
+            return
+        for key, result in zip(keys, self.engine.run_points(points)):
+            self._results[key] = result
 
     def profile(
         self,
@@ -172,16 +380,29 @@ class ExperimentRunner:
         The run uses an IR-annotated trace (same cycle count as the plain
         trace — marks are zero-cost) so the ledger carries per-IR-loop
         subtotals, and verifies ledger exactness against the run's cycle
-        count before returning.
+        count before returning.  Profiling always executes inline — a
+        probe observes one live run, so there is nothing to parallelise
+        or replay.
 
-        Args:
-            kernel: Kernel name.
-            config: Configuration name or alias (e.g. ``"nvm-vwb"``).
-            level: Optimization level of the code.
-            record_events: Keep the per-event timeline for trace export
-                (ledger/histograms are always collected).
-            max_events: Cap on retained timeline events; overflow is
-                counted in :attr:`ProfileResult.dropped_events`.
+        Parameters
+        ----------
+        kernel : str
+            Kernel name.
+        config : str
+            Configuration name or alias (e.g. ``"nvm-vwb"``).
+        level : OptLevel
+            Optimization level of the code.
+        record_events : bool
+            Keep the per-event timeline for trace export
+            (ledger/histograms are always collected).
+        max_events : int
+            Cap on retained timeline events; overflow is counted in
+            :attr:`ProfileResult.dropped_events`.
+
+        Returns
+        -------
+        ProfileResult
+            The instrumented run, with a verified cycle ledger.
         """
         name = resolve_config_name(config)
         system = make_system(name)
@@ -204,7 +425,7 @@ class ExperimentRunner:
 
     def penalty(
         self,
-        config,
+        config: Union[str, SystemConfig],
         kernel: str,
         level: OptLevel = OptLevel.NONE,
         baseline_level: Optional[OptLevel] = None,
@@ -214,6 +435,25 @@ class ExperimentRunner:
 
         The baseline runs the same code by default (``baseline_level``
         overrides this for gain-style comparisons).
+
+        Parameters
+        ----------
+        config : str or SystemConfig
+            Configuration under test.
+        kernel : str
+            Kernel name.
+        level : OptLevel
+            Optimization level of the tested configuration's code.
+        baseline_level : OptLevel, optional
+            Optimization level of the SRAM baseline (defaults to
+            ``level``).
+        cache_key : str, optional
+            Memo key for ad hoc configs (see :meth:`run`).
+
+        Returns
+        -------
+        float
+            ``penalty_vs`` the SRAM baseline, in percent.
         """
         base_level = level if baseline_level is None else baseline_level
         baseline = self.run("sram", kernel, base_level)
@@ -221,12 +461,41 @@ class ExperimentRunner:
 
     def penalties(
         self,
-        config,
+        config: Union[str, SystemConfig],
         level: OptLevel = OptLevel.NONE,
         baseline_level: Optional[OptLevel] = None,
         cache_key: Optional[str] = None,
     ) -> List[float]:
-        """Per-kernel penalties over the runner's kernel list."""
+        """Per-kernel penalties over the runner's kernel list.
+
+        With an engine attached, every (kernel, config) point of the
+        figure — baselines included — is first fanned out as one batch
+        (see :meth:`prefetch`); the per-kernel ratios are then computed
+        from the memoised results in kernel order, so the output is
+        independent of scheduling.
+
+        Parameters
+        ----------
+        config : str or SystemConfig
+            Configuration under test.
+        level : OptLevel
+            Optimization level of the tested configuration's code.
+        baseline_level : OptLevel, optional
+            Optimization level of the SRAM baseline (defaults to
+            ``level``).
+        cache_key : str, optional
+            Memo key for ad hoc configs (see :meth:`run`).
+
+        Returns
+        -------
+        list of float
+            One penalty per kernel, in ``self.kernels`` order.
+        """
+        base_level = level if baseline_level is None else baseline_level
+        self.prefetch(
+            [(config, k, level, cache_key) for k in self.kernels]
+            + [("sram", k, base_level) for k in self.kernels]
+        )
         return [
             self.penalty(config, k, level, baseline_level, cache_key=cache_key)
             for k in self.kernels
@@ -247,35 +516,53 @@ class ExperimentRunner:
         line retirement at their defaults) and reports the penalty
         against the fault-free SRAM baseline — the Figure 5 metric, with
         reliability overhead added on top of the technology penalty.
+        With an engine attached, all ``configs`` x ``rates`` points (and
+        the baseline) run as one parallel batch.
 
-        Args:
-            kernel: Kernel name.
-            rates: Raw per-bit write error rates to sweep.
-            configs: Configuration names/aliases to compare.
-            seed: Fault-injection seed shared by every point.
-            level: Optimization level of the code.
+        Parameters
+        ----------
+        kernel : str
+            Kernel name.
+        rates : sequence of float
+            Raw per-bit write error rates to sweep.
+        configs : sequence of str
+            Configuration names/aliases to compare.
+        seed : int
+            Fault-injection seed shared by every point.
+        level : OptLevel
+            Optimization level of the code.
 
-        Returns:
+        Returns
+        -------
+        dict
             Mapping of canonical configuration name to per-rate
             penalties (%), in ``rates`` order.
         """
-        curves: Dict[str, List[float]] = {}
+        grid = []
         for config in configs:
             name = resolve_config_name(config)
             base = CONFIGURATIONS[name]
-            points: List[float] = []
             for rate in rates:
                 faulty = replace(
                     base,
                     reliability=ReliabilityConfig(seed=seed, write_error_rate=rate),
                 )
-                points.append(
-                    self.penalty(
-                        faulty,
-                        kernel,
-                        level,
-                        cache_key=f"{name}+rber={rate:g}+seed={seed}",
-                    )
+                grid.append((name, rate, faulty))
+        self.prefetch(
+            [
+                (faulty, kernel, level, f"{name}+rber={rate:g}+seed={seed}")
+                for name, rate, faulty in grid
+            ]
+            + [("sram", kernel, level)]
+        )
+        curves: Dict[str, List[float]] = {}
+        for name, rate, faulty in grid:
+            curves.setdefault(name, []).append(
+                self.penalty(
+                    faulty,
+                    kernel,
+                    level,
+                    cache_key=f"{name}+rber={rate:g}+seed={seed}",
                 )
-            curves[name] = points
+            )
         return curves

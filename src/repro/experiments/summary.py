@@ -21,12 +21,18 @@ from .runner import ExperimentRunner
 class SummaryRow:
     """One paper-vs-measured pairing.
 
-    Attributes:
-        experiment: Source table/figure.
-        quantity: What is being compared.
-        paper: The paper's stated value (None when only qualitative).
-        measured: This repository's value.
-        unit: Unit of both columns.
+    Attributes
+    ----------
+    experiment : str
+        Source table/figure.
+    quantity : str
+        What is being compared.
+    paper : float or None
+        The paper's stated value (``None`` when only qualitative).
+    measured : float
+        This repository's value.
+    unit : str
+        Unit of both columns.
     """
 
     experiment: str

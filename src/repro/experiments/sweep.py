@@ -22,7 +22,7 @@ from ..cpu.system import SystemConfig
 from ..errors import ConfigurationError
 from ..transforms.pipeline import OptLevel
 from .report import FigureResult
-from .runner import CONFIGURATIONS, ExperimentRunner
+from .runner import CONFIGURATIONS, ExperimentRunner, resolve_config_name
 
 
 def _coerce(raw: str, example) -> object:
@@ -51,7 +51,23 @@ def _with_param(base: SystemConfig, param: str, value) -> SystemConfig:
 
 
 def parse_values(param: str, raw_values: Sequence[str], base: SystemConfig) -> list:
-    """Coerce CLI value strings against the parameter's current type."""
+    """Coerce CLI value strings against the parameter's current type.
+
+    Parameters
+    ----------
+    param : str
+        A :class:`SystemConfig` field name, or ``cpu.<field>``.
+    raw_values : sequence of str
+        The CLI-supplied value strings (already-typed values pass
+        through unchanged).
+    base : SystemConfig
+        Configuration whose current field value sets the target type.
+
+    Returns
+    -------
+    list
+        The values, coerced to the field's type.
+    """
     if param.startswith("cpu."):
         example = getattr(base.cpu, param[len("cpu."):], None)
     else:
@@ -70,21 +86,57 @@ def run_sweep(
 ) -> FigureResult:
     """Sweep one configuration parameter; penalties vs the SRAM baseline.
 
-    Args:
-        param: A :class:`SystemConfig` field name, or ``cpu.<field>``.
-        values: Values to sweep (already typed, or CLI strings).
-        runner: Shared experiment runner (kernels/sizes come from it).
-        config: Base named configuration to modify.
-        level: Code optimization level for both sides.
+    Parameters
+    ----------
+    param : str
+        A :class:`SystemConfig` field name, or ``cpu.<field>``.
+    values : sequence
+        Values to sweep (already typed, or CLI strings).
+    runner : ExperimentRunner, optional
+        Shared experiment runner (kernels/sizes come from it; an
+        attached :class:`~repro.exec.engine.ExecutionEngine` fans the
+        whole sweep grid out as one parallel batch).
+    config : str
+        Base named configuration (or alias) to modify.
+    level : OptLevel
+        Code optimization level for both sides.
+
+    Returns
+    -------
+    FigureResult
+        One series per swept value, penalties per kernel.
+
+    Raises
+    ------
+    ConfigurationError
+        On an empty value list, an unknown parameter name, or an
+        unknown base configuration (the error lists the valid names and
+        aliases; the CLI maps it to exit code 2).
     """
     if not values:
         raise ConfigurationError("sweep needs at least one value")
-    if config not in CONFIGURATIONS:
-        valid = ", ".join(CONFIGURATIONS)
-        raise ConfigurationError(f"unknown base configuration {config!r}; one of: {valid}")
+    config = resolve_config_name(config)
     runner = runner or ExperimentRunner()
     base = CONFIGURATIONS[config]
     typed = parse_values(param, list(values), base)
+
+    specs = []
+    for value in typed:
+        swept = _with_param(base, param, value)
+        specs.append((swept, None, f"sweep-{param}-{value}"))
+        if param.startswith("cpu."):
+            specs.append(
+                (_with_param(CONFIGURATIONS["sram"], param, value), None, f"sweep-base-{param}-{value}")
+            )
+        else:
+            specs.append(("sram", None, None))
+    runner.prefetch(
+        [
+            (cfg, kernel, level, key)
+            for cfg, _, key in specs
+            for kernel in runner.kernels
+        ]
+    )
 
     series = {}
     for value in typed:

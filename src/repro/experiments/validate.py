@@ -20,11 +20,16 @@ from .runner import ExperimentRunner
 class Claim:
     """One validated statement.
 
-    Attributes:
-        name: Short identifier.
-        statement: The paper's claim, quoted or paraphrased.
-        passed: Whether the measured data satisfies it.
-        detail: Measured numbers backing the verdict.
+    Attributes
+    ----------
+    name : str
+        Short identifier.
+    statement : str
+        The paper's claim, quoted or paraphrased.
+    passed : bool
+        Whether the measured data satisfies it.
+    detail : str
+        Measured numbers backing the verdict.
     """
 
     name: str
