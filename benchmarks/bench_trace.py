@@ -1,0 +1,156 @@
+"""Bench: columnar traces — encode cost, replay throughput, e2e speedup.
+
+Three guards around :mod:`repro.workloads.encode` and the opcode-dispatch
+replay loop in :meth:`repro.cpu.model.InOrderCPU.run_encoded`:
+
+- building an :class:`~repro.workloads.encode.EncodedTrace` straight from
+  the generator must not cost meaningfully more than materialising the
+  event-object list it replaces;
+- replaying the encoded form through every named configuration must be
+  at least :data:`MIN_REPLAY_SPEEDUP` times faster than object replay
+  (the margin the ``trace-fastpath`` CI job enforces — locally the
+  pooled ratio lands well above it), with bit-identical cycle counts;
+- the end-to-end ``penalties`` shape (trace construction plus one replay
+  per system, all twelve kernels against all six configurations, null
+  probe) must beat the pre-PR object path by the same enforced margin;
+  the measured ratio is printed against the 3x design target.
+
+Timings are best-of-N wall clock after a warm-up pass, matching
+``bench_profile.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cpu.system import warm_regions_of
+from repro.experiments.penalties import NVM_CONFIGS
+from repro.experiments.runner import make_system
+from repro.workloads import build_kernel, kernel_names, materialize_trace
+from repro.workloads.encode import encode_trace
+
+#: Every system of the penalties grid: the SRAM baseline plus the NVM organisations.
+ALL_CONFIGS = ("sram",) + NVM_CONFIGS
+#: Kernel subset for the replay-throughput guard (full list for the e2e pass).
+THROUGHPUT_KERNELS = ("gemm", "atax", "bicg", "mvt")
+REPEATS = 5
+E2E_REPEATS = 2
+#: Hard floor enforced in CI; see E2E_TARGET for the design goal.
+MIN_REPLAY_SPEEDUP = 2.0
+#: Headline end-to-end goal of the columnar-trace work (reported, not asserted).
+E2E_TARGET = 3.0
+MAX_ENCODE_OVERHEAD = 1.5
+
+
+def _programs(kernels):
+    return {name: build_kernel(name) for name in kernels}
+
+
+def test_encode_cost_within_budget():
+    programs = _programs(THROUGHPUT_KERNELS)
+    for program in programs.values():  # warm generators/imports
+        materialize_trace(program)
+        encode_trace(program)
+
+    obj_times, enc_times = [], []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for program in programs.values():
+            materialize_trace(program)
+        obj_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for program in programs.values():
+            encode_trace(program)
+        enc_times.append(time.perf_counter() - start)
+
+    ratio = min(enc_times) / min(obj_times)
+    print(
+        f"\nencode cost: best materialize {min(obj_times):.3f}s, "
+        f"best encode {min(enc_times):.3f}s, ratio {ratio:.3f}"
+    )
+    assert ratio <= MAX_ENCODE_OVERHEAD, (
+        f"encode_trace is {ratio:.3f}x materialize_trace "
+        f"(budget {MAX_ENCODE_OVERHEAD}x)"
+    )
+
+
+def _replay_pass(material, encoded):
+    start = time.perf_counter()
+    cycles = []
+    for config, events, trace, regions in material:
+        system = make_system(config)
+        result = system.run(trace if encoded else events, warm_regions=regions)
+        cycles.append(result.cycles)
+    return time.perf_counter() - start, cycles
+
+
+def test_encoded_replay_throughput():
+    programs = _programs(THROUGHPUT_KERNELS)
+    material = [
+        (config, materialize_trace(program), encode_trace(program), warm_regions_of(program))
+        for config in ALL_CONFIGS
+        for program in programs.values()
+    ]
+    _replay_pass(material, encoded=True)  # warm caches, imports, allocator
+
+    obj_times, enc_times = [], []
+    obj_cycles = enc_cycles = None
+    for _ in range(REPEATS):
+        elapsed, obj_cycles = _replay_pass(material, encoded=False)
+        obj_times.append(elapsed)
+        elapsed, enc_cycles = _replay_pass(material, encoded=True)
+        enc_times.append(elapsed)
+
+    # The fast path is only admissible because it is bit-exact.
+    assert enc_cycles == obj_cycles
+
+    ratio = min(obj_times) / min(enc_times)
+    print(
+        f"\nreplay throughput: best object {min(obj_times):.3f}s, "
+        f"best encoded {min(enc_times):.3f}s, speedup x{ratio:.2f}"
+    )
+    assert ratio >= MIN_REPLAY_SPEEDUP, (
+        f"encoded replay is only x{ratio:.2f} the object path "
+        f"(CI floor x{MIN_REPLAY_SPEEDUP})"
+    )
+
+
+def _penalties_pass(programs, regions, encoded):
+    """One full penalties-shaped pass: trace construction + 6 replays each."""
+    start = time.perf_counter()
+    cycles = []
+    for name, program in programs.items():
+        trace = encode_trace(program) if encoded else materialize_trace(program)
+        for config in ALL_CONFIGS:
+            system = make_system(config)
+            result = system.run(trace, warm_regions=regions[name])
+            cycles.append(result.cycles)
+    return time.perf_counter() - start, cycles
+
+
+def test_penalties_end_to_end_speedup():
+    programs = _programs(kernel_names())
+    regions = {name: warm_regions_of(p) for name, p in programs.items()}
+    _penalties_pass(programs, regions, encoded=True)  # warm-up
+
+    obj_times, enc_times = [], []
+    obj_cycles = enc_cycles = None
+    for _ in range(E2E_REPEATS):
+        elapsed, obj_cycles = _penalties_pass(programs, regions, encoded=False)
+        obj_times.append(elapsed)
+        elapsed, enc_cycles = _penalties_pass(programs, regions, encoded=True)
+        enc_times.append(elapsed)
+
+    assert enc_cycles == obj_cycles
+
+    ratio = min(obj_times) / min(enc_times)
+    met = "meets" if ratio >= E2E_TARGET else "below"
+    print(
+        f"\npenalties end-to-end: best object {min(obj_times):.3f}s, "
+        f"best encoded {min(enc_times):.3f}s, speedup x{ratio:.2f} "
+        f"({met} the x{E2E_TARGET:.0f} design target)"
+    )
+    assert ratio >= MIN_REPLAY_SPEEDUP, (
+        f"end-to-end penalties speedup is only x{ratio:.2f} "
+        f"(CI floor x{MIN_REPLAY_SPEEDUP})"
+    )

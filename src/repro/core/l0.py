@@ -71,12 +71,18 @@ class L0Frontend(DCacheFrontend):
         self._fill_ready: Dict[int, float] = {}
         #: Outstanding-fill bound (the L0's own small MSHR file).
         self._max_outstanding_fills = 4
+        # Cached per-access constants (both configs are immutable).
+        self._line_bytes = line_bytes
+        self._hit_cycles = float(hit_cycles)
 
     def read(self, addr: int, size: int, now: float) -> float:
         """Load: L0 first; on a miss, fill one line from the NVM DL1."""
+        lb = self._line_bytes
+        first = addr - addr % lb
+        last = (addr + size - 1) - (addr + size - 1) % lb
         total = 0.0
         t = now
-        for line in Access(addr, size, AccessType.READ).lines(self.backing.config.line_bytes):
+        for line in range(first, last + lb, lb):
             latency = self._read_line(line, t)
             total += latency
             t += latency
@@ -84,9 +90,12 @@ class L0Frontend(DCacheFrontend):
 
     def write(self, addr: int, size: int, now: float) -> float:
         """Store: update the L0 if present, else write the NVM array."""
+        lb = self._line_bytes
+        first = addr - addr % lb
+        last = (addr + size - 1) - (addr + size - 1) % lb
         total = 0.0
         t = now
-        for line in Access(addr, size, AccessType.WRITE).lines(self.backing.config.line_bytes):
+        for line in range(first, last + lb, lb):
             latency = self._write_line(line, t)
             total += latency
             t += latency
@@ -127,7 +136,7 @@ class L0Frontend(DCacheFrontend):
     # ------------------------------------------------------------------
 
     def _read_line(self, line: int, now: float) -> float:
-        hit_cycles = float(self._store.config.hit_cycles)
+        hit_cycles = self._hit_cycles
         index = self._store.lookup(line)
         if index is not None:
             wait = self._fill_wait(line, now)
@@ -154,7 +163,7 @@ class L0Frontend(DCacheFrontend):
         return latency
 
     def _write_line(self, line: int, now: float) -> float:
-        hit_cycles = float(self._store.config.hit_cycles)
+        hit_cycles = self._hit_cycles
         index = self._store.lookup(line)
         if index is not None:
             wait = self._fill_wait(line, now)
@@ -167,7 +176,7 @@ class L0Frontend(DCacheFrontend):
             return wait + hit_cycles
         self.stats.buffer_write_misses += 1
         return self.backing.access(
-            Access(line, self.backing.config.line_bytes, AccessType.WRITE), now
+            Access(line, self._line_bytes, AccessType.WRITE), now
         )
 
     def _fill(self, line: int, now: float) -> float:

@@ -110,19 +110,24 @@ class VeryWideBuffer:
 
     def __init__(self, config: VWBConfig) -> None:
         self.config = config
+        # The window size is consulted on every access; cache it as an
+        # attribute so the hot paths skip the config property chain.
+        self._window_bytes = config.window_bytes
         self._lines: List[_WideLine] = [_WideLine() for _ in range(config.n_lines)]
         self._clock = 0
 
     def window_addr(self, addr: int) -> int:
         """Aligned window base address covering ``addr``."""
-        return (addr // self.config.window_bytes) * self.config.window_bytes
+        wb = self._window_bytes
+        return (addr // wb) * wb
 
     def lookup(self, addr: int) -> Optional[int]:
         """Index of the wide line holding ``addr``, or ``None``.
 
         Does not update recency; use :meth:`touch` on an actual access.
         """
-        window = self.window_addr(addr)
+        wb = self._window_bytes
+        window = (addr // wb) * wb
         for i, line in enumerate(self._lines):
             if line.window_addr == window:
                 return i
@@ -153,7 +158,14 @@ class VeryWideBuffer:
         if existing is not None:
             self.touch(existing)
             return None
-        victim_index = min(range(len(self._lines)), key=lambda i: self._sort_key(i))
+        # First invalid line, else least recently touched (first on ties).
+        victim_index = 0
+        best_key = None
+        for i, line in enumerate(self._lines):
+            key = (1, line.last_touch) if line.window_addr is not None else (0, 0)
+            if best_key is None or key < best_key:
+                victim_index = i
+                best_key = key
         victim = self._lines[victim_index]
         evicted = None
         if victim.window_addr is not None:

@@ -81,6 +81,9 @@ class VWBFrontend(DCacheFrontend):
         if fill_buffers < 1:
             raise ConfigurationError(f"need at least one fill buffer, got {fill_buffers}")
         self.vwb = VeryWideBuffer(config)
+        # Cached per-access constants (the config is frozen).
+        self._hit_cycles = float(config.hit_cycles)
+        self._lines_per_window = config.lines_per_window
         self._fill_buffers = fill_buffers
         #: Staged promotions in FIFO order: window base -> state.
         self._pending: "OrderedDict[int, _PendingWindow]" = OrderedDict()
@@ -141,13 +144,13 @@ class VWBFrontend(DCacheFrontend):
 
     def _windows_of(self, addr: int, size: int):
         """Window base addresses an access touches, lowest first."""
-        wb = self.vwb.config.window_bytes
+        wb = self.vwb._window_bytes
         first = (addr // wb) * wb
         last = ((addr + size - 1) // wb) * wb
         return range(first, last + wb, wb)
 
     def _read_window(self, window: int, addr: int, now: float) -> float:
-        hit_cycles = float(self.vwb.config.hit_cycles)
+        hit_cycles = self._hit_cycles
         line = self.backing.line_addr(addr)
         index = self.vwb.lookup(window)
         if index is not None:
@@ -183,7 +186,7 @@ class VWBFrontend(DCacheFrontend):
         self.stats.buffer_read_misses += 1
         stall = self._handle_eviction(self.vwb.allocate(window), now)
         result = self.backing.read_lines_wide(
-            window, self.vwb.config.lines_per_window, now + stall, critical_addr=addr
+            window, self._lines_per_window, now + stall, critical_addr=addr
         )
         self.stats.promotions += 1
         self.stats.promotion_cycles += int(stall + result.latency)
@@ -194,7 +197,7 @@ class VWBFrontend(DCacheFrontend):
         return latency
 
     def _write_window(self, window: int, addr: int, size: int, now: float) -> float:
-        hit_cycles = float(self.vwb.config.hit_cycles)
+        hit_cycles = self._hit_cycles
         index = self.vwb.lookup(window)
         if index is not None:
             self.vwb.touch(index, dirty=True)
@@ -221,7 +224,7 @@ class VWBFrontend(DCacheFrontend):
         # Non-allocate for the VWB: the store goes straight to the NVM
         # array, which is write-back/write-allocate.
         self.stats.buffer_write_misses += 1
-        span = min(size, window + self.vwb.config.window_bytes - addr)
+        span = min(size, window + self.vwb._window_bytes - addr)
         start = max(addr, window)
         return self.backing.access(Access(start, max(1, span), AccessType.WRITE), now)
 
@@ -249,7 +252,7 @@ class VWBFrontend(DCacheFrontend):
                 return stall
             stall += self._commit_oldest(now + stall)
         result = self.backing.read_lines_wide(
-            window, self.vwb.config.lines_per_window, now + stall
+            window, self._lines_per_window, now + stall
         )
         self.stats.promotions += 1
         self.stats.promotion_cycles += int(stall + result.latency)

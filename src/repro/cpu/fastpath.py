@@ -1,0 +1,545 @@
+"""Inlined per-front-end hit kernels for the encoded replay loop.
+
+Replaying a trace through the object path costs ~6 Python call hops per
+memory event (``frontend.read`` → ``Access.__init__``/``__post_init__``
+→ ``Cache.access`` → ``Access.lines`` → ``_access_line`` →
+``BankTimer.reserve``), and that per-access overhead — not the
+simulation arithmetic — dominates wall-clock time.  This module builds,
+per run, a pair of closures ``(fast_read, fast_write)`` that serve the
+*single-line hit* case of one front-end in a single call frame, binding
+every piece of mutable state (tag lists, dirty bits, bank busy times,
+LRU orders, stat counters) as closure locals.
+
+The contract, pinned by ``tests/test_encode.py``:
+
+- A kernel either completes an access with **exactly** the state
+  mutations and the bit-identical float latency of the generic path, or
+  it returns ``None`` having touched **nothing**, and the caller falls
+  back to the ordinary ``frontend.read``/``write`` call.  Misses,
+  multi-line/multi-window accesses, in-flight fills and every rare case
+  take the fallback, so there is exactly one implementation of the
+  complicated paths.
+- :func:`make_fast_ops` returns ``None`` (no fast path at all) whenever
+  any feature that hooks the hit path is active: an attached probe, a
+  fault injector, AWARE asymmetric writes, per-line write tracking, or
+  a hardware prefetcher.  Exact ``type()`` checks keep subclassed
+  front-ends on the generic path too.
+
+The kernels are rebuilt for every encoded run because ``reset()``/
+``clear_stats()`` replace the captured containers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..core.dropin import PlainFrontend
+from ..core.emshr import EMSHRFrontend
+from ..core.frontend import DCacheFrontend
+from ..core.hybrid import HybridFrontend
+from ..core.l0 import L0Frontend
+from ..core.vwb_frontend import VWBFrontend
+from ..mem.cache import Cache
+
+#: A fast kernel: ``(addr, size, now) -> latency`` or ``None`` to fall
+#: back to the generic front-end call (with no state touched).
+FastOp = Callable[[int, int, float], Optional[float]]
+
+
+def _array_eligible(cache: Cache) -> bool:
+    """True when the cache's hit path has no hooks the kernels skip."""
+    return (
+        cache._injector is None
+        and not cache._probing
+        and cache.config.fast_write_cycles is None
+        and not cache.config.track_line_writes
+    )
+
+
+def _passthrough_ops(cache: Cache, fstats, count_hits: bool) -> Tuple[FastOp, FastOp]:
+    """Kernels for the single-line hit path of a plain :class:`Cache`.
+
+    Mirrors ``Cache._access_line``'s hit branch exactly: tag lookup,
+    bank reservation, replacement touch, stat counters, and the
+    ``wait + hit_cycles`` latency.  ``count_hits`` selects which
+    front-end buffer counter the access books under — ``PlainFrontend``
+    counts every access as a buffer *miss* (there is no buffer), the
+    hybrid's SRAM partition counts a partition *hit*.
+    """
+    cfg = cache.config
+    cstats = cache.stats
+    tags = cache._tags
+    dirty = cache._dirty
+    repl = cache._repl
+    busy = cache._banks._busy_until
+    off = cache._offset_bits
+    set_mask = cfg.sets - 1
+    idx_shift = off + cache._index_bits
+    read_cycles = float(cfg.read_hit_cycles)
+    write_cycles = float(cfg.write_hit_cycles)
+    bank_mask = len(busy) - 1  # bank counts are powers of two
+    # Exact-LRU sets are inlined (their per-set state is one list);
+    # other policies keep the single `touch` method call.
+    lru_orders = [s._order for s in repl] if cfg.replacement == "lru" else None
+
+    def fast_read(addr: int, size: int, now: float) -> Optional[float]:
+        line_no = addr >> off
+        if (addr + size - 1) >> off != line_no:
+            return None  # spans lines: generic per-line loop
+        index = line_no & set_mask
+        try:
+            way = tags[index].index(addr >> idx_shift)
+        except ValueError:
+            return None  # miss: generic fill path
+        if count_hits:
+            fstats.buffer_read_hits += 1
+        else:
+            fstats.buffer_read_misses += 1
+        bank = line_no & bank_mask
+        busy_until = busy[bank]
+        if busy_until > now:
+            wait = busy_until - now
+            busy[bank] = busy_until + read_cycles
+            cstats.bank_wait_cycles += int(wait)
+        else:
+            wait = 0.0
+            busy[bank] = now + read_cycles
+        if lru_orders is None:
+            repl[index].touch(way)
+        else:
+            order = lru_orders[index]
+            if order[0] != way:
+                order.remove(way)
+                order.insert(0, way)
+        cstats.read_hits += 1
+        return wait + read_cycles
+
+    def fast_write(addr: int, size: int, now: float) -> Optional[float]:
+        line_no = addr >> off
+        if (addr + size - 1) >> off != line_no:
+            return None
+        index = line_no & set_mask
+        try:
+            way = tags[index].index(addr >> idx_shift)
+        except ValueError:
+            return None
+        if count_hits:
+            fstats.buffer_write_hits += 1
+        else:
+            fstats.buffer_write_misses += 1
+        bank = line_no & bank_mask
+        busy_until = busy[bank]
+        if busy_until > now:
+            wait = busy_until - now
+            busy[bank] = busy_until + write_cycles
+            cstats.bank_wait_cycles += int(wait)
+        else:
+            wait = 0.0
+            busy[bank] = now + write_cycles
+        if lru_orders is None:
+            repl[index].touch(way)
+        else:
+            order = lru_orders[index]
+            if order[0] != way:
+                order.remove(way)
+                order.insert(0, way)
+        dirty[index][way] = True
+        cstats.write_hits += 1
+        return wait + write_cycles
+
+    return fast_read, fast_write
+
+
+def _vwb_ops(frontend: VWBFrontend) -> Tuple[FastOp, FastOp]:
+    """Kernels for the VWB front-end.
+
+    Serves wide-line hits, array store misses, and — the expensive
+    common case of unprefetched streaming code — the *demand promotion*:
+    a VWB read miss whose victim wide line is clean and whose whole
+    window is resident in the NVM array.  Dirty evictions, staged
+    windows and array misses stay on the generic path.
+    """
+    vwb = frontend.vwb
+    wb = vwb._window_bytes
+    hit_cycles = frontend._hit_cycles
+    wide_lines = vwb._lines
+    pending = frontend._pending
+    pending_get = pending.get
+    fstats = frontend.stats
+    _, array_write = _passthrough_ops(frontend.backing, fstats, False)
+
+    # Backing-array internals for the inlined wide read (promotion).
+    cache = frontend.backing
+    cfg = cache.config
+    cstats = cache.stats
+    tags = cache._tags
+    dirty_bits = cache._dirty
+    repl = cache._repl
+    busy = cache._banks._busy_until
+    off = cache._offset_bits
+    set_mask = cfg.sets - 1
+    idx_shift = off + cache._index_bits
+    read_cycles = float(cfg.read_hit_cycles)
+    write_cycles = float(cfg.write_hit_cycles)
+    bank_mask = len(busy) - 1
+    line_bytes = cfg.line_bytes
+    lru_orders = [s._order for s in repl] if cfg.replacement == "lru" else None
+    n_window_lines = frontend._lines_per_window
+
+    def fast_read(addr: int, size: int, now: float) -> Optional[float]:
+        w = addr // wb
+        if (addr + size - 1) // wb != w:
+            return None  # spans windows
+        window = w * wb
+        for line in wide_lines:
+            if line.window_addr == window:
+                vwb._clock += 1
+                line.last_touch = vwb._clock
+                fstats.buffer_read_hits += 1
+                return hit_cycles
+        staged = pending_get(window)
+        if staged is not None:
+            # Served straight out of the fill buffer; `wait_for` does
+            # the exact critical-line bookkeeping and mutates nothing.
+            stage_wait = staged.result.wait_for((addr >> off) << off, now)
+            if stage_wait > 0:
+                fstats.buffer_read_misses += 1
+            else:
+                fstats.buffer_read_hits += 1
+            return stage_wait + hit_cycles
+        # Demand promotion.  Pre-check everything before mutating any
+        # state so a bail-out is free: every window line must be
+        # array-resident (so the wide read touches no MSHR/fill logic)
+        # and a dirty victim's window lines must all still be resident
+        # (so each write-back is an in-place array write, zero stall).
+        critical = (addr >> off) << off
+        ordered = [critical]
+        for i in range(n_window_lines):
+            wline = window + i * line_bytes
+            if (wline >> idx_shift) not in tags[(wline >> off) & set_mask]:
+                return None  # array miss inside the window: generic
+            if wline != critical:
+                ordered.append(wline)
+        victim = None
+        best_key = None
+        for wl in wide_lines:
+            key = (1, wl.last_touch) if wl.window_addr is not None else (0, 0)
+            if best_key is None or key < best_key:
+                victim = wl
+                best_key = key
+        old_window = victim.window_addr
+        writeback = old_window is not None and victim.dirty
+        if writeback:
+            for i in range(n_window_lines):
+                eline = old_window + i * line_bytes
+                if (eline >> idx_shift) not in tags[(eline >> off) & set_mask]:
+                    return None  # write-back through the write buffer: generic
+        # Commit: allocate the VWB line, write back a dirty victim, then
+        # the wide array read with the critical line first (exactly the
+        # generic path's order).
+        fstats.buffer_read_misses += 1
+        victim.window_addr = window
+        victim.dirty = False
+        vwb._clock += 1
+        victim.last_touch = vwb._clock
+        if writeback:
+            fstats.buffer_writebacks += 1
+            for i in range(n_window_lines):
+                eline = old_window + i * line_bytes
+                line_no = eline >> off
+                bank = line_no & bank_mask
+                busy_until = busy[bank]
+                if busy_until > now:
+                    cstats.bank_wait_cycles += int(busy_until - now)
+                    busy[bank] = busy_until + write_cycles
+                else:
+                    busy[bank] = now + write_cycles
+                index = line_no & set_mask
+                dirty_bits[index][tags[index].index(eline >> idx_shift)] = True
+                cstats.write_hits += 1
+        ready_max = 0.0
+        critical_ready = 0.0
+        for wline in ordered:
+            line_no = wline >> off
+            bank = line_no & bank_mask
+            busy_until = busy[bank]
+            if busy_until > now:
+                wait = busy_until - now
+                finish = busy_until + read_cycles
+                cstats.bank_wait_cycles += int(wait)
+            else:
+                finish = now + read_cycles
+            busy[bank] = finish
+            index = line_no & set_mask
+            way = tags[index].index(wline >> idx_shift)
+            if lru_orders is None:
+                repl[index].touch(way)
+            else:
+                order = lru_orders[index]
+                if order[0] != way:
+                    order.remove(way)
+                    order.insert(0, way)
+            cstats.read_hits += 1
+            if wline == critical:
+                critical_ready = finish
+            if finish > ready_max:
+                ready_max = finish
+        fstats.promotions += 1
+        fstats.promotion_cycles += int(ready_max - now)
+        wait = critical_ready - now
+        return wait if wait > hit_cycles else hit_cycles
+
+    def fast_write(addr: int, size: int, now: float) -> Optional[float]:
+        w = addr // wb
+        if (addr + size - 1) // wb != w:
+            return None
+        window = w * wb
+        for line in wide_lines:
+            if line.window_addr == window:
+                vwb._clock += 1
+                line.last_touch = vwb._clock
+                line.dirty = True
+                fstats.buffer_write_hits += 1
+                return hit_cycles
+        staged = pending_get(window)
+        if staged is not None:
+            # Merge the store into the staged wide word on arrival.
+            stage_wait = staged.result.wait_for((addr >> off) << off, now)
+            staged.dirty = True
+            fstats.buffer_write_hits += 1
+            return stage_wait + hit_cycles
+        # VWB-non-allocate miss: the store goes straight to the NVM
+        # array (write-back/write-allocate); within one window the
+        # generic path issues Access(addr, size) unchanged.
+        return array_write(addr, size, now)
+
+    return fast_read, fast_write
+
+
+def _l0_ops(frontend: L0Frontend) -> Tuple[FastOp, FastOp]:
+    """Kernels for the L0 filter cache.
+
+    Serves L0 hits, array store misses, and the *narrow fill*: an L0
+    read miss whose victim L0 line is clean and whose line is resident
+    in the NVM array.  In-flight fills, dirty evictions and array
+    misses stay on the generic path.
+    """
+    store = frontend._store
+    store_lines = store._lines
+    fill_ready = frontend._fill_ready
+    hit_cycles = float(store.config.hit_cycles)
+    fstats = frontend.stats
+    _, array_write = _passthrough_ops(frontend.backing, fstats, False)
+
+    # Backing-array internals for the inlined narrow fill read.
+    cache = frontend.backing
+    cfg = cache.config
+    cstats = cache.stats
+    tags = cache._tags
+    dirty_bits = cache._dirty
+    repl = cache._repl
+    busy = cache._banks._busy_until
+    off = cache._offset_bits
+    set_mask = cfg.sets - 1
+    idx_shift = off + cache._index_bits
+    read_cycles = float(cfg.read_hit_cycles)
+    write_cycles = float(cfg.write_hit_cycles)
+    bank_mask = len(busy) - 1
+    lru_orders = [s._order for s in repl] if cfg.replacement == "lru" else None
+
+    def fast_read(addr: int, size: int, now: float) -> Optional[float]:
+        line_no = addr >> off
+        if (addr + size - 1) >> off != line_no:
+            return None
+        line = line_no << off
+        for sl in store_lines:
+            if sl.window_addr == line:
+                # Mirror `_fill_wait`: expired fill entries are retired
+                # on access, in-flight ones expose their remaining time.
+                ready = fill_ready.get(line)
+                if ready is None:
+                    fill_wait = 0.0
+                elif ready <= now:
+                    del fill_ready[line]
+                    fill_wait = 0.0
+                else:
+                    fill_wait = ready - now
+                store._clock += 1
+                sl.last_touch = store._clock
+                if fill_wait > 0:
+                    fstats.buffer_read_misses += 1
+                else:
+                    fstats.buffer_read_hits += 1
+                return fill_wait + hit_cycles
+        # Narrow fill.  Pre-check before mutating anything: the filled
+        # line must be array-resident (so the one-line read is a pure
+        # array hit), and so must a dirty victim's line (so its
+        # write-back is an in-place array write with zero stall).
+        index = line_no & set_mask
+        try:
+            way = tags[index].index(addr >> idx_shift)
+        except ValueError:
+            return None  # array miss: generic next-level fetch
+        victim = None
+        best_key = None
+        for sl in store_lines:
+            key = (1, sl.last_touch) if sl.window_addr is not None else (0, 0)
+            if best_key is None or key < best_key:
+                victim = sl
+                best_key = key
+        old_line = victim.window_addr
+        writeback = old_line is not None and victim.dirty
+        if writeback:
+            e_index = (old_line >> off) & set_mask
+            try:
+                e_way = tags[e_index].index(old_line >> idx_shift)
+            except ValueError:
+                return None  # write-back through the write buffer: generic
+        # Commit, replicating the generic sequence exactly: allocate
+        # (one recency touch), drop the victim's stale fill entry, write
+        # back a dirty victim in place, one array read, then the
+        # post-fill lookup's second touch.
+        fstats.buffer_read_misses += 1
+        if old_line is not None:
+            fill_ready.pop(old_line, None)
+        victim.window_addr = line
+        victim.dirty = False
+        store._clock += 2
+        victim.last_touch = store._clock
+        if writeback:
+            fstats.buffer_writebacks += 1
+            e_bank = (old_line >> off) & bank_mask
+            busy_until = busy[e_bank]
+            if busy_until > now:
+                cstats.bank_wait_cycles += int(busy_until - now)
+                busy[e_bank] = busy_until + write_cycles
+            else:
+                busy[e_bank] = now + write_cycles
+            dirty_bits[e_index][e_way] = True
+            cstats.write_hits += 1
+        bank = line_no & bank_mask
+        busy_until = busy[bank]
+        if busy_until > now:
+            bank_wait = busy_until - now
+            busy[bank] = busy_until + read_cycles
+            cstats.bank_wait_cycles += int(bank_wait)
+        else:
+            bank_wait = 0.0
+            busy[bank] = now + read_cycles
+        if lru_orders is None:
+            repl[index].touch(way)
+        else:
+            order = lru_orders[index]
+            if order[0] != way:
+                order.remove(way)
+                order.insert(0, way)
+        cstats.read_hits += 1
+        latency = bank_wait + read_cycles
+        fstats.promotions += 1
+        fstats.promotion_cycles += int(latency)
+        ready = now + latency
+        fill_ready[line] = ready
+        wait = ready - now  # float-exact: matches `_fill_wait`, not `latency`
+        return wait if wait > hit_cycles else hit_cycles
+
+    def fast_write(addr: int, size: int, now: float) -> Optional[float]:
+        line_no = addr >> off
+        if (addr + size - 1) >> off != line_no:
+            return None
+        line = line_no << off
+        for sl in store_lines:
+            if sl.window_addr == line:
+                ready = fill_ready.get(line)
+                if ready is None:
+                    fill_wait = 0.0
+                elif ready <= now:
+                    del fill_ready[line]
+                    fill_wait = 0.0
+                else:
+                    fill_wait = ready - now
+                store._clock += 1
+                sl.last_touch = store._clock
+                sl.dirty = True
+                fstats.buffer_write_hits += 1
+                return fill_wait + hit_cycles
+        # L0 store miss: the generic path writes the whole aligned line
+        # into the NVM array (Access(line, line_bytes)).
+        return array_write(line, 1, now)
+
+    return fast_read, fast_write
+
+
+def _emshr_ops(frontend: EMSHRFrontend) -> Tuple[FastOp, FastOp]:
+    """Kernels for the EMSHR front-end: entry hits and NVM array hits."""
+    entries = frontend._entries
+    entries_get = entries.get
+    hit_cycles = frontend._hit_cycles
+    off = frontend.backing._offset_bits
+    fstats = frontend.stats
+    array_read, array_write = _passthrough_ops(frontend.backing, fstats, False)
+
+    def fast_read(addr: int, size: int, now: float) -> Optional[float]:
+        line_no = addr >> off
+        if (addr + size - 1) >> off != line_no:
+            return None
+        line = line_no << off
+        entry = entries_get(line)
+        if entry is not None:
+            ready = entry.ready_at
+            if ready > now:
+                fstats.buffer_read_misses += 1
+                return (ready - now) + hit_cycles
+            fstats.buffer_read_hits += 1
+            return hit_cycles
+        # No lingering entry: an NVM read hit pays the full array read
+        # ("EMSHR cannot help"); a DL1 miss allocates — generic.
+        return array_read(addr, size, now)
+
+    def fast_write(addr: int, size: int, now: float) -> Optional[float]:
+        line_no = addr >> off
+        if (addr + size - 1) >> off != line_no:
+            return None
+        line = line_no << off
+        entry = entries_get(line)
+        if entry is not None:
+            ready = entry.ready_at
+            entry.dirty = True
+            fstats.buffer_write_hits += 1
+            if ready > now:
+                return (ready - now) + hit_cycles
+            return hit_cycles
+        # Entry miss: the generic path writes the whole aligned line
+        # into the array (write-allocate handles the array miss there).
+        return array_write(line, 1, now)
+
+    return fast_read, fast_write
+
+
+def make_fast_ops(frontend: DCacheFrontend) -> Optional[Tuple[FastOp, FastOp]]:
+    """Build the fast hit kernels for ``frontend``, if it is eligible.
+
+    Returns:
+        ``(fast_read, fast_write)`` closures, or ``None`` when the
+        front-end type is unknown (or subclassed) or any hit-path hook
+        (probe, fault injector, AWARE writes, line-write tracking,
+        hardware prefetcher) is active — callers then use the generic
+        path for every event.
+    """
+    if frontend._probing or not _array_eligible(frontend.backing):
+        return None
+    kind = type(frontend)
+    if kind is PlainFrontend:
+        if frontend.hw_prefetcher is not None:
+            return None
+        return _passthrough_ops(frontend.backing, frontend.stats, False)
+    if kind is VWBFrontend:
+        return _vwb_ops(frontend)
+    if kind is L0Frontend:
+        return _l0_ops(frontend)
+    if kind is EMSHRFrontend:
+        return _emshr_ops(frontend)
+    if kind is HybridFrontend:
+        if not _array_eligible(frontend.sram):
+            return None
+        return _passthrough_ops(frontend.sram, frontend.stats, True)
+    return None

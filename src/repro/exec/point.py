@@ -10,7 +10,7 @@ boundaries, and :func:`execute_point` is a module-level function so the
 
 :func:`execute_point` reproduces *exactly* the recipe
 :meth:`repro.experiments.runner.ExperimentRunner.run` uses — build the
-kernel at the requested size, optimize, materialize the trace, warm the
+kernel at the requested size, optimize, encode the trace, warm the
 L2 with the program's arrays, simulate — so a point executed in a worker
 process is bit-identical to the same point executed inline (pinned by
 ``tests/test_exec.py``).
@@ -19,23 +19,25 @@ process is bit-identical to the same point executed inline (pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..cpu.model import RunResult
 from ..cpu.system import System, SystemConfig, warm_regions_of
 from ..transforms.pipeline import OptLevel, optimize
-from ..workloads import build_kernel, materialize_trace
+from ..workloads import build_kernel
 from ..workloads.datasets import DatasetSize
-from ..workloads.trace import TraceEvent
+from ..workloads.encode import EncodedTrace, encode_trace
 
-#: Per-process memo of built programs and materialised traces, keyed by
+#: Per-process memo of built programs and encoded traces, keyed by
 #: ``(kernel, size, level)``.  A worker that executes several points of
 #: the same kernel (one per configuration, the common batch shape)
-#: builds the trace once; sharing is safe because ``System.run`` never
+#: encodes the trace once; sharing is safe because ``System.run`` never
 #: mutates events and ``optimize`` clones before annotating — exactly
-#: the sharing ``ExperimentRunner`` does on the serial path.
+#: the sharing ``ExperimentRunner`` does on the serial path.  The
+#: columnar form keeps the per-process footprint small under large
+#: ``--jobs`` fan-outs (every worker holds its own memo).
 _PROGRAMS: Dict[Tuple[str, DatasetSize, OptLevel], object] = {}
-_TRACES: Dict[Tuple[str, DatasetSize, OptLevel], List[TraceEvent]] = {}
+_TRACES: Dict[Tuple[str, DatasetSize, OptLevel], EncodedTrace] = {}
 
 
 @dataclass(frozen=True)
@@ -102,11 +104,11 @@ def build_point_program(point: RunPoint):
     return _PROGRAMS[key]
 
 
-def _point_trace(point: RunPoint) -> List[TraceEvent]:
-    """The materialised trace for a point, memoised per process."""
+def _point_trace(point: RunPoint) -> EncodedTrace:
+    """The encoded trace for a point, memoised per process."""
     key = (point.kernel, point.size, point.level)
     if key not in _TRACES:
-        _TRACES[key] = materialize_trace(build_point_program(point))
+        _TRACES[key] = encode_trace(build_point_program(point))
     return _TRACES[key]
 
 

@@ -17,7 +17,7 @@ results are bit-identical to the serial path either way.
 from .runner import ExperimentRunner, CONFIGURATIONS, make_system
 from .report import FigureResult, render_figure
 from . import table1, fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9
-from . import ablations, energy, reliability, summary, validate
+from . import ablations, energy, penalties, reliability, summary, validate
 
 #: Registry: experiment name -> callable(runner=None) -> FigureResult.
 EXPERIMENTS = {
@@ -30,6 +30,7 @@ EXPERIMENTS = {
     "fig7": fig7.run,
     "fig8": fig8.run,
     "fig9": fig9.run,
+    "penalties": penalties.run,
     "ablation-banks": ablations.run_bank_sweep,
     "ablation-promotion": ablations.run_promotion_width_sweep,
     "ablation-prefetch": ablations.run_prefetch_distance_sweep,

@@ -25,10 +25,10 @@ from ..errors import ConfigurationError
 from ..obs import ProfileResult, RecordingProbe
 from ..reliability.faults import ReliabilityConfig
 from ..transforms.pipeline import OptLevel, optimize
-from ..workloads import build_kernel, kernel_names, materialize_trace
+from ..workloads import build_kernel, kernel_names
 from ..workloads.datasets import DatasetSize
+from ..workloads.encode import EncodedTrace, encode_trace
 from ..workloads.interp import TraceConfig
-from ..workloads.trace import TraceEvent
 
 #: The named platform configurations of the evaluation (Section VI).
 CONFIGURATIONS: Dict[str, SystemConfig] = {
@@ -157,8 +157,8 @@ class ExperimentRunner:
         self.kernels = list(kernels) if kernels is not None else kernel_names()
         self.engine = engine
         self._programs: Dict[Tuple[str, OptLevel], object] = {}
-        self._traces: Dict[Tuple[str, OptLevel], List[TraceEvent]] = {}
-        self._annotated_traces: Dict[Tuple[str, OptLevel], List[TraceEvent]] = {}
+        self._traces: Dict[Tuple[str, OptLevel], EncodedTrace] = {}
+        self._annotated_traces: Dict[Tuple[str, OptLevel], EncodedTrace] = {}
         self._results: Dict[Tuple, RunResult] = {}
 
     # ------------------------------------------------------------------
@@ -186,8 +186,12 @@ class ExperimentRunner:
             self._programs[key] = optimize(base, level) if level is not OptLevel.NONE else base
         return self._programs[key]
 
-    def trace(self, kernel: str, level: OptLevel = OptLevel.NONE) -> List[TraceEvent]:
-        """The materialised event trace for a kernel/level, cached.
+    def trace(self, kernel: str, level: OptLevel = OptLevel.NONE) -> EncodedTrace:
+        """The encoded event trace for a kernel/level, cached.
+
+        Stored in the columnar :class:`~repro.workloads.encode.EncodedTrace`
+        form, which ``System.run`` replays through the opcode fast path —
+        bit-identical to the object stream, at a fraction of the memory.
 
         Parameters
         ----------
@@ -198,19 +202,19 @@ class ExperimentRunner:
 
         Returns
         -------
-        list of TraceEvent
-            The architectural event stream.
+        EncodedTrace
+            The architectural event stream in columnar form.
         """
         key = (kernel, level)
         if key not in self._traces:
-            self._traces[key] = materialize_trace(self.program(kernel, level))
+            self._traces[key] = encode_trace(self.program(kernel, level))
         return self._traces[key]
 
-    def annotated_trace(self, kernel: str, level: OptLevel = OptLevel.NONE) -> List[TraceEvent]:
+    def annotated_trace(self, kernel: str, level: OptLevel = OptLevel.NONE) -> EncodedTrace:
         """Trace with zero-cost IR loop marks, for profiling runs.
 
         Cached separately from :meth:`trace` so figure runs keep using
-        the seed's mark-free traces.
+        the mark-free traces.
 
         Parameters
         ----------
@@ -221,12 +225,12 @@ class ExperimentRunner:
 
         Returns
         -------
-        list of TraceEvent
+        EncodedTrace
             The event stream with ``IRMark`` region annotations.
         """
         key = (kernel, level)
         if key not in self._annotated_traces:
-            self._annotated_traces[key] = materialize_trace(
+            self._annotated_traces[key] = encode_trace(
                 self.program(kernel, level), TraceConfig(annotate_ir=True)
             )
         return self._annotated_traces[key]

@@ -232,10 +232,12 @@ class Cache:
         return index, tag
 
     def _find_way(self, index: int, tag: int) -> Optional[int]:
-        for way, stored in enumerate(self._tags[index]):
-            if stored == tag:
-                return way
-        return None
+        # list.index scans at C speed; invalid ways hold None and never
+        # match an integer tag.
+        try:
+            return self._tags[index].index(tag)
+        except ValueError:
+            return None
 
     def contains(self, addr: int) -> bool:
         """True if the line holding ``addr`` is resident."""
@@ -368,8 +370,14 @@ class Cache:
         line_ready: Dict[int, float] = {}
         fetch_at = now
         resident: List[int] = []
+        tags = self._tags
+        off = self._offset_bits
+        set_mask = self.config.sets - 1
+        idx_shift = off + self._index_bits
         for line in lines:
-            if self.contains(line) or self._mshr_ready_fill(line, now):
+            if (line >> idx_shift) in tags[(line >> off) & set_mask] or self._mshr_ready_fill(
+                line, now
+            ):
                 resident.append(line)
             else:
                 # Missing lines arrive serially over the narrow L2 port.
@@ -380,15 +388,23 @@ class Cache:
         # per bank, in parallel across banks, serialised within a bank
         # (successive reservations accumulate on its busy time).  The
         # critical line was ordered first, so its ready time is exact.
+        stats = self.stats
+        repl = self._repl
+        reserve = self._banks.reserve
+        injector = self._injector
+        read_cycles = float(self.config.read_hit_cycles)
         for line in resident:
-            wait, finish = self._banks.reserve(line, now, float(self.config.read_hit_cycles))
-            self.stats.bank_wait_cycles += int(wait)
-            index, tag = self._index_tag(line)
-            way = self._find_way(index, tag)
+            wait, finish = reserve(line, now, read_cycles)
+            stats.bank_wait_cycles += int(wait)
+            index = (line >> off) & set_mask
+            try:
+                way = tags[index].index(line >> idx_shift)
+            except ValueError:
+                way = None
             if way is not None:
-                self._repl[index].touch(way)
-                self.stats.read_hits += 1
-                if self._injector is not None:
+                repl[index].touch(way)
+                stats.read_hits += 1
+                if injector is not None:
                     finish += self._verified_read(line, index, way, finish)
             line_ready[line] = finish
         return WideReadResult(issued_at=now, line_ready=line_ready)

@@ -17,6 +17,7 @@ from .affine import Affine, Var
 from .ir import Array, Loop, Program, Ref, Statement, loop, stmt
 from .trace import Branch, Compute, Load, Prefetch, Store, TraceEvent, trace_summary
 from .interp import TraceConfig, generate_trace, materialize_trace
+from .encode import EncodedTrace, encode_events, encode_trace
 from .datasets import DatasetSize, scale_for
 from .bounds import assert_in_bounds, check_bounds
 from .polybench import EXTRA_KERNELS, KERNELS, build_kernel, kernel_names
@@ -43,6 +44,9 @@ __all__ = [
     "TraceConfig",
     "generate_trace",
     "materialize_trace",
+    "EncodedTrace",
+    "encode_events",
+    "encode_trace",
     "DatasetSize",
     "scale_for",
     "KERNELS",

@@ -20,10 +20,12 @@ column-walking second phase).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..transforms.vectorize import Vectorize
+from .encode import encode_trace
 from .ir import Loop, Program, Ref
+from .trace import trace_summary
 
 
 @dataclass(frozen=True)
@@ -164,8 +166,35 @@ def analyze(program: Program) -> ProgramReport:
     return report
 
 
-def render_report(report: ProgramReport, dl1_bytes: int = 65536) -> str:
-    """Human-readable rendering of a :class:`ProgramReport`."""
+def event_counts(program: Program) -> Dict[str, int]:
+    """Dynamic event counts of ``program``, via the columnar trace.
+
+    Encodes the trace once (:func:`~repro.workloads.encode.encode_trace`
+    builds the columns straight from the generator, so no per-event
+    objects are ever materialised) and summarises it column-wise with
+    :func:`~repro.workloads.trace.trace_summary`.
+
+    Returns:
+        The :func:`trace_summary` dict (loads, stores, prefetches,
+        branches, compute ops, byte volumes).
+    """
+    return trace_summary(encode_trace(program))
+
+
+def render_report(
+    report: ProgramReport,
+    dl1_bytes: int = 65536,
+    counts: Optional[Dict[str, int]] = None,
+) -> str:
+    """Human-readable rendering of a :class:`ProgramReport`.
+
+    Args:
+        report: The static analysis to render.
+        dl1_bytes: DL1 capacity the footprint is judged against.
+        counts: Optional :func:`event_counts` dict; when given, a
+            dynamic-trace line (loads/stores/branches and byte volumes)
+            is appended to the static summary.
+    """
     lines = [
         f"== {report.name} ==",
         f"footprint: {report.footprint_bytes / 1024:.1f} KB "
@@ -186,4 +215,11 @@ def render_report(report: ProgramReport, dl1_bytes: int = 65536) -> str:
                 f"    {stream.array}[{stream.subscripts}] stride "
                 f"{stream.stride_bytes:+d}B ({mode})"
             )
+    if counts is not None:
+        lines.append(
+            f"trace:     {counts['loads']} loads ({counts['load_bytes'] / 1024:.1f}KB), "
+            f"{counts['stores']} stores ({counts['store_bytes'] / 1024:.1f}KB), "
+            f"{counts['branches']} branches, {counts['compute_ops']} ops, "
+            f"{counts['prefetches']} prefetches"
+        )
     return "\n".join(lines)

@@ -30,11 +30,19 @@ Transformation annotations change the emission:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import WorkloadError
 from .ir import Loop, Node, Program, Ref, Statement
-from .trace import Branch, Compute, IRMark, Load, Prefetch, Store, TraceEvent
+from .trace import (
+    IRMark,
+    Load,
+    Prefetch,
+    Store,
+    TraceEvent,
+    branch_event,
+    compute_event,
+)
 
 
 @dataclass(frozen=True)
@@ -69,8 +77,15 @@ def generate_trace(program: Program, config: TraceConfig = TraceConfig()) -> Ite
     if any(a.base_addr is None for a in program.arrays):
         program.layout(base_addr=config.layout_base)
     env: Dict[str, int] = {}
+    # Per-generation memo for _split_refs: the partition depends only on
+    # the loop body and the config (constant for this walk), yet an
+    # innermost loop is *entered* once per surrounding iteration — i*j
+    # times for gemm — so the split is computed once per loop node here
+    # instead of once per entry.  Keyed by node identity; the memo's
+    # lifetime is one generator run, during which the tree is immutable.
+    split_memo: Dict[int, tuple] = {}
     for node in program.body:
-        yield from _run_node(node, env, config)
+        yield from _run_node(node, env, config, "", split_memo)
 
 
 def materialize_trace(program: Program, config: TraceConfig = TraceConfig()) -> List[TraceEvent]:
@@ -84,13 +99,17 @@ def materialize_trace(program: Program, config: TraceConfig = TraceConfig()) -> 
 
 
 def _run_node(
-    node: Node, env: Dict[str, int], cfg: TraceConfig, path: str = ""
+    node: Node,
+    env: Dict[str, int],
+    cfg: TraceConfig,
+    path: str = "",
+    split_memo: Optional[Dict[int, tuple]] = None,
 ) -> Iterator[TraceEvent]:
     if isinstance(node, Statement):
         yield from _run_statement(node, env)
         return
     if node.is_innermost:
-        yield from _run_innermost(node, env, cfg, path)
+        yield from _run_innermost(node, env, cfg, path, split_memo)
         return
     lo = node.lower.evaluate(env)
     hi = node.upper.evaluate(env)
@@ -103,9 +122,9 @@ def _run_node(
             # after a nested loop overrode it.
             yield IRMark(label)
         for child in node.body:
-            yield from _run_node(child, env, cfg, label)
+            yield from _run_node(child, env, cfg, label, split_memo)
         if (i + 1) % branch_every == 0 or v == hi - 1:
-            yield Branch(taken=v != hi - 1)
+            yield branch_event(v != hi - 1)
     env.pop(node.var.name, None)
 
 
@@ -113,7 +132,7 @@ def _run_statement(node: Statement, env: Dict[str, int]) -> Iterator[TraceEvent]
     """Execute one statement outside any innermost-loop specialisation."""
     for ref in node.reads:
         yield Load(ref.addr(env), ref.array.elem_bytes)
-    yield Compute(node.flops + node.overhead_ops)
+    yield compute_event(node.flops + node.overhead_ops)
     for ref in node.writes:
         yield Store(ref.addr(env), ref.array.elem_bytes)
 
@@ -163,7 +182,11 @@ def _split_refs(
 
 
 def _run_innermost(
-    node: Loop, env: Dict[str, int], cfg: TraceConfig, path: str = ""
+    node: Loop,
+    env: Dict[str, int],
+    cfg: TraceConfig,
+    path: str = "",
+    split_memo: Optional[Dict[int, tuple]] = None,
 ) -> Iterator[TraceEvent]:
     lo = node.lower.evaluate(env)
     hi = node.upper.evaluate(env)
@@ -171,7 +194,13 @@ def _run_innermost(
         return
     if cfg.annotate_ir:
         yield IRMark(f"{path}.{node.var.name}" if path else node.var.name)
-    preloads, poststores, per_stmt = _split_refs(node, cfg)
+    if split_memo is None:
+        preloads, poststores, per_stmt = _split_refs(node, cfg)
+    else:
+        split = split_memo.get(id(node))
+        if split is None:
+            split = split_memo[id(node)] = _split_refs(node, cfg)
+        preloads, poststores, per_stmt = split
 
     # Hoisted loads execute once, before the loop (scalar replacement).
     env[node.var.name] = lo
@@ -180,6 +209,40 @@ def _run_innermost(
 
     width = max(1, node.vector_width)
     branch_every = max(1, node.unroll)
+
+    if width == 1 and not node.prefetch:
+        # Scalar fast path.  Every subscript is affine in the loop
+        # variable, so each reference advances by a fixed byte stride
+        # per iteration: addr(v) = addr(lo) + stride * (v - lo), exact
+        # integer arithmetic.  Precomputing (base, stride) per reference
+        # replaces the per-iteration env writes and affine evaluation of
+        # the generic loop with one multiply-add per access.
+        var, trips = node.var, hi - lo
+        plans = [
+            (
+                [(ref.addr(env), ref.stride_bytes(var), ref.array.elem_bytes) for ref in reads],
+                statement.flops + statement.overhead_ops,
+                [(ref.addr(env), ref.stride_bytes(var), ref.array.elem_bytes) for ref in writes],
+            )
+            for statement, reads, writes in per_stmt
+        ]
+        for off in range(trips):
+            for read_plan, ops_count, write_plan in plans:
+                for base, step, elem in read_plan:
+                    yield Load(base + step * off, elem)
+                yield compute_event(ops_count)
+                for base, step, elem in write_plan:
+                    yield Store(base + step * off, elem)
+            done = off + 1
+            if done % branch_every == 0 or done == trips:
+                yield branch_event(done != trips)
+        # Hoisted stores execute once, after the loop.
+        env[node.var.name] = lo
+        for ref in poststores:
+            yield Store(ref.addr(env), ref.array.elem_bytes)
+        env.pop(node.var.name, None)
+        return
+
     last_prefetch_block: Dict[int, int] = {}
 
     chunk_index = 0
@@ -207,14 +270,14 @@ def _run_innermost(
         for statement, reads, writes in per_stmt:
             for ref in reads:
                 yield from _emit_access(ref, node, env, v, chunk, Load)
-            yield Compute(statement.flops + statement.overhead_ops)
+            yield compute_event(statement.flops + statement.overhead_ops)
             for ref in writes:
                 yield from _emit_access(ref, node, env, v, chunk, Store)
 
         chunk_index += 1
         last = v + chunk >= hi
         if chunk_index % branch_every == 0 or last:
-            yield Branch(taken=not last)
+            yield branch_event(not last)
         v += chunk
 
     # Hoisted stores execute once, after the loop.

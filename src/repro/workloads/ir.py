@@ -45,7 +45,7 @@ class Array:
             (``None`` until layout runs).
     """
 
-    __slots__ = ("name", "shape", "elem_bytes", "base_addr")
+    __slots__ = ("name", "shape", "elem_bytes", "base_addr", "_row_strides")
 
     def __init__(
         self, name: str, shape: Sequence[int], elem_bytes: int = DEFAULT_ELEM_BYTES
@@ -60,6 +60,7 @@ class Array:
         self.shape: Tuple[int, ...] = tuple(int(d) for d in shape)
         self.elem_bytes = elem_bytes
         self.base_addr: Optional[int] = None
+        self._row_strides: Optional[Tuple[int, ...]] = None
 
     @property
     def elements(self) -> int:
@@ -77,10 +78,13 @@ class Array:
     @property
     def row_strides(self) -> Tuple[int, ...]:
         """Element stride of each dimension under row-major layout."""
-        strides = [1] * len(self.shape)
-        for d in range(len(self.shape) - 2, -1, -1):
-            strides[d] = strides[d + 1] * self.shape[d + 1]
-        return tuple(strides)
+        cached = self._row_strides
+        if cached is None:
+            strides = [1] * len(self.shape)
+            for d in range(len(self.shape) - 2, -1, -1):
+                strides[d] = strides[d + 1] * self.shape[d + 1]
+            cached = self._row_strides = tuple(strides)
+        return cached
 
     def __getitem__(self, indices: Union[AffineLike, Tuple[AffineLike, ...]]) -> "Ref":
         if not isinstance(indices, tuple):

@@ -97,14 +97,54 @@ class IRMark(TraceEvent):
         return f"IRMark({self.label!r})"
 
 
+#: Interned branch events.  A trace contains exactly two distinct branch
+#: values over hundreds of thousands of occurrences; events are immutable
+#: in practice (nothing in the simulator writes to them — pinned by
+#: ``tests/test_encode.py``), so the interpreter and decoder share these
+#: singletons instead of allocating per back-edge.
+BRANCH_TAKEN = Branch(True)
+BRANCH_NOT_TAKEN = Branch(False)
+
+#: Compute events are interned for small op counts the same way — loop
+#: bodies reuse a handful of distinct values (flops + overhead ops per
+#: statement), so the cache stays tiny while removing one allocation per
+#: statement execution.
+_COMPUTE_CACHE_MAX = 256
+_COMPUTE_CACHE: Dict[int, Compute] = {}
+
+
+def branch_event(taken: bool) -> Branch:
+    """The interned :class:`Branch` for ``taken`` (no allocation)."""
+    return BRANCH_TAKEN if taken else BRANCH_NOT_TAKEN
+
+
+def compute_event(ops: int) -> Compute:
+    """A :class:`Compute` of ``ops`` ops, interned for common counts."""
+    ev = _COMPUTE_CACHE.get(ops)
+    if ev is None:
+        ev = Compute(ops)
+        if 0 <= ops < _COMPUTE_CACHE_MAX:
+            _COMPUTE_CACHE[ops] = ev
+    return ev
+
+
 def trace_summary(events: Iterable[TraceEvent]) -> Dict[str, int]:
     """Count events by kind; useful in tests and workload reports.
+
+    Accepts either an event iterable or an
+    :class:`~repro.workloads.encode.EncodedTrace` — the encoded form is
+    summarised from its columns directly (duck-typed via its ``summary``
+    method to keep this module free of an import cycle), without
+    decoding a single event object.
 
     Returns:
         A dict with keys ``loads``, ``stores``, ``prefetches``,
         ``branches``, ``compute_events``, ``compute_ops``,
         ``load_bytes``, ``store_bytes`` and ``ir_marks``.
     """
+    encoded_summary = getattr(events, "summary", None)
+    if encoded_summary is not None:
+        return encoded_summary()
     counts = {
         "loads": 0,
         "stores": 0,
