@@ -77,3 +77,73 @@ def test_null_probe_is_inert():
     assert NULL_PROBE.begin_op("load", 0, 0.0) is None
     assert NULL_PROBE.end_op(1.0, 1.0) is None
     assert NULL_PROBE.cache_access("dl1", False, True, 0, 1.0, 1.0, 0.0) is None
+
+
+def test_detached_sanitizer_is_inert():
+    """A sanitizer that was attached and detached leaves zero residue.
+
+    The sanitizer's overhead contract (docs/ARCHITECTURE.md section
+    2.10): off by default and free when off.  After ``detach()`` the
+    system must produce bit-identical results through the exact same
+    code paths as a system that never saw a sanitizer.
+    """
+    from repro.check import Sanitizer
+
+    runner = ExperimentRunner(kernels=list(KERNELS))
+    for config, trace, regions in _material(runner):
+        plain = make_system(config).run(trace, warm_regions=regions)
+        system = make_system(config)
+        sanitizer = Sanitizer(system, stride=1)
+        sanitizer.attach()
+        sanitizer.detach()
+        assert system.cpu.checker is None
+        detached = system.run(trace, warm_regions=regions)
+        assert detached.cycles == plain.cycles
+        assert detached.breakdown == plain.breakdown
+        assert detached.counts == plain.counts
+
+
+def test_disabled_sanitizer_overhead_within_budget():
+    """Runs with no sanitizer attached pay nothing for its existence.
+
+    ``InOrderCPU.run`` tests ``self.checker is None`` once per run (not
+    per event) and the encoded fast path is untouched, so a
+    detached-sanitizer system must match the bare wall clock within the
+    same budget as the null probe.
+    """
+    from repro.check import Sanitizer
+
+    runner = ExperimentRunner(kernels=list(KERNELS))
+    material = _material(runner)
+    _timed_pass(material, None)  # warm caches, imports, allocator
+
+    def _detached_pass():
+        start = time.perf_counter()
+        cycles = []
+        for config, trace, regions in material:
+            system = make_system(config)
+            sanitizer = Sanitizer(system, stride=1)
+            sanitizer.attach()
+            sanitizer.detach()
+            result = system.run(trace, warm_regions=regions)
+            cycles.append(result.cycles)
+        return time.perf_counter() - start, cycles
+
+    bare_times, detached_times = [], []
+    bare_cycles = detached_cycles = None
+    for _ in range(REPEATS):
+        elapsed, bare_cycles = _timed_pass(material, None)
+        bare_times.append(elapsed)
+        elapsed, detached_cycles = _detached_pass()
+        detached_times.append(elapsed)
+
+    assert detached_cycles == bare_cycles
+
+    ratio = min(detached_times) / min(bare_times)
+    print(
+        f"\ndisabled-sanitizer overhead: best bare {min(bare_times):.3f}s, "
+        f"best detached {min(detached_times):.3f}s, ratio {ratio:.3f}"
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"detached-sanitizer run is {ratio:.3f}x the bare run (budget {MAX_OVERHEAD}x)"
+    )

@@ -1,0 +1,59 @@
+"""Simulator sanitizer: invariant checking and differential replay audit.
+
+``repro.check`` is the simulator's trust-but-verify layer.  It has two
+modes, both opt-in and both free when off:
+
+- the **live sanitizer** (:class:`Sanitizer`) interposes on the CPU's
+  event stream and checks the representation invariants of every cache,
+  buffer and queue between trace events, failing fast with an
+  :class:`~repro.errors.InvariantViolation` that carries a replayable
+  event index;
+- the **differential auditor** (:func:`audit_point`,
+  :func:`audit_grid`) replays the same run point through every replay
+  path the simulator maintains (generic, encoded fast path, probed with
+  ledger verification, warm re-run), diffs results, histograms and full
+  shadow machine state (:func:`capture_system`), and bisects a
+  generic-vs-encoded divergence to the first offending trace event
+  (:func:`bisect_divergence`).
+
+The CLI entry point is ``repro check``; experiment commands accept
+``--check`` to run their serial path under the sanitizer.  See
+``docs/ARCHITECTURE.md`` section 2.10 for the invariant catalogue and
+the overhead contract.
+"""
+
+from .audit import (
+    DEFAULT_AUDIT_STRIDE,
+    AuditReport,
+    audit_grid,
+    audit_point,
+    bisect_divergence,
+)
+from .invariants import (
+    check_cache,
+    check_frontend,
+    check_store_queue,
+    check_system,
+    check_wide_buffer,
+)
+from .sanitizer import Sanitizer
+from .shadow import ShadowState, capture_cache, capture_frontend, capture_system, diff_states
+
+__all__ = [
+    "AuditReport",
+    "DEFAULT_AUDIT_STRIDE",
+    "Sanitizer",
+    "ShadowState",
+    "audit_grid",
+    "audit_point",
+    "bisect_divergence",
+    "capture_cache",
+    "capture_frontend",
+    "capture_system",
+    "check_cache",
+    "check_frontend",
+    "check_store_queue",
+    "check_system",
+    "check_wide_buffer",
+    "diff_states",
+]

@@ -1,0 +1,246 @@
+"""Representation invariants of the simulator's architectural structures.
+
+Every check here states a property that must hold *between any two trace
+events* on a correct simulator, independent of workload or
+configuration.  The checks read the same private state the shadow
+capture reads (see :mod:`repro.check.shadow`) and raise
+:class:`~repro.errors.InvariantViolation` — carrying the offending event
+index — the moment a property fails, so a corruption is caught at the
+event that introduced it instead of surfacing thousands of events later
+as a wrong cycle count.
+
+The invariant catalogue (also documented in ``docs/ARCHITECTURE.md``
+section 2.10):
+
+- **Cache sets**: at most one way per set holds a given tag; a dirty
+  way is valid; the LRU order is a permutation of the ways; FIFO/PLRU
+  policy state stays in range.
+- **Write buffers**: completion times are non-decreasing (FIFO drain)
+  and occupancy never exceeds capacity.
+- **MSHRs**: occupancy never exceeds capacity and every entry is keyed
+  by its own line address.
+- **Retirement**: a retired slot holds no line and is clean; every set
+  keeps at least one usable way.
+- **VWB / L0 store**: resident windows are aligned and unique; an
+  invalid line is clean with a zeroed recency stamp; valid recency
+  stamps are unique, positive and never ahead of the buffer clock.
+- **VWB fill buffers**: staged promotions fit in the fill-buffer file
+  and are disjoint from the resident VWB windows.
+- **L0 fills**: every in-flight fill belongs to a resident line.
+- **EMSHR**: the lingering-entry file never exceeds its capacity.
+- **Store buffer**: completion times are non-decreasing and occupancy
+  never exceeds the configured entries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.emshr import EMSHRFrontend
+from ..core.hybrid import HybridFrontend
+from ..core.l0 import L0Frontend
+from ..core.vwb import VeryWideBuffer
+from ..core.vwb_frontend import VWBFrontend
+from ..errors import InvariantViolation
+from ..mem.cache import Cache
+from ..mem.replacement import _FIFOSet, _LRUSet, _TreePLRUSet
+
+
+def _fail(message: str, event_index: int) -> None:
+    where = f" (after event {event_index})" if event_index >= 0 else ""
+    raise InvariantViolation(message + where, event_index=event_index)
+
+
+def check_cache(cache: Cache, event_index: int = -1) -> None:
+    """Check every representation invariant of one cache level."""
+    cfg = cache.config
+    name = cfg.name
+    assoc = cfg.associativity
+    retirement = cache._retirement
+    for index in range(cfg.sets):
+        tags = cache._tags[index]
+        dirty = cache._dirty[index]
+        valid = [t for t in tags if t is not None]
+        if len(set(valid)) != len(valid):
+            _fail(f"{name}: set {index} holds a duplicate tag: {tags}", event_index)
+        for way in range(assoc):
+            if dirty[way] and tags[way] is None:
+                _fail(f"{name}: set {index} way {way} is dirty but invalid", event_index)
+        repl = cache._repl[index]
+        if isinstance(repl, _LRUSet):
+            if sorted(repl._order) != list(range(assoc)):
+                _fail(
+                    f"{name}: set {index} LRU order {repl._order} is not a "
+                    f"permutation of {assoc} ways",
+                    event_index,
+                )
+        elif isinstance(repl, _FIFOSet):
+            if not 0 <= repl._next < assoc:
+                _fail(
+                    f"{name}: set {index} FIFO pointer {repl._next} out of range",
+                    event_index,
+                )
+        elif isinstance(repl, _TreePLRUSet):
+            if any(bit not in (0, 1) for bit in repl._bits):
+                _fail(f"{name}: set {index} PLRU bits corrupt: {repl._bits}", event_index)
+        if retirement is not None:
+            if retirement.enabled_ways(index) < 1:
+                _fail(f"{name}: set {index} has no usable way left", event_index)
+            for way in range(assoc):
+                if retirement.is_disabled(index, way) and tags[way] is not None:
+                    _fail(
+                        f"{name}: retired slot ({index}, {way}) still holds a line",
+                        event_index,
+                    )
+    completions = cache._write_buffer._completions
+    if len(completions) > cache._write_buffer.capacity:
+        _fail(
+            f"{name}: write buffer holds {len(completions)} entries, "
+            f"capacity {cache._write_buffer.capacity}",
+            event_index,
+        )
+    previous = None
+    for completion in completions:
+        if previous is not None and completion < previous:
+            _fail(
+                f"{name}: write-buffer completions not FIFO-ordered: "
+                f"{list(completions)}",
+                event_index,
+            )
+        previous = completion
+    mshrs = cache._mshrs
+    if mshrs.occupancy() > mshrs.capacity:
+        _fail(
+            f"{name}: MSHR file holds {mshrs.occupancy()} entries, "
+            f"capacity {mshrs.capacity}",
+            event_index,
+        )
+    for line, entry in mshrs._entries.items():
+        if entry.line_addr != line:
+            _fail(
+                f"{name}: MSHR entry keyed {line:#x} tracks {entry.line_addr:#x}",
+                event_index,
+            )
+    if len(cache._banks._busy_until) != cfg.banks:
+        _fail(f"{name}: bank timer lost a bank", event_index)
+
+
+def check_wide_buffer(
+    buffer: VeryWideBuffer, owner: str, event_index: int = -1
+) -> None:
+    """Check the VWB/L0 wide-line invariants (validity, LRU stamps)."""
+    window_bytes = buffer._window_bytes
+    seen_windows = set()
+    seen_stamps = set()
+    for i, line in enumerate(buffer._lines):
+        if line.window_addr is None:
+            if line.dirty:
+                _fail(f"{owner}: invalid line {i} is dirty", event_index)
+            if line.last_touch != 0:
+                _fail(
+                    f"{owner}: invalid line {i} carries a stale recency stamp "
+                    f"{line.last_touch}",
+                    event_index,
+                )
+            continue
+        if line.window_addr % window_bytes != 0:
+            _fail(
+                f"{owner}: line {i} window {line.window_addr:#x} is not "
+                f"{window_bytes}-byte aligned",
+                event_index,
+            )
+        if line.window_addr in seen_windows:
+            _fail(
+                f"{owner}: window {line.window_addr:#x} resident twice", event_index
+            )
+        seen_windows.add(line.window_addr)
+        if line.last_touch < 1:
+            _fail(f"{owner}: valid line {i} has no recency stamp", event_index)
+        if line.last_touch > buffer._clock:
+            _fail(
+                f"{owner}: line {i} stamp {line.last_touch} is ahead of the "
+                f"buffer clock {buffer._clock}",
+                event_index,
+            )
+        if line.last_touch in seen_stamps:
+            _fail(
+                f"{owner}: recency stamp {line.last_touch} used twice", event_index
+            )
+        seen_stamps.add(line.last_touch)
+
+
+def check_frontend(frontend, event_index: int = -1) -> None:
+    """Check the front-end-specific buffer invariants."""
+    if isinstance(frontend, VWBFrontend):
+        check_wide_buffer(frontend.vwb, "vwb", event_index)
+        pending = frontend._pending
+        if len(pending) > frontend._fill_buffers:
+            _fail(
+                f"vwb: {len(pending)} staged promotions exceed the "
+                f"{frontend._fill_buffers} fill buffers",
+                event_index,
+            )
+        window_bytes = frontend.vwb._window_bytes
+        resident = set(frontend.vwb.resident_windows)
+        for window in pending:
+            if window % window_bytes != 0:
+                _fail(f"vwb: staged window {window:#x} misaligned", event_index)
+            if window in resident:
+                _fail(
+                    f"vwb: window {window:#x} both resident and staged", event_index
+                )
+    elif isinstance(frontend, L0Frontend):
+        check_wide_buffer(frontend._store, "l0", event_index)
+        resident = set(frontend._store.resident_windows)
+        for line, ready in frontend._fill_ready.items():
+            if line not in resident:
+                _fail(
+                    f"l0: in-flight fill for non-resident line {line:#x}", event_index
+                )
+            if ready < 0.0:
+                _fail(f"l0: fill of {line:#x} ready at negative cycle", event_index)
+    elif isinstance(frontend, EMSHRFrontend):
+        if len(frontend._entries) > frontend._capacity:
+            _fail(
+                f"emshr: {len(frontend._entries)} lingering entries exceed "
+                f"capacity {frontend._capacity}",
+                event_index,
+            )
+    elif isinstance(frontend, HybridFrontend):
+        check_cache(frontend.sram, event_index)
+
+
+def check_store_queue(cpu, event_index: int = -1) -> None:
+    """Check the CPU store buffer: FIFO completion order, bounded size."""
+    queue = cpu.store_queue
+    if queue is None:
+        return
+    entries = cpu.config.store_buffer_entries
+    if len(queue) > entries:
+        _fail(
+            f"cpu: store buffer holds {len(queue)} stores, capacity {entries}",
+            event_index,
+        )
+    previous: Optional[float] = None
+    for completion in queue:
+        if previous is not None and completion < previous:
+            _fail(
+                f"cpu: store-buffer completions not FIFO-ordered: {list(queue)}",
+                event_index,
+            )
+        previous = completion
+
+
+def check_system(system, event_index: int = -1) -> None:
+    """Run the complete invariant catalogue against a live system.
+
+    Raises:
+        InvariantViolation: Naming the violated property, the structure,
+            and (when ``event_index >= 0``) the trace event after which
+            the corruption was observed.
+    """
+    check_cache(system.dl1, event_index)
+    check_cache(system.hierarchy.l2, event_index)
+    check_cache(system.hierarchy.il1, event_index)
+    check_frontend(system.frontend, event_index)
+    check_store_queue(system.cpu, event_index)

@@ -1,0 +1,121 @@
+"""The live sanitizer: invariant checks interleaved with trace replay.
+
+:class:`Sanitizer` attaches to a :class:`~repro.cpu.system.System` and
+audits the machine's representation invariants *between trace events*
+while the CPU replays.  The hook is generator interposition: the CPU's
+event loop iterates ``checker.stream(events)``, which yields each event
+and — when the loop comes back for the next one, i.e. after the previous
+event has been fully processed — runs the invariant catalogue of
+:mod:`repro.check.invariants` against the live structures.  A violation
+therefore surfaces as an :class:`~repro.errors.InvariantViolation`
+raised *at the event that introduced it*, carrying the replayable event
+index for bisection.
+
+Overhead contract
+-----------------
+
+Off by default and free when off: a system without a sanitizer attached
+runs the exact code it always ran — ``InOrderCPU.run`` performs one
+``self.checker is None`` test per *run* (not per event), and the encoded
+fast path is untouched.  ``benchmarks/bench_profile.py`` guards this.
+When attached, the encoded fast path falls back to generic object replay
+(the sanitizer audits the canonical implementation of the timing paths),
+and a check costs one full scan of every cache — which is why
+:attr:`Sanitizer.stride` exists: checking every N-th event keeps grid
+audits tractable while still localising a corruption to a window of N
+events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import ConfigurationError
+from ..workloads.trace import TraceEvent
+from .invariants import check_system
+
+
+class Sanitizer:
+    """Invariant-checking shadow auditor for one system.
+
+    Args:
+        system: The platform to audit.
+        stride: Check the invariants after every ``stride``-th event
+            (1 = after every event).  Larger strides trade detection
+            granularity for speed; the final post-drain check always
+            runs regardless.
+
+    Attributes:
+        events_seen: Events that have flowed through :meth:`stream`.
+        checks_run: Invariant sweeps started so far (a sweep that finds
+            a violation still counts).
+    """
+
+    def __init__(self, system, stride: int = 1) -> None:
+        if stride < 1:
+            raise ConfigurationError(f"sanitizer stride must be positive: {stride}")
+        self.system = system
+        self.stride = int(stride)
+        self.events_seen = 0
+        self.checks_run = 0
+
+    # ------------------------------------------------------------------
+    # The CPU-side hook
+    # ------------------------------------------------------------------
+
+    def stream(self, events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+        """Yield ``events`` unchanged, checking invariants between them.
+
+        The check for event ``i`` runs when the consumer requests event
+        ``i + 1`` (or exhausts the stream) — exactly the point at which
+        the CPU has fully processed event ``i``, including its cache
+        side effects.  Raising out of the generator propagates through
+        the CPU's ``for`` loop, aborting the run at the faulty event.
+        """
+        system = self.system
+        stride = self.stride
+        index = 0
+        for event in events:
+            yield event
+            # The consumer processed `event` completely before resuming.
+            index += 1
+            self.events_seen = index
+            if index % stride == 0:
+                self.checks_run += 1
+                check_system(system, event_index=index - 1)
+
+    # ------------------------------------------------------------------
+    # Attachment and checked execution
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Install this sanitizer as the system CPU's event checker."""
+        self.system.cpu.checker = self
+
+    def detach(self) -> None:
+        """Remove this sanitizer from the CPU (no-op if not attached)."""
+        if self.system.cpu.checker is self:
+            self.system.cpu.checker = None
+
+    def run(self, events, **kwargs):
+        """Execute ``events`` through ``System.run`` under the sanitizer.
+
+        Accepts everything :meth:`repro.cpu.system.System.run` accepts
+        (``reset``, ``warm_regions``, ``probe``).  After the run — which
+        includes the CPU's end-of-trace store-buffer drain, past the
+        last in-stream check — one final invariant sweep audits the end
+        state.  The sanitizer is always detached on exit, so the system
+        returns to the zero-overhead configuration even when a check
+        raises.
+
+        Returns:
+            The :class:`~repro.cpu.model.RunResult` of the audited run.
+        """
+        self.attach()
+        try:
+            result = self.system.run(events, **kwargs)
+        finally:
+            self.detach()
+        self.checks_run += 1
+        check_system(self.system, event_index=self.events_seen - 1)
+        return result

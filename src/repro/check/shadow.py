@@ -1,0 +1,180 @@
+"""Shadow capture of architectural simulator state, for differential audit.
+
+The sanitizer's second weapon (next to the live invariant checks in
+:mod:`repro.check.invariants`) is *state diffing*: run the same trace
+through two replay paths — or through a cold run and a warm re-run — and
+compare not just the :class:`~repro.cpu.model.RunResult` but the entire
+end state of the machine: every tag, dirty bit and LRU stack of every
+cache, the bank busy times, write-buffer and MSHR occupancy, the
+front-end buffer contents and the CPU's store queue.
+
+:func:`capture_system` walks a live :class:`~repro.cpu.system.System`
+and snapshots all of that into plain, hashable Python data (nested dicts
+of tuples), so two captures compare with ``==`` and
+:func:`diff_states` can name the exact structure that diverged —
+``dl1.tags[17]``, ``frontend.pending[0]`` — instead of reporting a bare
+cycle-count mismatch.
+
+The capture reads private attributes of the memory structures on
+purpose: the whole point of a sanitizer is to look *under* the public
+interface, at representation invariants the normal API cannot express.
+Each structure's layout is documented where it is read; a capture is a
+read-only walk and never mutates the system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.emshr import EMSHRFrontend
+from ..core.hybrid import HybridFrontend
+from ..core.l0 import L0Frontend
+from ..core.vwb import VeryWideBuffer
+from ..core.vwb_frontend import VWBFrontend
+from ..mem.cache import Cache
+from ..mem.replacement import _FIFOSet, _LRUSet, _RandomSet, _TreePLRUSet
+
+#: A shadow state: nested plain data, comparable with ``==``.
+ShadowState = Dict[str, Any]
+
+
+def _capture_repl_set(state) -> Tuple:
+    """Snapshot one per-set replacement-policy state object.
+
+    Each policy keeps different bookkeeping; the capture is tagged with
+    the policy kind so states of different policies never compare equal
+    by accident.
+    """
+    if isinstance(state, _LRUSet):
+        return ("lru", tuple(state._order))
+    if isinstance(state, _FIFOSet):
+        return ("fifo", state._next)
+    if isinstance(state, _TreePLRUSet):
+        return ("plru", tuple(state._bits))
+    if isinstance(state, _RandomSet):
+        # The generator is shared across sets; its position is captured
+        # once per cache under the "rng" key instead.
+        return ("random",)
+    return (type(state).__name__,)
+
+
+def capture_cache(cache: Cache) -> ShadowState:
+    """Snapshot one :class:`~repro.mem.cache.Cache` completely."""
+    state: ShadowState = {
+        "tags": tuple(tuple(ways) for ways in cache._tags),
+        "dirty": tuple(tuple(ways) for ways in cache._dirty),
+        "repl": tuple(_capture_repl_set(s) for s in cache._repl),
+        "bank_busy": tuple(cache._banks._busy_until),
+        "write_buffer": tuple(cache._write_buffer._completions),
+        "mshr": tuple(
+            sorted(
+                (e.line_addr, e.ready_at, e.issued_at, e.is_prefetch)
+                for e in cache._mshrs._entries.values()
+            )
+        ),
+        "line_writes": tuple(sorted(cache._line_writes.items())),
+        "fast_write_credit": cache._fast_write_credit,
+        "stats": cache.stats.as_dict(),
+    }
+    if cache._repl and isinstance(cache._repl[0], _RandomSet):
+        state["rng"] = cache._repl[0]._rng.getstate()
+    if cache._retirement is not None:
+        state["retirement"] = {
+            "retries": tuple(sorted(cache._retirement._retries.items())),
+            "disabled": tuple(
+                sorted((i, tuple(w)) for i, w in cache._retirement._disabled.items())
+            ),
+        }
+    return state
+
+
+def _capture_wide_buffer(buffer: VeryWideBuffer) -> ShadowState:
+    """Snapshot a :class:`~repro.core.vwb.VeryWideBuffer` (VWB or L0 store)."""
+    return {
+        "lines": tuple(
+            (line.window_addr, line.dirty, line.last_touch) for line in buffer._lines
+        ),
+        "clock": buffer._clock,
+    }
+
+
+def capture_frontend(frontend) -> ShadowState:
+    """Snapshot the front-end buffer structure (VWB/L0/EMSHR/hybrid)."""
+    state: ShadowState = {
+        "name": frontend.name,
+        "stats": frontend.stats.as_dict(),
+    }
+    if isinstance(frontend, VWBFrontend):
+        state["vwb"] = _capture_wide_buffer(frontend.vwb)
+        # Staged promotions in FIFO order: commit order is part of the
+        # architectural state (it decides which window lands in a VWB
+        # line next), so the capture preserves it.
+        state["pending"] = tuple(
+            (
+                window,
+                staged.dirty,
+                staged.result.issued_at,
+                tuple(sorted(staged.result.line_ready.items())),
+            )
+            for window, staged in frontend._pending.items()
+        )
+    elif isinstance(frontend, L0Frontend):
+        state["store"] = _capture_wide_buffer(frontend._store)
+        state["fill_ready"] = tuple(sorted(frontend._fill_ready.items()))
+    elif isinstance(frontend, EMSHRFrontend):
+        # Insertion order is the FIFO reclaim order: architectural.
+        state["entries"] = tuple(
+            (line, entry.ready_at, entry.dirty)
+            for line, entry in frontend._entries.items()
+        )
+    elif isinstance(frontend, HybridFrontend):
+        state["sram"] = capture_cache(frontend.sram)
+    return state
+
+
+def capture_system(system) -> ShadowState:
+    """Snapshot the complete architectural state of a ``System``.
+
+    Covers the DL1 (tags, dirty bits, replacement state, banks, write
+    buffer, MSHRs, reliability wear), the front-end buffer structure,
+    the shared IL1/L2, main-memory counters and the CPU's store queue.
+    Two systems that executed the same events through correct replay
+    paths must produce equal captures.
+    """
+    cpu = system.cpu
+    return {
+        "dl1": capture_cache(system.dl1),
+        "l2": capture_cache(system.hierarchy.l2),
+        "il1": capture_cache(system.hierarchy.il1),
+        "frontend": capture_frontend(system.frontend),
+        "store_queue": tuple(cpu.store_queue) if cpu.store_queue is not None else (),
+        "mainmem": dict(system.hierarchy.memory.stats_dict()),
+    }
+
+
+def diff_states(a: Any, b: Any, path: str = "") -> List[Tuple[str, Any, Any]]:
+    """Structural diff of two shadow states.
+
+    Returns:
+        ``(path, a_value, b_value)`` triples naming every leaf where the
+        two states disagree (empty when they are equal).  Dict keys and
+        equal-length tuples recurse; everything else is a leaf compared
+        with ``!=``.
+    """
+    diffs: List[Tuple[str, Any, Any]] = []
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                diffs.append((sub, "<absent>", b[key]))
+            elif key not in b:
+                diffs.append((sub, a[key], "<absent>"))
+            else:
+                diffs.extend(diff_states(a[key], b[key], sub))
+    elif isinstance(a, tuple) and isinstance(b, tuple) and len(a) == len(b):
+        if a != b:
+            for i, (x, y) in enumerate(zip(a, b)):
+                diffs.extend(diff_states(x, y, f"{path}[{i}]"))
+    elif a != b:
+        diffs.append((path, a, b))
+    return diffs

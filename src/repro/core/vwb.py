@@ -188,6 +188,12 @@ class VeryWideBuffer:
         dropped = EvictedWindow(window_addr=line.window_addr, dirty=line.dirty)
         line.window_addr = None
         line.dirty = False
+        # An invalid line must look exactly like a never-used one: a
+        # stale recency stamp would survive into the line's next life and
+        # corrupt the LRU ordering reported by `_sort_key` (invalid lines
+        # key as ``(0, 0)``, so victim selection itself never consulted
+        # the stale stamp — pinned by ``tests/test_vwb.py``).
+        line.last_touch = 0
         return dropped
 
     @property

@@ -149,6 +149,19 @@ class RunResult:
     def load_latency_quantile(self, q: float) -> float:
         """Approximate q-quantile (0..1) of the exposed load latency.
 
+        Contract (all boundary cases are defined, never an off-by-one or
+        a division by zero):
+
+        - ``q`` outside ``[0, 1]`` raises ``ConfigurationError``;
+        - an **empty histogram** (a run with zero loads) returns ``0.0``
+          for every ``q``;
+        - ``q == 0.0`` returns the **minimum** populated bucket (the
+          fastest observed load);
+        - ``q == 1.0`` returns the **maximum** populated bucket (the
+          slowest observed load);
+        - interior quantiles use the inverse-CDF convention: the smallest
+          bucket whose cumulative count reaches ``q * total``.
+
         The histogram buckets are whole cycles capped at
         :data:`LOAD_HISTOGRAM_CAP`: every load slower than the cap lands
         in the cap bucket, so high quantiles (p100 in particular) are
@@ -157,16 +170,23 @@ class RunResult:
         """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1]: {q}")
-        total = sum(self.load_latency_histogram.values())
-        if total == 0:
+        hist = self.load_latency_histogram
+        if not hist:
             return 0.0
+        if q == 0.0:
+            return float(min(min(hist), LOAD_HISTOGRAM_CAP))
+        if q == 1.0:
+            return float(min(max(hist), LOAD_HISTOGRAM_CAP))
+        total = sum(hist.values())
         threshold = q * total
         seen = 0
-        for bucket in sorted(self.load_latency_histogram):
-            seen += self.load_latency_histogram[bucket]
+        for bucket in sorted(hist):
+            seen += hist[bucket]
             if seen >= threshold:
                 return float(min(bucket, LOAD_HISTOGRAM_CAP))
-        return float(min(max(self.load_latency_histogram), LOAD_HISTOGRAM_CAP))
+        # Unreachable for q <= 1.0 (the cumulative sum reaches `total`),
+        # kept as a safe upper bound against float threshold edge cases.
+        return float(min(max(hist), LOAD_HISTOGRAM_CAP))
 
     @property
     def ipc(self) -> float:
@@ -205,6 +225,17 @@ class InOrderCPU:
         self.frontend = frontend
         self.hierarchy = hierarchy
         self.probe: Probe = NULL_PROBE
+        #: Optional event-stream checker (:class:`repro.check.Sanitizer`).
+        #: ``None`` (the default) keeps replay on the unchecked fast
+        #: paths with zero per-event overhead; when set, `run` wraps the
+        #: event stream through ``checker.stream`` and `run_encoded`
+        #: falls back to generic object replay (the sanitizer audits the
+        #: one canonical implementation of the timing paths).
+        self.checker: Optional["EventChecker"] = None
+        #: Live view of the store buffer (absolute completion cycles) of
+        #: the most recent `run` — one attribute assignment per run, read
+        #: by the sanitizer to audit store-buffer occupancy/ordering.
+        self.store_queue: Optional[Deque[float]] = None
 
     def run(self, events: Iterable[TraceEvent]) -> RunResult:
         """Execute ``events`` in order; return the timing result.
@@ -215,6 +246,9 @@ class InOrderCPU:
         """
         if isinstance(events, EncodedTrace):
             return self.run_encoded(events)
+        checker = self.checker
+        if checker is not None:
+            events = checker.stream(events)
         cfg = self.config
         cycles = 0.0
         breakdown = {
@@ -235,6 +269,7 @@ class InOrderCPU:
         instructions = 0
         load_histogram: Dict[int, int] = {}
         store_queue: Deque[float] = deque()
+        self.store_queue = store_queue
         fetch_budget = 0  # instructions covered by the current IL1 line
         fetch_pc = 0
 
@@ -329,10 +364,16 @@ class InOrderCPU:
                     new_instrs -= cfg.instructions_per_fetch_line
 
         # Drain the store buffer: the kernel is done when memory is.
-        if store_queue:
-            if probing and store_queue[-1] > cycles:
-                probe.op("store_buffer_full", store_queue[-1] - cycles, cycles)
-            cycles = max(cycles, store_queue[-1])
+        # The drain is store work, so it is attributed to the store
+        # category — `sum(breakdown.values()) == cycles` holds even when
+        # the last event is a store that fills the buffer (identical
+        # attribution in `run_encoded`; pinned by tests/test_cpu_model.py).
+        if store_queue and store_queue[-1] > cycles:
+            drain = store_queue[-1] - cycles
+            if probing:
+                probe.op("store_buffer_full", drain, cycles)
+            breakdown["store"] += drain
+            cycles = store_queue[-1]
 
         return RunResult(
             cycles=cycles,
@@ -361,7 +402,7 @@ class InOrderCPU:
         exactly the object path's arguments and ordering.
         """
         cfg = self.config
-        if self.probe.enabled or cfg.model_ifetch:
+        if self.probe.enabled or cfg.model_ifetch or self.checker is not None:
             return self.run(trace.decode_iter())
 
         frontend = self.frontend
@@ -391,6 +432,7 @@ class InOrderCPU:
         cap = LOAD_HISTOGRAM_CAP
         hist = [0] * (cap + 1)
         store_queue: Deque[float] = deque()
+        self.store_queue = store_queue
         sq_popleft = store_queue.popleft
         sq_append = store_queue.append
         sb_entries = cfg.store_buffer_entries
@@ -452,8 +494,11 @@ class InOrderCPU:
             # else OP_MARK: zero-cost annotation, nothing to do unprobed.
 
         # Drain the store buffer: the kernel is done when memory is.
-        if store_queue:
-            cycles = max(cycles, store_queue[-1])
+        # Same final-drain attribution as `run`: the drain books under
+        # the store category in both replay paths, bit-identically.
+        if store_queue and store_queue[-1] > cycles:
+            b_store += store_queue[-1] - cycles
+            cycles = store_queue[-1]
 
         # Event totals come straight from the column lengths; they equal
         # the per-event increments of the object path exactly (integers).

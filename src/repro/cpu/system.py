@@ -249,7 +249,11 @@ class System:
         result.memory_accesses = self.hierarchy.memory.accesses
         if self.dl1.reliability is not None:
             result.reliability_stats = self.dl1.reliability.stats.as_dict()
-            result.retired_lines = self.dl1.retired_lines
+            # Per-run count (the injector's stats are cleared with the
+            # rest of the run statistics), not the cumulative
+            # `dl1.retired_lines` — on a warm re-run the two differ and
+            # the docstring promises "during the run".
+            result.retired_lines = int(self.dl1.reliability.stats.retired_lines)
         if probe is not None:
             probe.finish(result)
         return result

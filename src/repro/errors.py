@@ -30,6 +30,26 @@ class SimulationError(ReproError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """A sanitizer check found simulator state violating an invariant.
+
+    Raised by :mod:`repro.check` when the shadow model or a structural
+    invariant (dirty bit on an invalid line, duplicate tags in a set, an
+    unsorted write buffer, ...) disagrees with the live structures.
+
+    Attributes:
+        event_index: Index of the last fully-processed trace event when
+            the violation was detected (``-1`` when the check ran outside
+            event replay, e.g. on a freshly-built or final state).  The
+            index is replayable: re-running the same trace prefix
+            reproduces the state that failed the check.
+    """
+
+    def __init__(self, message: str, event_index: int = -1) -> None:
+        super().__init__(message)
+        self.event_index = event_index
+
+
 class WorkloadError(ReproError):
     """A workload/IR program is malformed.
 

@@ -145,6 +145,16 @@ class ExperimentRunner:
         batches run with up to ``engine.jobs``-way parallelism and
         unchanged points replay from the engine's run cache.  Results
         are bit-identical either way.
+    check : bool
+        Run every point under the invariant sanitizer
+        (:class:`repro.check.Sanitizer`).  Forces the in-process serial
+        path — a sanitized run must observe the live structures, so the
+        engine's worker processes and run cache are bypassed — and
+        raises :class:`~repro.errors.InvariantViolation` at the first
+        corrupted event.  Results are bit-identical to unchecked runs.
+    check_stride : int
+        Invariant-check stride for sanitized runs (check after every
+        N-th event; the end-of-run check always happens).
     """
 
     def __init__(
@@ -152,10 +162,14 @@ class ExperimentRunner:
         size: DatasetSize = DatasetSize.MINI,
         kernels: Optional[List[str]] = None,
         engine: Optional["ExecutionEngine"] = None,
+        check: bool = False,
+        check_stride: int = 997,
     ) -> None:
         self.size = size
         self.kernels = list(kernels) if kernels is not None else kernel_names()
         self.engine = engine
+        self.check = bool(check)
+        self.check_stride = check_stride
         self._programs: Dict[Tuple[str, OptLevel], object] = {}
         self._traces: Dict[Tuple[str, OptLevel], EncodedTrace] = {}
         self._annotated_traces: Dict[Tuple[str, OptLevel], EncodedTrace] = {}
@@ -307,7 +321,19 @@ class ExperimentRunner:
         key = self._memo_key(config, kernel, level, cache_key)
         if key is not None and key in self._results:
             return self._results[key]
-        if self.engine is not None:
+        if self.check:
+            # Sanitized runs execute in-process: the checker hooks the
+            # live CPU event loop, which worker processes and the run
+            # cache cannot observe.  Imported lazily to keep the
+            # check package optional on the hot import path.
+            from ..check.sanitizer import Sanitizer
+
+            system = make_system(config)
+            trace = self.trace(kernel, level)
+            regions = warm_regions_of(self.program(kernel, level))
+            sanitizer = Sanitizer(system, stride=self.check_stride)
+            result = sanitizer.run(trace, warm_regions=regions)
+        elif self.engine is not None:
             from ..exec.cache import cache_key_of
 
             point = self._point(config, kernel, level, cache_key)
@@ -344,7 +370,10 @@ class ExperimentRunner:
             cache_key)`` tuples, exactly as :meth:`run` would receive
             them.  Already-memoised and duplicate requests are skipped.
         """
-        if self.engine is None:
+        if self.engine is None or self.check:
+            # Sanitized runs never fan out (see :meth:`run`); letting
+            # the engine prefetch would compute unchecked results and
+            # defeat --check.
             return
         from ..exec.cache import cache_key_of
 
@@ -411,11 +440,15 @@ class ExperimentRunner:
         name = resolve_config_name(config)
         system = make_system(name)
         probe = RecordingProbe(record_events=record_events, max_events=max_events)
-        result = system.run(
-            self.annotated_trace(kernel, level),
-            warm_regions=warm_regions_of(self.program(kernel, level)),
-            probe=probe,
-        )
+        trace = self.annotated_trace(kernel, level)
+        regions = warm_regions_of(self.program(kernel, level))
+        if self.check:
+            from ..check.sanitizer import Sanitizer
+
+            sanitizer = Sanitizer(system, stride=self.check_stride)
+            result = sanitizer.run(trace, warm_regions=regions, probe=probe)
+        else:
+            result = system.run(trace, warm_regions=regions, probe=probe)
         return ProfileResult(
             kernel=kernel,
             config=name,

@@ -455,15 +455,23 @@ class Cache:
 
         Used between a warm-up phase (PolyBench's array initialisation,
         which the paper's gem5 runs execute before the kernel) and the
-        measured kernel run.
+        measured kernel run.  Consistently with :meth:`reset`, the AWARE
+        fast-write credit and the retirement map's per-slot retry
+        counters are cleared too (they are measurement state, not
+        contents), so the reliability statistics of a warm run never
+        include the previous run's retries; already-retired slots stay
+        retired (architectural state, like resident lines).
         """
         self.stats = CacheStats()
         self._banks.reset()
         self._mshrs.reset()
         self._write_buffer.reset()
         self._line_writes.clear()
+        self._fast_write_credit = 0.0
         if self.reliability is not None:
             self.reliability.clear_stats()
+        if self._retirement is not None:
+            self._retirement.clear_retries()
 
     def reset(self) -> None:
         """Invalidate all lines and clear all timing/statistics state."""

@@ -88,6 +88,18 @@ class LineRetirementMap:
         ways = self._disabled.setdefault(index, [False] * self._assoc)
         ways[way] = True
 
+    def clear_retries(self) -> None:
+        """Zero the per-slot retry counters, keeping retired slots retired.
+
+        Used by :meth:`repro.mem.cache.Cache.clear_stats` between a
+        warm-up phase and the measured run: retirement is architectural
+        state (a retired slot stays out of service, like resident data
+        stays resident), but the accumulated retry counts are statistics
+        of the previous run and must not push a slot over the retirement
+        threshold during the next one.
+        """
+        self._retries.clear()
+
     def reset(self) -> None:
         """Forget all wear state and return every slot to service."""
         self._retries.clear()

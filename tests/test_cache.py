@@ -155,6 +155,55 @@ class TestMaintenance:
         assert cache.contains(0)
         assert cache.stats.accesses == 0
 
+    def test_clear_stats_resets_fast_write_credit(self):
+        # The AWARE fast-write credit is a statistics-epoch accumulator:
+        # a warm run must start from the same credit as a cold run, or
+        # warm timing drifts from the replayed cold run.
+        cache = make_cache()
+        cache._fast_write_credit = 0.75
+        cache.clear_stats()
+        assert cache._fast_write_credit == 0.0
+
+    def test_clear_stats_resets_retry_counters_keeps_retired_lines(self):
+        from repro.reliability.faults import FaultInjector, ReliabilityConfig
+
+        injector = FaultInjector(
+            ReliabilityConfig(seed=0, write_error_rate=1e-3, retire_after_retries=4),
+            line_bits=512,
+        )
+        cache = Cache(
+            make_cache().config,
+            MainMemory(latency_cycles=100.0, transfer_cycles=0.0),
+            reliability=injector,
+        )
+        cache._retirement._retries[(0, 0)] = 3
+        cache._retirement.retire(1, 0)
+        cache.clear_stats()
+        # Cold-run retry credit must not bleed into the warm run's
+        # retirement decisions...
+        assert cache._retirement._retries == {}
+        # ...but physically retired slots stay retired (contents survive
+        # clear_stats, and so does wear).
+        assert cache._retirement.is_disabled(1, 0)
+
+    def test_clear_stats_resets_reliability_stats(self):
+        from repro.reliability.faults import FaultInjector, ReliabilityConfig
+
+        injector = FaultInjector(
+            ReliabilityConfig(seed=0, write_error_rate=1.0, max_write_attempts=2),
+            line_bits=512,
+        )
+        cache = Cache(
+            make_cache().config,
+            MainMemory(latency_cycles=100.0, transfer_cycles=0.0),
+            reliability=injector,
+        )
+        cache.access(Access(0, 4, AccessType.WRITE), 0.0)
+        assert injector.stats.write_faults > 0
+        cache.clear_stats()
+        assert injector.stats.write_faults == 0
+        assert injector.stats.write_retries == 0
+
     def test_duplicate_fill_is_simulation_error(self):
         cache = make_cache()
         cache.access(Access(0, 4, AccessType.READ), 0.0)

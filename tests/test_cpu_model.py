@@ -108,6 +108,26 @@ class TestStoreBuffer:
         # Each store costs ~1 issue cycle; drains hide under the compute.
         assert result.cycles - base.cycles == pytest.approx(10 * 11.0, rel=0.05)
 
+    def test_final_drain_attributed_to_store_category(self):
+        # The end-of-trace drain is part of the run's cycles, so it must
+        # appear in the breakdown too (it used to be dropped, leaving
+        # sum(breakdown) short of cycles on store-tailed traces).
+        result = make_cpu(write=50, store_buffer=2).run([Load(0, 4), Store(8, 4)])
+        assert sum(result.breakdown.values()) == pytest.approx(result.cycles)
+        assert result.breakdown["store"] >= 50.0
+
+    def test_final_drain_identical_across_replay_paths(self):
+        from repro.workloads.encode import encode_events
+
+        # Last event is a store that fills the buffer: both replay paths
+        # must charge the same drain to the same category.
+        events = [Store(0, 4), Store(64, 4), Store(128, 4)]
+        generic = make_cpu(write=50, store_buffer=1).run(list(events))
+        encoded = make_cpu(write=50, store_buffer=1).run_encoded(encode_events(events))
+        assert sum(generic.breakdown.values()) == pytest.approx(generic.cycles)
+        assert encoded.cycles == generic.cycles
+        assert encoded.breakdown == generic.breakdown
+
 
 class TestIFetch:
     def test_requires_hierarchy(self):

@@ -43,10 +43,24 @@ class TestHistogram:
         result = System(SystemConfig()).run(gemm_trace)
         with pytest.raises(ConfigurationError):
             result.load_latency_quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            result.load_latency_quantile(-0.1)
 
     def test_empty_run_quantile(self):
         result = System(SystemConfig()).run([])
         assert result.load_latency_quantile(0.5) == 0.0
+
+    def test_empty_histogram_boundaries(self):
+        # A run with zero loads: every quantile is defined and 0.0.
+        result = System(SystemConfig()).run([])
+        assert result.load_latency_quantile(0.0) == 0.0
+        assert result.load_latency_quantile(1.0) == 0.0
+
+    def test_boundary_quantiles_are_min_and_max_buckets(self, gemm_trace):
+        result = System(SystemConfig(technology="stt-mram", frontend="vwb")).run(gemm_trace)
+        hist = result.load_latency_histogram
+        assert result.load_latency_quantile(0.0) == float(min(hist))
+        assert result.load_latency_quantile(1.0) == float(max(hist))
 
     def test_cap_bucket(self):
         # A single very cold DRAM access lands in a high bucket <= cap.

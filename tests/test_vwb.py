@@ -112,6 +112,19 @@ class TestDirtyInvalidate:
         vwb = VeryWideBuffer(VWBConfig())
         assert vwb.invalidate(0) is None
 
+    def test_invalidate_clears_recency_stamp(self):
+        # An invalidated line must look exactly like a never-used one:
+        # clean, no window, and a zeroed last_touch (a stale stamp is
+        # dead state that the sanitizer's invariants reject).
+        vwb = VeryWideBuffer(VWBConfig())
+        vwb.allocate(0)
+        vwb.touch(vwb.lookup(0), dirty=True)
+        vwb.invalidate(0)
+        invalid = [line for line in vwb._lines if line.window_addr is None]
+        assert len(invalid) == len(vwb._lines)
+        assert all(line.last_touch == 0 for line in invalid)
+        assert all(not line.dirty for line in invalid)
+
     def test_reset(self):
         vwb = VeryWideBuffer(VWBConfig())
         vwb.allocate(0)
