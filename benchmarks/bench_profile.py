@@ -9,13 +9,18 @@ skips even the attach/detach), best-of-N wall clock.
 
 It also guards the semantics the tier-1 suite relies on: cycle counts
 are bit-identical with and without the null probe.
+
+The same contract extends to engine telemetry: running points through an
+:class:`~repro.exec.engine.ExecutionEngine` holding the default
+:data:`~repro.telemetry.NULL_TELEMETRY` must stay within the 5% budget
+of the bare ``execute_point`` loop, with ``RunResult``-equal output.
 """
 
 from __future__ import annotations
 
 import time
 
-from repro.experiments.runner import ExperimentRunner, make_system
+from repro.experiments.runner import CONFIGURATIONS, ExperimentRunner, make_system
 from repro.cpu.system import warm_regions_of
 from repro.obs import NULL_PROBE, NullProbe
 
@@ -44,7 +49,7 @@ def _timed_pass(material, probe):
     return time.perf_counter() - start, cycles
 
 
-def test_null_probe_overhead_within_budget():
+def test_null_probe_overhead_within_budget(bench_metrics):
     runner = ExperimentRunner(kernels=list(KERNELS))
     material = _material(runner)
     _timed_pass(material, None)  # warm caches, imports, allocator
@@ -61,12 +66,73 @@ def test_null_probe_overhead_within_budget():
     assert null_cycles == bare_cycles
 
     ratio = min(null_times) / min(bare_times)
+    from repro.telemetry import metric
+
+    bench_metrics.setdefault("profile", {})["null_probe_overhead"] = metric(
+        ratio, unit="x", higher_is_better=False
+    )
     print(
         f"\nnull-probe overhead: best bare {min(bare_times):.3f}s, "
         f"best nulled {min(null_times):.3f}s, ratio {ratio:.3f}"
     )
     assert ratio <= MAX_OVERHEAD, (
         f"NullProbe run is {ratio:.3f}x the bare run (budget {MAX_OVERHEAD}x)"
+    )
+
+
+def test_disabled_telemetry_engine_overhead(bench_metrics):
+    """An engine holding NULL_TELEMETRY is within budget and bit-identical.
+
+    The execution engine is instrumented for spans, metrics and point
+    provenance, all guarded on ``telemetry.enabled`` — so routing points
+    through an uncached, untelemetered engine must cost no more than 5%
+    over the bare ``execute_point`` loop, and the results must compare
+    equal (``RunResult ==``), the same contract the null probe pins for
+    the simulation core.
+    """
+    from repro.exec import ExecutionEngine, RunPoint, execute_point
+    from repro.telemetry import NULL_TELEMETRY, metric
+
+    points = [
+        RunPoint(kernel=kernel, config=CONFIGURATIONS[config])
+        for config in CONFIGS
+        for kernel in KERNELS
+    ]
+    for point in points:  # warm per-process program/trace memos
+        execute_point(point)
+
+    def _bare_pass():
+        start = time.perf_counter()
+        results = [execute_point(point) for point in points]
+        return time.perf_counter() - start, results
+
+    def _engine_pass():
+        engine = ExecutionEngine(jobs=1, telemetry=NULL_TELEMETRY)
+        start = time.perf_counter()
+        results = engine.run_points(points)
+        return time.perf_counter() - start, results
+
+    bare_times, engine_times = [], []
+    bare_results = engine_results = None
+    for _ in range(REPEATS):
+        elapsed, bare_results = _bare_pass()
+        bare_times.append(elapsed)
+        elapsed, engine_results = _engine_pass()
+        engine_times.append(elapsed)
+
+    # Bit-identical output through the instrumented engine path.
+    assert engine_results == bare_results
+
+    ratio = min(engine_times) / min(bare_times)
+    bench_metrics.setdefault("profile", {})["telemetry_off_overhead"] = metric(
+        ratio, unit="x", higher_is_better=False
+    )
+    print(
+        f"\ndisabled-telemetry engine overhead: best bare {min(bare_times):.3f}s, "
+        f"best engine {min(engine_times):.3f}s, ratio {ratio:.3f}"
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"NULL_TELEMETRY engine run is {ratio:.3f}x the bare loop (budget {MAX_OVERHEAD}x)"
     )
 
 

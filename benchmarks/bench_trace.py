@@ -26,6 +26,7 @@ import time
 from repro.cpu.system import warm_regions_of
 from repro.experiments.penalties import NVM_CONFIGS
 from repro.experiments.runner import make_system
+from repro.telemetry import metric
 from repro.workloads import build_kernel, kernel_names, materialize_trace
 from repro.workloads.encode import encode_trace
 
@@ -46,7 +47,7 @@ def _programs(kernels):
     return {name: build_kernel(name) for name in kernels}
 
 
-def test_encode_cost_within_budget():
+def test_encode_cost_within_budget(bench_metrics):
     programs = _programs(THROUGHPUT_KERNELS)
     for program in programs.values():  # warm generators/imports
         materialize_trace(program)
@@ -64,6 +65,9 @@ def test_encode_cost_within_budget():
         enc_times.append(time.perf_counter() - start)
 
     ratio = min(enc_times) / min(obj_times)
+    bench_metrics.setdefault("trace", {})["encode_cost_ratio"] = metric(
+        ratio, unit="x", higher_is_better=False
+    )
     print(
         f"\nencode cost: best materialize {min(obj_times):.3f}s, "
         f"best encode {min(enc_times):.3f}s, ratio {ratio:.3f}"
@@ -84,7 +88,7 @@ def _replay_pass(material, encoded):
     return time.perf_counter() - start, cycles
 
 
-def test_encoded_replay_throughput():
+def test_encoded_replay_throughput(bench_metrics):
     programs = _programs(THROUGHPUT_KERNELS)
     material = [
         (config, materialize_trace(program), encode_trace(program), warm_regions_of(program))
@@ -105,6 +109,7 @@ def test_encoded_replay_throughput():
     assert enc_cycles == obj_cycles
 
     ratio = min(obj_times) / min(enc_times)
+    bench_metrics.setdefault("trace", {})["replay_speedup"] = metric(ratio, unit="x")
     print(
         f"\nreplay throughput: best object {min(obj_times):.3f}s, "
         f"best encoded {min(enc_times):.3f}s, speedup x{ratio:.2f}"
@@ -128,7 +133,7 @@ def _penalties_pass(programs, regions, encoded):
     return time.perf_counter() - start, cycles
 
 
-def test_penalties_end_to_end_speedup():
+def test_penalties_end_to_end_speedup(bench_metrics):
     programs = _programs(kernel_names())
     regions = {name: warm_regions_of(p) for name, p in programs.items()}
     _penalties_pass(programs, regions, encoded=True)  # warm-up
@@ -144,6 +149,7 @@ def test_penalties_end_to_end_speedup():
     assert enc_cycles == obj_cycles
 
     ratio = min(obj_times) / min(enc_times)
+    bench_metrics.setdefault("trace", {})["e2e_speedup"] = metric(ratio, unit="x")
     met = "meets" if ratio >= E2E_TARGET else "below"
     print(
         f"\npenalties end-to-end: best object {min(obj_times):.3f}s, "

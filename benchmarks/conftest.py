@@ -7,18 +7,66 @@ ablation), asserts its headline shape, and writes the rendered rows to
 The :class:`~repro.experiments.runner.ExperimentRunner` is session-scoped:
 kernel traces and named-configuration runs are shared across benches,
 so the full harness costs roughly one pass over the evaluation grid.
+
+Every bench module additionally leaves a trajectory record behind: the
+session hooks below fold each module's passing-test wall time — plus any
+domain metrics the tests registered through the ``bench_metrics``
+fixture — into ``benchmarks/BENCH_<name>.json`` via
+:mod:`repro.telemetry.bench`.  ``repro bench-report`` compares the last
+two generations and flags >10% regressions, which is the gate CI runs
+against the committed baseline.
 """
 
 from __future__ import annotations
 
 import pathlib
+import platform
+from typing import Dict
 
 import pytest
 
 from repro.experiments import ExperimentRunner
 from repro.experiments.report import FigureResult, render_figure
+from repro.telemetry import metric, record_bench
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Where the BENCH_<name>.json trajectory records live (committed).
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+_module_wall: Dict[str, float] = {}
+_domain_metrics: Dict[str, Dict[str, dict]] = {}
+
+
+@pytest.fixture(scope="session")
+def bench_metrics() -> Dict[str, Dict[str, dict]]:
+    """Registry for domain metrics: ``bench_metrics[bench][name] = metric(...)``.
+
+    Whatever tests put here is merged into the bench's trajectory record
+    at session end, next to the automatic ``wall_s``.
+    """
+    return _domain_metrics
+
+
+def pytest_runtest_logreport(report):
+    """Accumulate per-module wall time of passing bench tests."""
+    if report.when != "call" or not report.passed:
+        return
+    name = pathlib.Path(str(report.fspath)).stem
+    if name.startswith("bench_"):
+        _module_wall[name] = _module_wall.get(name, 0.0) + report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one trajectory generation per bench module that ran green."""
+    if exitstatus != 0 or not _module_wall:
+        return
+    context = {"python": platform.python_version(), "platform": platform.platform()}
+    for module, wall in sorted(_module_wall.items()):
+        bench = module[len("bench_"):]
+        metrics = {"wall_s": metric(wall, unit="s", higher_is_better=False)}
+        metrics.update(_domain_metrics.get(bench, {}))
+        record_bench(bench, metrics, BENCH_DIR, context=context)
 
 
 @pytest.fixture(scope="session")

@@ -27,6 +27,7 @@ and inline executions of the same point are bit-identical.  See
 from .cache import (
     CACHE_FORMAT_VERSION,
     DEFAULT_CACHE_DIR,
+    CacheLookup,
     RunCache,
     cache_key_of,
     code_fingerprint,
@@ -34,11 +35,12 @@ from .cache import (
     key_material_of,
 )
 from .engine import ExecStats, ExecutionEngine, make_engine
-from .point import RunPoint, execute_point
+from .point import RunPoint, execute_point, execute_point_timed
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CACHE_DIR",
+    "CacheLookup",
     "ExecStats",
     "ExecutionEngine",
     "RunCache",
@@ -46,6 +48,7 @@ __all__ = [
     "cache_key_of",
     "code_fingerprint",
     "execute_point",
+    "execute_point_timed",
     "ir_fingerprint",
     "key_material_of",
     "make_engine",

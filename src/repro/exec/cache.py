@@ -258,12 +258,34 @@ def decode_result(data: Dict[str, Any]) -> RunResult:
     return RunResult(**data)
 
 
+@dataclasses.dataclass
+class CacheLookup:
+    """Outcome of one :meth:`RunCache.lookup`.
+
+    Attributes
+    ----------
+    status : str
+        ``"hit"`` (result replayed), ``"miss"`` (no entry on disk),
+        ``"stale"`` (entry of a different format version) or
+        ``"corrupt"`` (unreadable or undecodable entry).  Everything
+        except ``"hit"`` recomputes — but stale and corrupt entries are
+        anomalies worth surfacing, not ordinary misses.
+    result : RunResult or None
+        The replayed result on a hit, else ``None``.
+    """
+
+    status: str
+    result: Optional[RunResult] = None
+
+
 class RunCache:
     """Content-addressed store of completed runs under one directory.
 
     Entries live at ``<root>/<key[:2]>/<key>.json`` — two-level fan-out
     keeps directories small on big sweeps.  Reads tolerate missing,
-    truncated or corrupt files (they count as misses); writes are
+    truncated or corrupt files (they count as misses, with the miss
+    *kind* reported through :meth:`lookup` so the engine can count and
+    log stale/corrupt entries instead of hiding them); writes are
     atomic, so an interrupted sweep resumes from its completed points.
 
     Parameters
@@ -290,6 +312,41 @@ class RunCache:
         """
         return self.root / key[:2] / f"{key}.json"
 
+    def lookup(self, key: str) -> CacheLookup:
+        """Load the entry under ``key``, classifying the outcome.
+
+        Parameters
+        ----------
+        key : str
+            A :func:`cache_key_of` digest.
+
+        Returns
+        -------
+        CacheLookup
+            ``"hit"`` with the replayed result; ``"miss"`` when no entry
+            file exists; ``"stale"`` when an entry exists but carries a
+            different :data:`CACHE_FORMAT_VERSION`; ``"corrupt"`` when
+            the file is unreadable, not valid JSON, or its ``result``
+            payload fails to decode.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return CacheLookup("miss")
+        try:
+            entry = json.loads(text)
+        except ValueError:
+            return CacheLookup("corrupt")
+        if not isinstance(entry, dict):
+            return CacheLookup("corrupt")
+        if entry.get("format") != CACHE_FORMAT_VERSION:
+            return CacheLookup("stale")
+        try:
+            return CacheLookup("hit", decode_result(entry["result"]))
+        except (KeyError, TypeError, ValueError):
+            return CacheLookup("corrupt")
+
     def get(self, key: str) -> Optional[RunResult]:
         """Load the result stored under ``key``, if any.
 
@@ -302,19 +359,10 @@ class RunCache:
         -------
         RunResult or None
             The replayed result, or ``None`` on a miss (including
-            unreadable/corrupt entries and format-version mismatches).
+            unreadable/corrupt entries and format-version mismatches —
+            use :meth:`lookup` to distinguish the miss kinds).
         """
-        path = self.path_for(key)
-        try:
-            entry = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if not isinstance(entry, dict) or entry.get("format") != CACHE_FORMAT_VERSION:
-            return None
-        try:
-            return decode_result(entry["result"])
-        except (KeyError, TypeError, ValueError):
-            return None
+        return self.lookup(key).result
 
     def put(self, key: str, result: RunResult, material: Optional[Dict[str, Any]] = None) -> None:
         """Store ``result`` under ``key`` atomically.

@@ -22,22 +22,30 @@ invariant, pinned by ``tests/test_exec.py``.
 
 Per-point progress and the hit/miss counters are surfaced through the
 :mod:`repro.obs` probe layer (:meth:`~repro.obs.probe.Probe.exec_point`)
-and summarised in :class:`ExecStats`.
+and summarised in :class:`ExecStats`.  When a
+:class:`~repro.telemetry.events.TelemetryRecorder` is attached, the
+engine additionally emits batch/point spans into ``events.jsonl``,
+feeds a :class:`~repro.telemetry.metrics.MetricsRegistry`, and collects
+the per-point provenance records the run manifest is built from — all
+of it guarded on ``telemetry.enabled`` so a disabled run pays nothing
+and stays bit-identical (the same contract ``NullProbe`` upholds).
 """
 
 from __future__ import annotations
 
-import sys
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TextIO
+from typing import Any, Dict, List, Optional, Sequence, TextIO
 
 from ..cpu.model import RunResult
 from ..errors import ConfigurationError
 from ..obs.probe import NULL_PROBE, Probe
-from .cache import RunCache, cache_key_of, key_material_of
-from .point import RunPoint, execute_point
+from ..telemetry.events import NULL_TELEMETRY, Telemetry
+from ..telemetry.metrics import MetricsRegistry
+from .cache import RunCache, cache_key_of, canonicalize, key_material_of
+from .point import RunPoint, execute_point, execute_point_timed
 
 
 @dataclass
@@ -52,6 +60,12 @@ class ExecStats:
         Points replayed from the run cache.
     misses : int
         Points not found in the cache (``executed`` + ``deduplicated``).
+    stale : int
+        Misses caused by an entry of a different cache format version
+        (counted within ``misses``).
+    corrupt : int
+        Misses caused by an unreadable or undecodable entry (counted
+        within ``misses``).
     executed : int
         Simulations actually run.
     deduplicated : int
@@ -59,14 +73,20 @@ class ExecStats:
         same batch and were computed only once.
     elapsed : float
         Wall-clock seconds spent inside :meth:`ExecutionEngine.run_points`.
+    busy : float
+        Summed execution wall seconds across all workers — divided by
+        ``elapsed * jobs`` this is the pool's utilization.
     """
 
     points: int = 0
     hits: int = 0
     misses: int = 0
+    stale: int = 0
+    corrupt: int = 0
     executed: int = 0
     deduplicated: int = 0
     elapsed: float = 0.0
+    busy: float = 0.0
 
     def hit_rate(self) -> float:
         """Cache hit rate in percent (100.0 for an all-hit batch).
@@ -105,6 +125,12 @@ class ExecutionEngine:
     progress : TextIO, optional
         Stream for one human-readable line per completed point (the CLI
         passes ``sys.stderr``); ``None`` silences progress output.
+    telemetry : Telemetry, optional
+        Structured event sink (:data:`~repro.telemetry.events.
+        NULL_TELEMETRY` by default).  When enabled, the engine emits
+        batch/point spans, cache-anomaly warnings, and accumulates the
+        ``point_records`` / ``technologies`` provenance that
+        :func:`repro.telemetry.manifest.build_manifest` captures.
 
     Raises
     ------
@@ -118,6 +144,7 @@ class ExecutionEngine:
         cache_dir: Optional[str] = None,
         probe: Probe = NULL_PROBE,
         progress: Optional[TextIO] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"--jobs must be at least 1, got {jobs}")
@@ -125,7 +152,16 @@ class ExecutionEngine:
         self.cache = RunCache(cache_dir) if cache_dir is not None else None
         self.probe = probe
         self.progress = progress
+        self.telemetry = telemetry
         self.stats = ExecStats()
+        self.metrics = MetricsRegistry()
+        #: Per-point provenance dicts (manifest ``points``), collected
+        #: only while ``telemetry.enabled``.
+        self.point_records: List[Dict[str, Any]] = []
+        #: Resolved technology parameter sets seen across batches,
+        #: keyed by technology name (canonicalized like the cache key
+        #: material); collected only while ``telemetry.enabled``.
+        self.technologies: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Reporting
@@ -152,10 +188,13 @@ class ExecutionEngine:
         """
         s = self.stats
         where = str(self.cache.root) if self.cache is not None else "off"
-        return (
+        line = (
             f"exec: {s.points} points — {s.hits} cache hits, {s.misses} misses "
             f"({s.hit_rate():.0f}% cache hits), jobs={self.jobs}, cache {where}"
         )
+        if s.stale or s.corrupt:
+            line += f" [{s.stale} stale, {s.corrupt} corrupt entries]"
+        return line
 
     # ------------------------------------------------------------------
     # Execution
@@ -184,56 +223,108 @@ class ExecutionEngine:
         self.stats.points += total
         results: List[Optional[RunResult]] = [None] * total
 
-        pending: Dict[str, _Pending] = {}
-        for i, point in enumerate(points):
-            key = cache_key_of(point)
-            cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
-                self.stats.hits += 1
-                results[i] = cached
-                self._report(point, "hit", i, total, 0.0)
-                continue
-            self.stats.misses += 1
-            if key in pending:
-                self.stats.deduplicated += 1
-                pending[key].indices.append(i)
-            else:
-                pending[key] = _Pending(point, [i])
+        tele = self.telemetry
+        batch = tele.span("batch", points=total, jobs=self.jobs)
+        with batch:
+            pending: Dict[str, _Pending] = {}
+            for i, point in enumerate(points):
+                key = cache_key_of(point)
+                found = self.cache.lookup(key) if self.cache is not None else None
+                if found is not None and found.status in ("stale", "corrupt"):
+                    self._note_cache_anomaly(found.status, key, point)
+                if found is not None and found.result is not None:
+                    self.stats.hits += 1
+                    self.metrics.count("cache.hit")
+                    results[i] = found.result
+                    if tele.enabled:
+                        self._record_point(
+                            point, key, "hit", os.getpid(), 0.0, tele.now(), found.result
+                        )
+                        tele.event("point_hit", label=point.display(), key=key)
+                    self._report(point, "hit", i, total, 0.0)
+                    continue
+                self.stats.misses += 1
+                self.metrics.count("cache.miss")
+                if key in pending:
+                    self.stats.deduplicated += 1
+                    self.metrics.count("exec.deduplicated")
+                    pending[key].indices.append(i)
+                else:
+                    pending[key] = _Pending(point, [i])
 
-        if pending:
-            self._execute_pending(pending, results, total)
+            if pending:
+                self._execute_pending(pending, results, total, batch.id)
 
-        self.stats.elapsed += time.monotonic() - started
+        dt = time.monotonic() - started
+        self.stats.elapsed += dt
+        self.metrics.observe("exec.batch_wall_s", dt)
+        if self.stats.elapsed > 0.0:
+            self.metrics.gauge(
+                "exec.utilization_pct",
+                min(100.0, 100.0 * self.stats.busy / (self.stats.elapsed * self.jobs)),
+            )
         return [r for r in results if r is not None]
+
+    def _note_cache_anomaly(self, status: str, key: str, point: RunPoint) -> None:
+        """Count and report one stale/corrupt cache entry (it recomputes)."""
+        from ..telemetry import log
+
+        if status == "stale":
+            self.stats.stale += 1
+        else:
+            self.stats.corrupt += 1
+        self.metrics.count(f"cache.{status}")
+        path = str(self.cache.path_for(key))
+        log.warn(f"cache entry {status}: {key} for {point.display()} ({path}); recomputing")
+        self.telemetry.warning(
+            f"cache_entry_{status}", key=key, path=path, point=point.display()
+        )
 
     def _execute_pending(
         self,
         pending: Dict[str, _Pending],
         results: List[Optional[RunResult]],
         total: int,
+        batch_span: int = 0,
     ) -> None:
         """Run the unique cache-missing points and fill their slots."""
+        tele = self.telemetry
         if self.jobs == 1 or len(pending) == 1:
             for key, entry in pending.items():
+                span_id = 0
+                if tele.enabled:
+                    span_id = tele.begin_span(
+                        "point", parent=batch_span, label=entry.point.display(), key=key
+                    )
                 t0 = time.monotonic()
                 result = execute_point(entry.point)
-                self._complete(key, entry, result, results, total, time.monotonic() - t0)
+                dt = time.monotonic() - t0
+                self._complete(key, entry, result, results, total, dt, os.getpid(), dt, span_id)
             return
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
             futures = {}
             submitted = {}
+            spans: Dict[str, int] = {}
             for key, entry in pending.items():
-                futures[pool.submit(execute_point, entry.point)] = key
+                futures[pool.submit(execute_point_timed, entry.point)] = key
                 submitted[key] = time.monotonic()
+                if tele.enabled:
+                    spans[key] = tele.begin_span(
+                        "point", parent=batch_span, label=entry.point.display(), key=key
+                    )
             outstanding = set(futures)
+            self.metrics.gauge("exec.queue_depth", len(outstanding))
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                self.metrics.gauge("exec.queue_depth", len(outstanding))
                 for future in done:
                     key = futures[future]
                     entry = pending[key]
-                    result = future.result()
+                    result, worker_pid, wall_s = future.result()
+                    dt = time.monotonic() - submitted[key]
                     self._complete(
-                        key, entry, result, results, total, time.monotonic() - submitted[key]
+                        key, entry, result, results, total, dt, worker_pid, wall_s,
+                        spans.get(key, 0),
                     )
 
     def _complete(
@@ -244,14 +335,62 @@ class ExecutionEngine:
         results: List[Optional[RunResult]],
         total: int,
         dt: float,
+        worker_pid: int,
+        wall_s: float,
+        span_id: int = 0,
     ) -> None:
         """Persist one finished point and fill every slot it serves."""
         self.stats.executed += 1
+        self.stats.busy += wall_s
+        self.metrics.count("exec.executed")
+        self.metrics.observe("exec.point_wall_s", wall_s)
         if self.cache is not None:
             self.cache.put(key, result, key_material_of(entry.point))
         for i in entry.indices:
             results[i] = result
+        tele = self.telemetry
+        if tele.enabled:
+            end = tele.now()
+            self._record_point(
+                entry.point, key, "run", worker_pid, wall_s, max(0.0, end - wall_s), result
+            )
+            tele.end_span(
+                span_id, status="run", worker_pid=int(worker_pid), wall_s=round(wall_s, 6)
+            )
         self._report(entry.point, "run", entry.indices[0], total, dt)
+
+    def _record_point(
+        self,
+        point: RunPoint,
+        key: str,
+        status: str,
+        worker_pid: int,
+        wall_s: float,
+        start_s: float,
+        result: RunResult,
+    ) -> None:
+        """Append one manifest point record (telemetry-enabled path only)."""
+        config = point.config
+        tech = config.resolved_technology()
+        if tech.name not in self.technologies:
+            self.technologies[tech.name] = canonicalize(tech)
+        self.point_records.append(
+            {
+                "label": point.display(),
+                "kernel": point.kernel,
+                "frontend": str(config.frontend),
+                "technology": tech.name,
+                "level": point.level.name,
+                "size": point.size.name,
+                "seed": config.reliability.seed if config.reliability is not None else None,
+                "cache_key": key,
+                "status": status,
+                "worker_pid": int(worker_pid),
+                "wall_s": round(float(wall_s), 6),
+                "start_s": round(float(start_s), 6),
+                "cycles": float(result.cycles),
+            }
+        )
 
 
 def make_engine(
@@ -260,13 +399,14 @@ def make_engine(
     no_cache: bool = False,
     probe: Probe = NULL_PROBE,
     progress: Optional[TextIO] = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> Optional[ExecutionEngine]:
     """Build an engine from CLI-style options, or ``None`` for the
     classic serial path.
 
-    The engine engages when parallelism or caching was requested: plain
-    ``repro fig1`` keeps the historical in-process behaviour with no
-    side effects on the filesystem.
+    The engine engages when parallelism, caching or telemetry was
+    requested: plain ``repro fig1`` keeps the historical in-process
+    behaviour with no side effects on the filesystem.
 
     Parameters
     ----------
@@ -281,18 +421,24 @@ def make_engine(
     probe : Probe, optional
         Forwarded to :class:`ExecutionEngine`.
     progress : TextIO, optional
-        Forwarded to :class:`ExecutionEngine`; defaults to ``sys.stderr``
-        when the engine engages from the CLI helper.
+        Forwarded to :class:`ExecutionEngine`; defaults to the levelled
+        CLI log's progress stream (``sys.stderr`` unless ``--quiet``).
+    telemetry : Telemetry, optional
+        Forwarded to :class:`ExecutionEngine`.  An *enabled* telemetry
+        sink engages the engine even for a plain serial run, so every
+        point flows through the instrumented path (``--telemetry``).
 
     Returns
     -------
     ExecutionEngine or None
-        ``None`` when neither ``--jobs`` nor a cache was asked for.
+        ``None`` when neither ``--jobs``, a cache nor telemetry was
+        asked for.
     """
     if jobs < 1:
         raise ConfigurationError(f"--jobs must be at least 1, got {jobs}")
-    if jobs == 1 and cache_dir is None:
+    if jobs == 1 and cache_dir is None and not telemetry.enabled:
         return None
+    from ..telemetry import log
     from .cache import DEFAULT_CACHE_DIR
 
     resolved_dir: Optional[str] = cache_dir
@@ -300,11 +446,14 @@ def make_engine(
         resolved_dir = None
     elif resolved_dir is None:
         resolved_dir = DEFAULT_CACHE_DIR
-    if jobs == 1 and resolved_dir is None:
+    if jobs == 1 and resolved_dir is None and not telemetry.enabled:
         return None
+    if progress is None:
+        progress = log.progress_stream()
     return ExecutionEngine(
         jobs=jobs,
         cache_dir=resolved_dir,
         probe=probe,
-        progress=progress if progress is not None else sys.stderr,
+        progress=progress,
+        telemetry=telemetry,
     )

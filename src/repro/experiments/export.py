@@ -19,6 +19,7 @@ import pathlib
 from typing import Dict, List, Union
 
 from ..obs import ProfileResult
+from ..obs.perfetto import TraceBuilder, write_trace
 from .report import FigureResult
 
 #: pid of the CPU-side track and the memory-substrate tracks in the
@@ -77,15 +78,15 @@ def profile_to_chrome_trace(profile: ProfileResult) -> dict:
     (front-end buffer, cache level, DRAM) gets its own thread on
     ``pid 2`` so Perfetto renders one swim-lane per component.  Events
     are ``"X"`` (complete) records with ``ts``/``dur`` in simulated
-    cycles (1 cycle == 1 us of trace time), sorted by timestamp.
+    cycles (1 cycle == 1 us of trace time), sorted by timestamp.  The
+    serialization itself is shared with the sweep-timeline exporter via
+    :class:`repro.obs.perfetto.TraceBuilder`.
     """
-    trace_events: List[dict] = [
-        {"ph": "M", "pid": CPU_PID, "name": "process_name", "args": {"name": "cpu"}},
-        {"ph": "M", "pid": MEM_PID, "name": "process_name", "args": {"name": "mem"}},
-        {"ph": "M", "pid": CPU_PID, "tid": 1, "name": "thread_name", "args": {"name": "ops"}},
-    ]
+    builder = TraceBuilder()
+    builder.process(CPU_PID, "cpu")
+    builder.process(MEM_PID, "mem")
+    builder.thread(CPU_PID, 1, "ops")
     mem_tids: Dict[str, int] = {}
-    body: List[dict] = []
     for ev in profile.events:
         if ev.source == "cpu":
             pid, tid = CPU_PID, 1
@@ -93,6 +94,7 @@ def profile_to_chrome_trace(profile: ProfileResult) -> dict:
             tid = mem_tids.get(ev.source)
             if tid is None:
                 tid = mem_tids[ev.source] = len(mem_tids) + 1
+                builder.thread(MEM_PID, tid, ev.source)
             pid = MEM_PID
         args: Dict[str, object] = {}
         if ev.addr is not None:
@@ -101,44 +103,22 @@ def profile_to_chrome_trace(profile: ProfileResult) -> dict:
             args["region"] = ev.region
         if ev.args:
             args.update(ev.args)
-        body.append(
-            {
-                "ph": "X",
-                "name": ev.kind,
-                "cat": ev.source,
-                "ts": ev.ts,
-                "dur": ev.dur,
-                "pid": pid,
-                "tid": tid,
-                "args": args,
-            }
-        )
-    body.sort(key=lambda e: e["ts"])
-    for source, tid in sorted(mem_tids.items(), key=lambda kv: kv[1]):
-        trace_events.append(
-            {"ph": "M", "pid": MEM_PID, "tid": tid, "name": "thread_name", "args": {"name": source}}
-        )
-    trace_events.extend(body)
-    return {
-        "traceEvents": trace_events,
-        "displayTimeUnit": "ms",
-        "otherData": {
+        builder.complete(ev.kind, ev.source, ev.ts, ev.dur, pid, tid, args)
+    return builder.build(
+        other_data={
             "kernel": profile.kernel,
             "config": profile.config,
             "level": profile.level,
             "cycles": profile.result.cycles,
             "dropped_events": profile.dropped_events,
-        },
-    }
+        }
+    )
 
 
 def write_perfetto(profile: ProfileResult, directory: Union[str, pathlib.Path]) -> pathlib.Path:
     """Write ``<directory>/profile_<kernel>_<config>.json``; returns the path."""
-    out_dir = pathlib.Path(directory)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / f"profile_{profile.kernel}_{profile.config}.json"
-    path.write_text(json.dumps(profile_to_chrome_trace(profile)) + "\n")
-    return path
+    path = pathlib.Path(directory) / f"profile_{profile.kernel}_{profile.config}.json"
+    return write_trace(profile_to_chrome_trace(profile), path)
 
 
 def write_profile_csv(profile: ProfileResult, directory: Union[str, pathlib.Path]) -> pathlib.Path:

@@ -16,11 +16,16 @@ aggregate counters:
   to every component of the hierarchy;
 - :mod:`repro.obs.profile` bundles one instrumented run into a
   :class:`~repro.obs.profile.ProfileResult` for the exporters in
-  :mod:`repro.experiments.export`.
+  :mod:`repro.experiments.export`;
+- :mod:`repro.obs.perfetto` holds the shared Chrome trace-event
+  serialization (:class:`~repro.obs.perfetto.TraceBuilder`) used by
+  both the per-run profile exporter and the sweep timeline of
+  :mod:`repro.telemetry`.
 """
 
 from .histograms import LatencyHistograms
 from .ledger import LEDGER_CATEGORIES, CycleLedger
+from .perfetto import TraceBuilder, write_trace
 from .probe import NULL_PROBE, NullProbe, Probe, ProbeEvent, RecordingProbe
 from .profile import ProfileResult
 
@@ -34,4 +39,6 @@ __all__ = [
     "ProbeEvent",
     "ProfileResult",
     "RecordingProbe",
+    "TraceBuilder",
+    "write_trace",
 ]

@@ -1,0 +1,157 @@
+"""Shared Chrome trace-event (Perfetto) JSON serialization.
+
+Both trace exporters of the repository — the per-run profile timeline
+of ``repro profile`` (:mod:`repro.experiments.export`) and the sweep
+timeline of ``repro <experiment> --telemetry``
+(:mod:`repro.telemetry.timeline`) — build their documents through one
+:class:`TraceBuilder`, so the trace-event serialization (metadata
+records, ``"X"`` complete slices, timestamp ordering) lives in exactly
+one place.
+
+The builder emits the subset of the Chrome trace-event format Perfetto
+and ``chrome://tracing`` both load: ``process_name``/``thread_name``
+metadata records first, then the body slices sorted by timestamp.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+
+class TraceBuilder:
+    """Accumulates processes, threads and slices of one trace document."""
+
+    def __init__(self) -> None:
+        self._processes: "Dict[int, str]" = {}
+        self._threads: "Dict[Tuple[int, int], str]" = {}
+        self._body: List[Dict[str, Any]] = []
+
+    def process(self, pid: int, name: str) -> None:
+        """Name the track group ``pid`` (a ``process_name`` metadata record).
+
+        Parameters
+        ----------
+        pid : int
+            Process id of the track group.
+        name : str
+            Display name in the Perfetto sidebar.
+        """
+        self._processes[pid] = name
+
+    def thread(self, pid: int, tid: int, name: str) -> None:
+        """Name one track (a ``thread_name`` metadata record).
+
+        Parameters
+        ----------
+        pid : int
+            Owning process id.
+        tid : int
+            Thread id of the track.
+        name : str
+            Display name of the track.
+        """
+        self._threads[(pid, tid)] = name
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts: float,
+        dur: float,
+        pid: int,
+        tid: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Add one ``"X"`` (complete) slice.
+
+        Parameters
+        ----------
+        name : str
+            Slice label.
+        cat : str
+            Category string (filterable in the UI).
+        ts : float
+            Start timestamp in microseconds.
+        dur : float
+            Duration in microseconds.
+        pid : int
+            Track-group (process) id.
+        tid : int
+            Track (thread) id.
+        args : dict, optional
+            Extra fields shown in the slice detail pane.
+        """
+        self._body.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": cat,
+                "ts": ts,
+                "dur": dur,
+                "pid": pid,
+                "tid": tid,
+                "args": args if args is not None else {},
+            }
+        )
+
+    def build(
+        self,
+        other_data: Optional[Dict[str, Any]] = None,
+        display_time_unit: str = "ms",
+    ) -> Dict[str, Any]:
+        """Assemble the final trace document.
+
+        Metadata records come first (processes in registration order,
+        then threads), followed by the body slices sorted by ``ts`` —
+        the layout the profile exporter has always produced.
+
+        Parameters
+        ----------
+        other_data : dict, optional
+            Free-form document metadata (``otherData`` in the format).
+        display_time_unit : str
+            Perfetto display unit (default ``"ms"``).
+
+        Returns
+        -------
+        dict
+            The JSON-ready trace document.
+        """
+        trace_events: List[Dict[str, Any]] = []
+        for pid, name in self._processes.items():
+            trace_events.append(
+                {"ph": "M", "pid": pid, "name": "process_name", "args": {"name": name}}
+            )
+        for (pid, tid), name in self._threads.items():
+            trace_events.append(
+                {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name", "args": {"name": name}}
+            )
+        trace_events.extend(sorted(self._body, key=lambda e: e["ts"]))
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": display_time_unit,
+            "otherData": other_data if other_data is not None else {},
+        }
+
+
+def write_trace(doc: Dict[str, Any], path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a trace document as one JSON file.
+
+    Parameters
+    ----------
+    doc : dict
+        A document from :meth:`TraceBuilder.build`.
+    path : str or pathlib.Path
+        Output file; parent directories are created.
+
+    Returns
+    -------
+    pathlib.Path
+        The written file.
+    """
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc) + "\n")
+    return out

@@ -1,0 +1,90 @@
+"""Engine telemetry, run provenance and benchmark trajectory tracking.
+
+``repro.telemetry`` makes the parallel experiment engine observable the
+way :mod:`repro.obs` made a single simulation observable — structured,
+exact and free when off:
+
+- :mod:`repro.telemetry.events` — a structured JSONL event log with
+  nested spans (sweep → batch → point), monotonic timestamps and
+  worker/pid attribution; the :data:`NULL_TELEMETRY` default is a
+  no-op, guarded like ``NULL_PROBE``, so disabled runs stay
+  bit-identical;
+- :mod:`repro.telemetry.metrics` — a counters/gauges/histograms
+  registry the engine feeds (cache hits/misses/stale/corrupt, worker
+  utilization, queue depth, per-point wall time);
+- :mod:`repro.telemetry.manifest` — the per-sweep provenance record
+  (cache keys, code fingerprint, resolved technology parameters, seeds,
+  package version, host info), schema-validated on write and load;
+- :mod:`repro.telemetry.timeline` — the sweep schedule as a Perfetto
+  trace (workers as tracks, points as slices), sharing its
+  serialization with the profile exporter via
+  :mod:`repro.obs.perfetto`;
+- :mod:`repro.telemetry.log` — the CLI's levelled stderr logging
+  (``--quiet``/``--verbose``/``REPRO_LOG``);
+- :mod:`repro.telemetry.bench` — ``BENCH_<name>.json`` benchmark
+  trajectory records and the ``repro bench-report`` regression gate.
+
+See ``docs/ARCHITECTURE.md`` §2.11 for the event/manifest schemas and
+the overhead contract.
+"""
+
+from .bench import (
+    BENCH_FORMAT_VERSION,
+    DEFAULT_THRESHOLD,
+    Delta,
+    bench_report,
+    compare_record,
+    load_record,
+    metric,
+    record_bench,
+)
+from .events import (
+    EVENTS_FILENAME,
+    EVENTS_FORMAT_VERSION,
+    NULL_TELEMETRY,
+    Telemetry,
+    TelemetryRecorder,
+    read_events,
+)
+from .manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_FORMAT_VERSION,
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    render_manifest,
+    validate_manifest,
+    write_manifest,
+)
+from .metrics import HistogramSummary, MetricsRegistry, render_snapshot
+from .timeline import TIMELINE_FILENAME, sweep_timeline, write_timeline
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "DEFAULT_THRESHOLD",
+    "Delta",
+    "EVENTS_FILENAME",
+    "EVENTS_FORMAT_VERSION",
+    "HistogramSummary",
+    "MANIFEST_FILENAME",
+    "MANIFEST_FORMAT_VERSION",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "TIMELINE_FILENAME",
+    "Telemetry",
+    "TelemetryRecorder",
+    "bench_report",
+    "build_manifest",
+    "compare_record",
+    "load_manifest",
+    "load_record",
+    "metric",
+    "read_events",
+    "record_bench",
+    "render_manifest",
+    "render_snapshot",
+    "sweep_timeline",
+    "validate_manifest",
+    "write_manifest",
+]

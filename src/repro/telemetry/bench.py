@@ -1,0 +1,257 @@
+"""Benchmark trajectory records: ``BENCH_<name>.json`` generations.
+
+Every module of the benchmark harness emits one record per run —
+wall-clock time plus any domain metrics it reports (replay speedup,
+probe-overhead ratio).  Records accumulate as *generations* inside one
+``BENCH_<name>.json`` file per bench, so the repository carries its own
+performance history: ``repro bench-report`` compares the latest
+generation against the previous one and flags regressions beyond a
+threshold (10% by default) with a non-zero exit — the guard CI runs
+against the committed baseline.
+
+Each metric carries a ``higher_is_better`` direction, so "throughput
+regressed" means *dropped* for a speedup and *grew* for a wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+#: Version of the record layout.
+BENCH_FORMAT_VERSION = 1
+
+#: Generations kept per record (oldest dropped beyond this).
+MAX_GENERATIONS = 50
+
+#: Default regression threshold (fraction of the previous value).
+DEFAULT_THRESHOLD = 0.10
+
+
+def metric(value: float, unit: str = "", higher_is_better: bool = True) -> Dict[str, Any]:
+    """Build one metric entry for :func:`record_bench`.
+
+    Parameters
+    ----------
+    value : float
+        The measured value.
+    unit : str
+        Display unit (``"s"``, ``"x"``, ``"%"``).
+    higher_is_better : bool
+        Direction: ``True`` for throughput-like metrics, ``False`` for
+        times and overheads.
+
+    Returns
+    -------
+    dict
+        The metric mapping stored in a generation.
+    """
+    return {"value": float(value), "unit": unit, "higher_is_better": bool(higher_is_better)}
+
+
+def bench_path(name: str, directory: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Record file path for bench ``name`` under ``directory``."""
+    return pathlib.Path(directory) / f"BENCH_{name}.json"
+
+
+def record_bench(
+    name: str,
+    metrics: Dict[str, Dict[str, Any]],
+    directory: Union[str, pathlib.Path],
+    context: Optional[Dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Append one generation to ``BENCH_<name>.json``.
+
+    Parameters
+    ----------
+    name : str
+        Bench name (``trace`` for ``bench_trace.py``).
+    metrics : dict
+        Mapping metric name -> :func:`metric` entry.
+    directory : str or pathlib.Path
+        Where the record lives (created if missing).
+    context : dict, optional
+        Free-form provenance for the generation (python version, host).
+
+    Returns
+    -------
+    pathlib.Path
+        The record file.
+    """
+    path = bench_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = load_record(path) if path.exists() else None
+    if record is None:
+        record = {"format": BENCH_FORMAT_VERSION, "name": name, "generations": []}
+    generation = {
+        "created": datetime.now(timezone.utc).isoformat(),
+        "metrics": metrics,
+        "context": context or {},
+    }
+    record["generations"] = record["generations"][-(MAX_GENERATIONS - 1):] + [generation]
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_record(path: Union[str, pathlib.Path]) -> Optional[Dict[str, Any]]:
+    """Load one ``BENCH_*.json`` record, tolerating damage.
+
+    Parameters
+    ----------
+    path : str or pathlib.Path
+        The record file.
+
+    Returns
+    -------
+    dict or None
+        The record, or ``None`` when the file is missing, unreadable or
+        of a different format version (a fresh history starts then).
+    """
+    try:
+        record = json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(record, dict)
+        or record.get("format") != BENCH_FORMAT_VERSION
+        or not isinstance(record.get("generations"), list)
+    ):
+        return None
+    return record
+
+
+@dataclass
+class Delta:
+    """Change of one metric between the last two generations.
+
+    Attributes
+    ----------
+    bench : str
+        Bench name the metric belongs to.
+    metric : str
+        Metric name.
+    previous : float
+        Value in the previous generation.
+    latest : float
+        Value in the latest generation.
+    unit : str
+        Display unit.
+    higher_is_better : bool
+        Direction of improvement.
+    change_pct : float
+        Relative change in percent (positive = value grew).
+    regressed : bool
+        Whether the change crosses the regression threshold in the
+        *bad* direction.
+    """
+
+    bench: str
+    metric: str
+    previous: float
+    latest: float
+    unit: str
+    higher_is_better: bool
+    change_pct: float
+    regressed: bool
+
+
+def compare_record(
+    record: Dict[str, Any], threshold: float = DEFAULT_THRESHOLD
+) -> List[Delta]:
+    """Deltas between the last two generations of one record.
+
+    Parameters
+    ----------
+    record : dict
+        A record from :func:`load_record`.
+    threshold : float
+        Regression threshold as a fraction (0.10 = 10%).
+
+    Returns
+    -------
+    list of Delta
+        One entry per metric present in both generations; empty when
+        the record has fewer than two generations.
+    """
+    generations = record["generations"]
+    if len(generations) < 2:
+        return []
+    previous, latest = generations[-2]["metrics"], generations[-1]["metrics"]
+    deltas: List[Delta] = []
+    for name in sorted(latest):
+        if name not in previous:
+            continue
+        new, old = latest[name], previous[name]
+        old_value, new_value = float(old["value"]), float(new["value"])
+        if old_value == 0.0:
+            continue
+        change = (new_value - old_value) / abs(old_value)
+        higher_is_better = bool(new.get("higher_is_better", True))
+        regressed = change < -threshold if higher_is_better else change > threshold
+        deltas.append(
+            Delta(
+                bench=record["name"],
+                metric=name,
+                previous=old_value,
+                latest=new_value,
+                unit=str(new.get("unit", "")),
+                higher_is_better=higher_is_better,
+                change_pct=change * 100.0,
+                regressed=regressed,
+            )
+        )
+    return deltas
+
+
+def bench_report(
+    directory: Union[str, pathlib.Path], threshold: float = DEFAULT_THRESHOLD
+) -> Tuple[str, List[Delta]]:
+    """Compare every ``BENCH_*.json`` record under ``directory``.
+
+    Parameters
+    ----------
+    directory : str or pathlib.Path
+        Directory holding the records (``benchmarks/`` in this repo).
+    threshold : float
+        Regression threshold as a fraction.
+
+    Returns
+    -------
+    tuple
+        ``(text, regressions)`` — the rendered report and the deltas
+        that crossed the threshold (empty = healthy).
+    """
+    root = pathlib.Path(directory)
+    paths = sorted(root.glob("BENCH_*.json"))
+    lines: List[str] = [f"== bench trajectory ({root}, threshold {threshold * 100:.0f}%) =="]
+    regressions: List[Delta] = []
+    if not paths:
+        lines.append("no BENCH_*.json records found")
+        return "\n".join(lines), regressions
+    for path in paths:
+        record = load_record(path)
+        if record is None:
+            lines.append(f"{path.name}: unreadable or incompatible record")
+            continue
+        generations = record["generations"]
+        if len(generations) < 2:
+            lines.append(f"{record['name']}: {len(generations)} generation(s), nothing to compare")
+            continue
+        for delta in compare_record(record, threshold):
+            arrow = "+" if delta.change_pct >= 0 else ""
+            verdict = "REGRESSED" if delta.regressed else "ok"
+            lines.append(
+                f"{delta.bench}/{delta.metric}: {delta.previous:.4g} -> "
+                f"{delta.latest:.4g}{delta.unit} ({arrow}{delta.change_pct:.1f}%) {verdict}"
+            )
+            if delta.regressed:
+                regressions.append(delta)
+    lines.append(
+        f"{len(regressions)} regression(s) beyond {threshold * 100:.0f}%"
+        if regressions
+        else "no regressions"
+    )
+    return "\n".join(lines), regressions

@@ -1,0 +1,335 @@
+"""Structured JSONL event log with nested spans.
+
+One :class:`TelemetryRecorder` owns one ``events.jsonl`` file.  Every
+record is a single JSON object per line with a monotonically increasing
+``seq`` number, a monotonic ``ts`` in seconds since the recorder was
+opened, and the emitting process id — so records from a sweep can be
+ordered, nested and attributed without any clock assumptions.
+
+Spans nest: a CLI command opens a ``sweep`` span, the execution engine
+opens one ``batch`` span per :meth:`~repro.exec.engine.ExecutionEngine.
+run_points` call inside it, and each simulation point gets its own
+``point`` span parented on the batch.  Point spans of a parallel batch
+overlap freely — each carries its own id, so readers reconstruct the
+timeline from ``span_begin``/``span_end`` pairs, not from nesting order
+in the file.
+
+The default :data:`NULL_TELEMETRY` singleton follows the same contract
+as :data:`repro.obs.NULL_PROBE`: every hook is a no-op, ``enabled`` is
+``False``, and instrumented code guards any non-trivial work behind
+that flag — results are bit-identical and the overhead is below the 5%
+budget ``benchmarks/bench_profile.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+#: Version of the JSONL record layout (the first ``meta`` record of
+#: every log carries it, so readers can reject incompatible files).
+EVENTS_FORMAT_VERSION = 1
+
+#: File name a recorder writes inside its telemetry directory.
+EVENTS_FILENAME = "events.jsonl"
+
+
+class NullSpan:
+    """Inert span handle returned by the disabled telemetry path."""
+
+    __slots__ = ()
+
+    #: A null span has no identity; readers never see it.
+    id = 0
+
+    def __enter__(self) -> "NullSpan":
+        """Enter the no-op context."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Leave the no-op context (exceptions propagate)."""
+        return None
+
+
+_NULL_SPAN = NullSpan()
+
+
+class Telemetry:
+    """Disabled-telemetry base: every hook is a no-op.
+
+    Instrumented code (the execution engine, the CLI) holds a
+    ``Telemetry`` reference and gates any non-trivial bookkeeping on
+    :attr:`enabled`, exactly like components gate probe hooks on
+    ``Probe.enabled`` — so the default path stays bit-identical and
+    effectively free.
+    """
+
+    #: Instrumented code gates record-keeping on this flag.
+    enabled: bool = False
+
+    def now(self) -> float:
+        """Seconds since the recorder opened (0.0 when disabled)."""
+        return 0.0
+
+    def span(self, name: str, **attrs: Any) -> Union[NullSpan, "SpanHandle"]:
+        """Context manager for an implicitly-nested span (no-op here)."""
+        return _NULL_SPAN
+
+    def begin_span(self, name: str, parent: Optional[int] = None, **attrs: Any) -> int:
+        """Open an explicitly-managed span; returns its id (0 here)."""
+        return 0
+
+    def end_span(self, span_id: int, **attrs: Any) -> None:
+        """Close a span opened with :meth:`begin_span`."""
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a point-in-time event under the current span."""
+
+    def warning(self, name: str, **fields: Any) -> None:
+        """Record a structured warning event (``level: "warning"``)."""
+
+    def close(self) -> None:
+        """Flush and close the underlying log (no-op here)."""
+
+
+#: Shared do-nothing telemetry instance — the default everywhere.
+NULL_TELEMETRY = Telemetry()
+
+
+class SpanHandle:
+    """Context-manager handle for one open span of a recorder."""
+
+    __slots__ = ("_recorder", "id")
+
+    def __init__(self, recorder: "TelemetryRecorder", span_id: int) -> None:
+        self._recorder = recorder
+        self.id = span_id
+
+    def __enter__(self) -> "SpanHandle":
+        """Enter the span context (the begin record is already written)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Pop the span off the nesting stack and emit ``span_end``."""
+        self._recorder.end_span_handle(self.id)
+        self._recorder.end_span(self.id, ok=exc_type is None)
+        return None
+
+
+class TelemetryRecorder(Telemetry):
+    """Writes the structured JSONL event log of one sweep.
+
+    Parameters
+    ----------
+    directory : str
+        Telemetry output directory; ``events.jsonl`` is created (and
+        truncated) inside it.  The directory is created if missing.
+
+    Attributes
+    ----------
+    directory : pathlib-like str path
+        Where the log (and, later, the manifest and sweep timeline)
+        live.
+    """
+
+    enabled = True
+
+    def __init__(self, directory: str) -> None:
+        import pathlib
+
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / EVENTS_FILENAME
+        self._file: Optional[TextIO] = open(self.path, "w")
+        self._t0 = time.monotonic()
+        self._seq = 0
+        self._next_span = 1
+        self._stack: List[int] = []
+        self._emit(
+            {
+                "kind": "meta",
+                "name": "telemetry_start",
+                "format": EVENTS_FORMAT_VERSION,
+                "created": datetime.now(timezone.utc).isoformat(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Monotonic seconds since the recorder opened."""
+        return time.monotonic() - self._t0
+
+    def _emit(self, record: Dict[str, Any], ts: Optional[float] = None) -> None:
+        """Write one JSONL record (sequence number and pid stamped)."""
+        if self._file is None:
+            return
+        record["seq"] = self._seq
+        self._seq += 1
+        record["ts"] = round(self.now() if ts is None else ts, 6)
+        record["pid"] = os.getpid()
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    # Spans and events
+    # ------------------------------------------------------------------
+
+    def begin_span(self, name: str, parent: Optional[int] = None, **attrs: Any) -> int:
+        """Open a span and return its id.
+
+        Parameters
+        ----------
+        name : str
+            Span name (``sweep``, ``batch``, ``point``).
+        parent : int, optional
+            Explicit parent span id; defaults to the innermost span
+            opened with :meth:`span` (or ``None`` at top level).
+        **attrs
+            Extra JSON-serialisable fields stored on the begin record.
+
+        Returns
+        -------
+        int
+            The span id to pass to :meth:`end_span`.
+        """
+        span_id = self._next_span
+        self._next_span += 1
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        record: Dict[str, Any] = {
+            "kind": "span_begin",
+            "name": name,
+            "span": span_id,
+            "parent": parent,
+        }
+        record.update(attrs)
+        self._emit(record)
+        return span_id
+
+    def end_span(self, span_id: int, **attrs: Any) -> None:
+        """Close a span by id, attaching any final fields.
+
+        Parameters
+        ----------
+        span_id : int
+            Id returned by :meth:`begin_span`.
+        **attrs
+            Extra JSON-serialisable fields stored on the end record.
+        """
+        record: Dict[str, Any] = {"kind": "span_end", "span": span_id}
+        record.update(attrs)
+        self._emit(record)
+
+    def span(self, name: str, **attrs: Any) -> SpanHandle:
+        """Open an implicitly-nested span as a context manager.
+
+        The span is pushed on the recorder's nesting stack, so spans and
+        events emitted inside the ``with`` block default their parent to
+        it.  Use :meth:`begin_span`/:meth:`end_span` for spans whose
+        lifetime does not follow lexical scope (parallel points).
+
+        Parameters
+        ----------
+        name : str
+            Span name.
+        **attrs
+            Extra fields for the begin record.
+
+        Returns
+        -------
+        SpanHandle
+            Context manager that ends the span on exit.
+        """
+        span_id = self.begin_span(name, **attrs)
+        self._stack.append(span_id)
+        handle = SpanHandle(self, span_id)
+        return handle
+
+    def end_span_handle(self, span_id: int) -> None:
+        """Pop ``span_id`` off the nesting stack (internal helper)."""
+        if self._stack and self._stack[-1] == span_id:
+            self._stack.pop()
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a point-in-time event parented on the current span.
+
+        Parameters
+        ----------
+        name : str
+            Event name.
+        **fields
+            Extra JSON-serialisable fields.
+        """
+        record: Dict[str, Any] = {
+            "kind": "event",
+            "name": name,
+            "span": self._stack[-1] if self._stack else None,
+        }
+        record.update(fields)
+        self._emit(record)
+
+    def warning(self, name: str, **fields: Any) -> None:
+        """Record a structured warning (kind ``warning``).
+
+        Used for anomalies that must be visible but not fatal — e.g.
+        the run cache naming a corrupt or stale entry.
+
+        Parameters
+        ----------
+        name : str
+            Warning name (e.g. ``cache_entry_corrupt``).
+        **fields
+            Extra fields; the offending cache key goes here.
+        """
+        record: Dict[str, Any] = {
+            "kind": "warning",
+            "name": name,
+            "span": self._stack[-1] if self._stack else None,
+        }
+        record.update(fields)
+        self._emit(record)
+
+    def close(self) -> None:
+        """Close any spans left open, flush and close the file."""
+        while self._stack:
+            self.end_span(self._stack.pop(), ok=True)
+        if self._file is not None:
+            self._emit({"kind": "meta", "name": "telemetry_end"})
+            self._file.close()
+            self._file = None
+
+
+def read_events(path) -> List[Dict[str, Any]]:
+    """Load every record of an ``events.jsonl`` file.
+
+    Parameters
+    ----------
+    path : str or pathlib.Path
+        The JSONL file.
+
+    Returns
+    -------
+    list of dict
+        Records in file order.
+
+    Raises
+    ------
+    ValueError
+        If any line is not a JSON object.
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{lineno}: expected a JSON object")
+            records.append(record)
+    return records

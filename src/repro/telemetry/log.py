@@ -1,0 +1,137 @@
+"""Levelled stderr logging for the CLI — one formatter for every command.
+
+The CLI used to scatter ad-hoc ``print(..., file=sys.stderr)`` calls;
+they all funnel through here now, so ``--quiet``/``--verbose`` and the
+``REPRO_LOG`` environment variable work uniformly:
+
+- ``quiet``  — errors only (``--quiet``);
+- ``warn``   — errors and warnings;
+- ``info``   — the default: progress and one-line notices;
+- ``debug``  — everything (``--verbose``).
+
+``REPRO_LOG`` sets the default level by name; the command-line flags
+override it.  Result tables keep going to stdout — this module is for
+the *commentary* stream only, so piping stdout stays clean.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional, TextIO
+
+#: Recognised level names, least to most chatty.
+LEVELS = ("quiet", "warn", "info", "debug")
+
+#: Environment variable consulted for the default level.
+ENV_VAR = "REPRO_LOG"
+
+_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+_level: Optional[str] = None
+
+
+def _default_level() -> str:
+    """Level from :data:`ENV_VAR`, falling back to ``info``."""
+    name = os.environ.get(ENV_VAR, "").strip().lower()
+    return name if name in _RANK else "info"
+
+
+def configure(quiet: bool = False, verbose: bool = False) -> str:
+    """Set the process log level from CLI flags (flags beat the env var).
+
+    Parameters
+    ----------
+    quiet : bool
+        ``--quiet``: errors only.
+    verbose : bool
+        ``--verbose``: debug chatter included.  ``quiet`` wins when both
+        are set (explicit silence beats explicit chatter).
+
+    Returns
+    -------
+    str
+        The resolved level name.
+    """
+    global _level
+    if quiet:
+        _level = "quiet"
+    elif verbose:
+        _level = "debug"
+    else:
+        _level = _default_level()
+    return _level
+
+
+def level() -> str:
+    """The current level name (resolving the env default lazily)."""
+    global _level
+    if _level is None:
+        _level = _default_level()
+    return _level
+
+
+def _enabled(threshold: str) -> bool:
+    return _RANK[level()] >= _RANK[threshold]
+
+
+def error(message: str) -> None:
+    """Print ``error: <message>`` to stderr (shown at every level).
+
+    Parameters
+    ----------
+    message : str
+        The error text.
+    """
+    print(f"error: {message}", file=sys.stderr)
+
+
+def warn(message: str) -> None:
+    """Print ``warning: <message>`` to stderr unless quiet.
+
+    Parameters
+    ----------
+    message : str
+        The warning text.
+    """
+    if _enabled("warn"):
+        print(f"warning: {message}", file=sys.stderr)
+
+
+def info(message: str) -> None:
+    """Print a plain notice to stderr at ``info`` and above.
+
+    Parameters
+    ----------
+    message : str
+        The notice text.
+    """
+    if _enabled("info"):
+        print(message, file=sys.stderr)
+
+
+def debug(message: str) -> None:
+    """Print ``debug: <message>`` to stderr at ``debug`` only.
+
+    Parameters
+    ----------
+    message : str
+        The debug text.
+    """
+    if _enabled("debug"):
+        print(f"debug: {message}", file=sys.stderr)
+
+
+def progress_stream() -> Optional[TextIO]:
+    """Stream for per-point engine progress lines, or ``None``.
+
+    The execution engine prints one line per completed point to this
+    stream; at ``quiet``/``warn`` it returns ``None`` so sweeps run
+    silently.
+
+    Returns
+    -------
+    TextIO or None
+        ``sys.stderr`` at ``info``/``debug``, else ``None``.
+    """
+    return sys.stderr if _enabled("info") else None

@@ -1,0 +1,99 @@
+"""Sweep timeline export: the engine's schedule as a Perfetto trace.
+
+Where ``repro profile`` exports the *inside* of one simulation, the
+sweep timeline exports the *outside* of a whole batch: one Perfetto
+track per worker process, one slice per simulation point, cache hits as
+zero-length markers — so stragglers, idle workers and lumpy batches are
+visible at a glance.  The serialization is shared with the profile
+exporter through :class:`repro.obs.perfetto.TraceBuilder`.
+
+Timestamps are wall-clock microseconds since the telemetry recorder
+opened (the same clock as ``events.jsonl``); a slice's extent is the
+point's execution wall time on its worker.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, List, Union
+
+from ..obs.perfetto import TraceBuilder, write_trace
+
+#: File name of the sweep timeline inside a telemetry directory.
+TIMELINE_FILENAME = "sweep_timeline.json"
+
+#: pid of the single "sweep" track group in the exported trace.
+SWEEP_PID = 1
+
+
+def sweep_timeline(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """Build the Chrome-trace document of one sweep manifest.
+
+    Parameters
+    ----------
+    manifest : dict
+        A manifest from :func:`repro.telemetry.manifest.build_manifest`
+        (its ``points`` carry ``start_s``/``wall_s``/``worker_pid``).
+
+    Returns
+    -------
+    dict
+        Trace document: workers as tracks, points as slices, hits as
+        zero-duration markers on the track of the process that served
+        them.
+    """
+    builder = TraceBuilder()
+    builder.process(SWEEP_PID, f"repro {manifest['command']}")
+    tids: Dict[int, int] = {}
+    for point in manifest["points"]:
+        worker = int(point["worker_pid"])
+        tid = tids.get(worker)
+        if tid is None:
+            tid = tids[worker] = len(tids) + 1
+            builder.thread(SWEEP_PID, tid, f"worker {worker}")
+        start_us = float(point.get("start_s", 0.0)) * 1e6
+        builder.complete(
+            name=point["label"],
+            cat=point["status"],
+            ts=start_us,
+            dur=float(point["wall_s"]) * 1e6,
+            pid=SWEEP_PID,
+            tid=tid,
+            args={
+                "kernel": point["kernel"],
+                "status": point["status"],
+                "cache_key": point["cache_key"],
+                "worker_pid": worker,
+            },
+        )
+    stats = manifest["engine"]["stats"]
+    return builder.build(
+        other_data={
+            "command": manifest["command"],
+            "created": manifest["created"],
+            "points": stats["points"],
+            "hits": stats["hits"],
+            "executed": stats["executed"],
+            "jobs": manifest["engine"]["jobs"],
+        }
+    )
+
+
+def write_timeline(
+    manifest: Dict[str, Any], directory: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write ``<directory>/sweep_timeline.json``; returns the path.
+
+    Parameters
+    ----------
+    manifest : dict
+        The sweep manifest.
+    directory : str or pathlib.Path
+        Telemetry directory.
+
+    Returns
+    -------
+    pathlib.Path
+        The written file.
+    """
+    return write_trace(sweep_timeline(manifest), pathlib.Path(directory) / TIMELINE_FILENAME)
