@@ -50,6 +50,30 @@ class InvariantViolation(SimulationError):
         self.event_index = event_index
 
 
+class SweepFailure(SimulationError):
+    """One or more points of a sweep failed terminally.
+
+    Raised by :meth:`repro.exec.engine.ExecutionEngine.run_points` after
+    the resilience layer exhausted its retry/timeout/quarantine budget
+    for at least one point.  The completed points *were* executed (and
+    cached/journaled), so re-running the same command only retries the
+    failed ones.
+
+    Attributes:
+        failures: The structured
+            :class:`~repro.exec.resilience.PointFailure` records, one
+            per terminally-failed point.
+    """
+
+    def __init__(self, failures) -> None:
+        lines = "\n".join(f"  - {f.describe()}" for f in failures)
+        super().__init__(
+            f"{len(failures)} point(s) failed after retries:\n{lines}\n"
+            "completed points are checkpointed — re-run the same command to retry"
+        )
+        self.failures = list(failures)
+
+
 class WorkloadError(ReproError):
     """A workload/IR program is malformed.
 

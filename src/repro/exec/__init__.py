@@ -11,22 +11,29 @@ loop into a scheduled batch:
   IR, full system configuration, technology parameters, optimization
   level, seed and the simulator's own code fingerprint, and stores
   results as atomic JSON entries (:class:`RunCache`);
-- :mod:`repro.exec.engine` fans cache-missing points out over a process
-  pool (:class:`ExecutionEngine`, CLI ``--jobs N``) with deterministic,
-  input-ordered results, replaying hits instantly and persisting each
-  completion so interrupted sweeps resume.
+- :mod:`repro.exec.engine` fans cache-missing points out over a
+  supervised worker pool (:class:`ExecutionEngine`, CLI ``--jobs N``)
+  with deterministic, input-ordered results, replaying hits instantly
+  and persisting each completion so interrupted sweeps resume;
+- :mod:`repro.exec.resilience` supplies the failure machinery under it:
+  crash-surviving worker supervision, per-point timeouts, retry with
+  exponential backoff (:class:`RetryPolicy`), poison-point quarantine,
+  structured :class:`PointFailure` records, the :class:`SweepJournal`
+  checkpoint that makes ``SIGINT``/``SIGTERM`` resumable, and the
+  :class:`FaultPlan` chaos injection the resilience tests drive.
 
 The engine plugs into
 :class:`~repro.experiments.runner.ExperimentRunner` (``engine=`` or the
 CLI's ``--jobs``/``--cache-dir``/``--no-cache`` flags); cached, parallel
 and inline executions of the same point are bit-identical.  See
-``docs/EXPERIMENTS_GUIDE.md`` for the cookbook and
-``docs/ARCHITECTURE.md`` §2.8 for the cache design.
+``docs/EXPERIMENTS_GUIDE.md`` for the cookbook, ``docs/ARCHITECTURE.md``
+§2.8 for the cache design and §2.12 for the failure model.
 """
 
 from .cache import (
     CACHE_FORMAT_VERSION,
     DEFAULT_CACHE_DIR,
+    QUARANTINE_DIR,
     CacheLookup,
     RunCache,
     cache_key_of,
@@ -34,19 +41,37 @@ from .cache import (
     ir_fingerprint,
     key_material_of,
 )
-from .engine import ExecStats, ExecutionEngine, make_engine
+from .engine import BatchOutcome, ExecStats, ExecutionEngine, make_engine
 from .point import RunPoint, execute_point, execute_point_timed
+from .resilience import (
+    DEFAULT_JOURNAL_DIR,
+    FaultPlan,
+    PointFailure,
+    RetryPolicy,
+    Supervisor,
+    SweepJournal,
+    estimate_point_cost,
+)
 
 __all__ = [
+    "BatchOutcome",
     "CACHE_FORMAT_VERSION",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_JOURNAL_DIR",
     "CacheLookup",
     "ExecStats",
     "ExecutionEngine",
+    "FaultPlan",
+    "PointFailure",
+    "QUARANTINE_DIR",
+    "RetryPolicy",
     "RunCache",
     "RunPoint",
+    "Supervisor",
+    "SweepJournal",
     "cache_key_of",
     "code_fingerprint",
+    "estimate_point_cost",
     "execute_point",
     "execute_point_timed",
     "ir_fingerprint",

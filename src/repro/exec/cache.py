@@ -34,6 +34,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..cpu.model import RunResult
@@ -47,6 +48,9 @@ CACHE_FORMAT_VERSION = 1
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Subdirectory stale/corrupt entries are moved into (never read back).
+QUARANTINE_DIR = ".quarantine"
 
 _code_fingerprint_cache: Optional[str] = None
 
@@ -288,6 +292,16 @@ class RunCache:
     log stale/corrupt entries instead of hiding them); writes are
     atomic, so an interrupted sweep resumes from its completed points.
 
+    Reads never *heal* silently: stale and corrupt entries are moved to
+    a ``.quarantine/`` subdirectory by :meth:`quarantine` (the engine
+    calls it when a lookup classifies one) together with a
+    ``<key>.reason.txt`` note, so the damaged bytes survive for
+    diagnosis while the live tree stays clean.  Opening a cache sweeps
+    ``*.tmp`` droppings a previous writer leaked between ``mkstemp``
+    and ``os.replace`` (an interrupt or a Windows-style sharing
+    failure); only files older than the open are touched, so concurrent
+    writers are never raced.
+
     Parameters
     ----------
     root : str or pathlib.Path
@@ -296,6 +310,19 @@ class RunCache:
 
     def __init__(self, root: Union[str, pathlib.Path]) -> None:
         self.root = pathlib.Path(root)
+        self._opened_at = time.time()
+        self._sweep_orphans()
+
+    def _sweep_orphans(self) -> None:
+        """Remove ``*.tmp`` files leaked by interrupted earlier writers."""
+        if not self.root.exists():
+            return
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                if tmp.stat().st_mtime < self._opened_at:
+                    tmp.unlink()
+            except OSError:
+                continue  # vanished underneath us, or unreadable: leave it
 
     def path_for(self, key: str) -> pathlib.Path:
         """Entry path for a cache key.
@@ -376,6 +403,13 @@ class RunCache:
         material : dict, optional
             The key material, stored alongside the result for
             debuggability (``repro``'s code never reads it back).
+
+        Raises
+        ------
+        OSError
+            When the entry cannot be written (disk full, permissions).
+            The engine treats the first such error as a signal to
+            degrade the sweep to cache-off mode.
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -390,21 +424,71 @@ class RunCache:
             with os.fdopen(fd, "w") as f:
                 json.dump(entry, f, sort_keys=True)
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException as exc:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            # A failed replace with a readable entry already in place
+            # means a concurrent writer of the same key won the race —
+            # the keys are content-addressed, so their entry is ours.
+            if isinstance(exc, OSError) and self.lookup(key).status == "hit":
+                return
             raise
 
-    def entries(self) -> List[pathlib.Path]:
-        """All entry files currently in the cache.
+    def quarantine(self, key: str, reason: str) -> Optional[pathlib.Path]:
+        """Move a damaged entry into ``.quarantine/`` with a reason file.
+
+        Parameters
+        ----------
+        key : str
+            A :func:`cache_key_of` digest whose entry classified stale
+            or corrupt.
+        reason : str
+            One-line explanation written to ``<key>.reason.txt`` next to
+            the moved entry.
+
+        Returns
+        -------
+        pathlib.Path or None
+            The quarantined entry's new path, or ``None`` when the
+            entry could not be moved (already gone, or the quarantine
+            directory is unwritable) — never an exception: quarantine
+            is best-effort healing, the recompute happens regardless.
+        """
+        source = self.path_for(key)
+        target_dir = self.root / QUARANTINE_DIR
+        target = target_dir / f"{key}.json"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(source, target)
+            (target_dir / f"{key}.reason.txt").write_text(reason + "\n")
+        except OSError:
+            return None
+        return target
+
+    def quarantined(self) -> List[pathlib.Path]:
+        """All entry files currently held in ``.quarantine/``.
 
         Returns
         -------
         list of pathlib.Path
-            Paths of every ``*.json`` entry under the root.
+            Paths of every quarantined ``*.json`` entry.
+        """
+        return sorted((self.root / QUARANTINE_DIR).glob("*.json"))
+
+    def entries(self) -> List[pathlib.Path]:
+        """All live entry files currently in the cache.
+
+        Returns
+        -------
+        list of pathlib.Path
+            Paths of every ``*.json`` entry under the root, quarantined
+            entries excluded (``Path.glob`` *does* descend into
+            dot-directories, so the exclusion is explicit).
         """
         if not self.root.exists():
             return []
-        return sorted(self.root.glob("*/*.json"))
+        return sorted(
+            p for p in self.root.glob("*/*.json") if p.parent.name != QUARANTINE_DIR
+        )

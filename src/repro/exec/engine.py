@@ -7,45 +7,79 @@ of how the work was scheduled:
 
 1. every point's content-addressed key is computed
    (:func:`~repro.exec.cache.cache_key_of`) and looked up in the
-   :class:`~repro.exec.cache.RunCache` — hits replay from disk;
+   :class:`~repro.exec.cache.RunCache` — hits replay from disk, and the
+   checkpoint journal of an interrupted previous sweep
+   (:class:`~repro.exec.resilience.SweepJournal`) replays next, so a
+   resumed run executes only the points that never finished;
 2. the remaining points are deduplicated by key (a figure batch shares
    one SRAM baseline across configurations) and executed — inline when
-   ``jobs == 1``, else on a :class:`~concurrent.futures.ProcessPoolExecutor`
-   with ``jobs`` workers;
-3. each result is persisted to the cache the moment it completes, so an
-   interrupted sweep resumes from the finished points.
+   ``jobs == 1``, else on a crash-surviving
+   :class:`~repro.exec.resilience.Supervisor` worker pool with ``jobs``
+   workers;
+3. each result is persisted to the cache and the journal the moment it
+   completes, so an interrupted sweep resumes from the finished points.
+
+Failure handling follows the :class:`~repro.exec.resilience.RetryPolicy`
+(`--timeout`/`--max-retries`/`--fail-fast`): worker deaths restart only
+the dead worker, hung points are killed at their (cost-scaled) deadline,
+failed attempts retry with backoff, and points that exhaust the budget
+become structured :class:`~repro.exec.resilience.PointFailure` records —
+:meth:`ExecutionEngine.run_points` raises
+:class:`~repro.errors.SweepFailure` listing them, while
+:meth:`ExecutionEngine.run_points_detailed` returns the partial results
+alongside the failures.  Stale or corrupt cache entries are quarantined
+(:meth:`~repro.exec.cache.RunCache.quarantine`) and recomputed; a cache
+that stops accepting writes (disk full, permissions) degrades the sweep
+to cache-off mode with one structured warning.  The failure model is
+specified in ``docs/ARCHITECTURE.md`` §2.12.
 
 Because :func:`~repro.exec.point.execute_point` is deterministic and
 self-contained, results are bit-identical whether a point ran inline,
-in a worker, or was replayed from the cache — the engine's central
-invariant, pinned by ``tests/test_exec.py``.
+in a worker, was retried after a crash, or was replayed from the cache
+or the journal — the engine's central invariant, pinned by
+``tests/test_exec.py`` and the chaos suite in
+``tests/test_resilience.py``.
 
 Per-point progress and the hit/miss counters are surfaced through the
 :mod:`repro.obs` probe layer (:meth:`~repro.obs.probe.Probe.exec_point`)
 and summarised in :class:`ExecStats`.  When a
 :class:`~repro.telemetry.events.TelemetryRecorder` is attached, the
-engine additionally emits batch/point spans into ``events.jsonl``,
-feeds a :class:`~repro.telemetry.metrics.MetricsRegistry`, and collects
-the per-point provenance records the run manifest is built from — all
-of it guarded on ``telemetry.enabled`` so a disabled run pays nothing
-and stays bit-identical (the same contract ``NullProbe`` upholds).
+engine additionally emits batch/point spans and retry events into
+``events.jsonl``, feeds a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, and collects the
+per-point provenance records (failures included) the run manifest is
+built from — all of it guarded on ``telemetry.enabled`` so a disabled
+run pays nothing and stays bit-identical (the same contract
+``NullProbe`` upholds).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, TextIO
 
 from ..cpu.model import RunResult
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SweepFailure
 from ..obs.probe import NULL_PROBE, Probe
 from ..telemetry.events import NULL_TELEMETRY, Telemetry
 from ..telemetry.metrics import MetricsRegistry
 from .cache import RunCache, cache_key_of, canonicalize, key_material_of
-from .point import RunPoint, execute_point, execute_point_timed
+from .point import RunPoint, execute_point
+from .resilience import (
+    DEFAULT_JOURNAL_DIR,
+    FaultPlan,
+    PointFailure,
+    RetryPolicy,
+    Supervisor,
+    SupervisorHooks,
+    SweepJournal,
+    Task,
+    estimate_point_cost,
+    scale_timeouts,
+)
 
 
 @dataclass
@@ -59,7 +93,11 @@ class ExecStats:
     hits : int
         Points replayed from the run cache.
     misses : int
-        Points not found in the cache (``executed`` + ``deduplicated``).
+        Points not found in the cache (``journal_hits`` + ``executed``
+        + ``deduplicated`` + ``failed``).
+    journal_hits : int
+        Cache-missing points replayed from the checkpoint journal of an
+        interrupted previous sweep (counted within ``misses``).
     stale : int
         Misses caused by an entry of a different cache format version
         (counted within ``misses``).
@@ -67,10 +105,20 @@ class ExecStats:
         Misses caused by an unreadable or undecodable entry (counted
         within ``misses``).
     executed : int
-        Simulations actually run.
+        Simulations actually run to completion.
     deduplicated : int
         Cache-missing points that shared a key with another point of the
         same batch and were computed only once.
+    retries : int
+        Attempts re-dispatched after an error, timeout or worker crash.
+    timeouts : int
+        Attempts killed for exceeding their wall-clock budget.
+    worker_restarts : int
+        Worker processes respawned after a death.
+    quarantined : int
+        Poison points degraded to in-process serial execution.
+    failed : int
+        Points terminally failed after the retry budget was exhausted.
     elapsed : float
         Wall-clock seconds spent inside :meth:`ExecutionEngine.run_points`.
     busy : float
@@ -81,10 +129,16 @@ class ExecStats:
     points: int = 0
     hits: int = 0
     misses: int = 0
+    journal_hits: int = 0
     stale: int = 0
     corrupt: int = 0
     executed: int = 0
     deduplicated: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_restarts: int = 0
+    quarantined: int = 0
+    failed: int = 0
     elapsed: float = 0.0
     busy: float = 0.0
 
@@ -107,8 +161,103 @@ class _Pending:
     indices: List[int] = field(default_factory=list)
 
 
+@dataclass
+class BatchOutcome:
+    """What one :meth:`ExecutionEngine.run_points_detailed` produced.
+
+    Attributes
+    ----------
+    results : list of RunResult or None
+        ``results[i]`` is the outcome of input point ``i`` — ``None``
+        exactly for the points listed in ``failures``.
+    failures : list of PointFailure
+        Terminal failures of this batch (empty for a clean run).
+    """
+
+    results: List[Optional[RunResult]]
+    failures: List[PointFailure]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every point of the batch completed."""
+        return not self.failures
+
+
+class _EngineHooks(SupervisorHooks):
+    """Bridges supervisor scheduling events into one engine batch."""
+
+    def __init__(
+        self,
+        engine: "ExecutionEngine",
+        pending: Dict[str, _Pending],
+        results: List[Optional[RunResult]],
+        total: int,
+        batch_span: int,
+    ) -> None:
+        self.engine = engine
+        self.pending = pending
+        self.results = results
+        self.total = total
+        self.batch_span = batch_span
+        self.spans: Dict[str, int] = {}
+        self.submitted: Dict[str, float] = {}
+
+    def attempt_started(self, task: Task) -> None:
+        """Open the point span on the first attempt; note retry starts."""
+        self.submitted.setdefault(task.key, time.monotonic())
+        tele = self.engine.telemetry
+        if tele.enabled:
+            if task.key not in self.spans:
+                self.spans[task.key] = tele.begin_span(
+                    "point",
+                    parent=self.batch_span,
+                    label=task.point.display(),
+                    key=task.key,
+                )
+            if task.attempts > 1:
+                tele.event(
+                    "point_attempt", label=task.point.display(), attempt=task.attempts
+                )
+
+    def attempt_failed(self, task: Task, kind: str) -> None:
+        """Count one failed attempt."""
+        self.engine._on_attempt_failed(task, kind)
+
+    def retrying(self, task: Task, kind: str) -> None:
+        """Count and announce one re-queued point."""
+        self.engine._on_retry(task, kind)
+
+    def quarantined(self, task: Task) -> None:
+        """Count and announce one poison point degrading to serial."""
+        self.engine._on_quarantined(task)
+
+    def worker_restarted(self, pid: int) -> None:
+        """Count one worker respawn."""
+        self.engine._on_worker_restart()
+
+    def completed(self, task: Task, result: RunResult, pid: int, wall_s: float) -> None:
+        """Persist and slot one finished point."""
+        dt = time.monotonic() - self.submitted.get(task.key, time.monotonic())
+        self.engine._complete(
+            task.key,
+            self.pending[task.key],
+            result,
+            self.results,
+            self.total,
+            dt,
+            pid,
+            wall_s,
+            self.spans.get(task.key, 0),
+        )
+
+    def failed(self, failure: PointFailure) -> None:
+        """Record one terminal failure."""
+        entry = self.pending[failure.key]
+        self.engine._fail(failure, entry, self.spans.get(failure.key, 0))
+
+
 class ExecutionEngine:
-    """Runs batches of simulation points, in parallel and cached.
+    """Runs batches of simulation points, in parallel, cached, resilient.
 
     Parameters
     ----------
@@ -118,7 +267,8 @@ class ExecutionEngine:
         either way.
     cache_dir : str or pathlib.Path, optional
         Run-cache directory.  ``None`` disables the cache entirely
-        (every point recomputes).
+        (every point recomputes; the checkpoint journal then lives in
+        :data:`~repro.exec.resilience.DEFAULT_JOURNAL_DIR`).
     probe : Probe, optional
         Observability probe notified per point via
         :meth:`~repro.obs.probe.Probe.exec_point`.
@@ -128,9 +278,22 @@ class ExecutionEngine:
     telemetry : Telemetry, optional
         Structured event sink (:data:`~repro.telemetry.events.
         NULL_TELEMETRY` by default).  When enabled, the engine emits
-        batch/point spans, cache-anomaly warnings, and accumulates the
-        ``point_records`` / ``technologies`` provenance that
+        batch/point spans and retry events, cache-anomaly warnings, and
+        accumulates the ``point_records`` / ``technologies`` /
+        ``failures`` provenance that
         :func:`repro.telemetry.manifest.build_manifest` captures.
+    policy : RetryPolicy, optional
+        Retry/timeout/quarantine bounds applied to every failure
+        (defaults are forgiving: two retries, no timeout).
+    fault_plan : FaultPlan, optional
+        Chaos-injection plan, used by the resilience test suite only.
+    journal_dir : str or pathlib.Path, optional
+        Where the checkpoint journal lives when the cache is off (with
+        a cache it always sits in the cache root).  ``None`` disables
+        journaling for cache-less engines, keeping bare library use
+        free of filesystem side effects — the CLI passes
+        :data:`~repro.exec.resilience.DEFAULT_JOURNAL_DIR` so
+        ``--no-cache`` sweeps still resume.
 
     Raises
     ------
@@ -145,6 +308,9 @@ class ExecutionEngine:
         probe: Probe = NULL_PROBE,
         progress: Optional[TextIO] = None,
         telemetry: Telemetry = NULL_TELEMETRY,
+        policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        journal_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"--jobs must be at least 1, got {jobs}")
@@ -153,8 +319,12 @@ class ExecutionEngine:
         self.probe = probe
         self.progress = progress
         self.telemetry = telemetry
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.fault_plan = fault_plan
         self.stats = ExecStats()
         self.metrics = MetricsRegistry()
+        #: Terminal point failures across all batches.
+        self.failures: List[PointFailure] = []
         #: Per-point provenance dicts (manifest ``points``), collected
         #: only while ``telemetry.enabled``.
         self.point_records: List[Dict[str, Any]] = []
@@ -162,6 +332,12 @@ class ExecutionEngine:
         #: keyed by technology name (canonicalized like the cache key
         #: material); collected only while ``telemetry.enabled``.
         self.technologies: Dict[str, Any] = {}
+        journal_root = self.cache.root if self.cache is not None else journal_dir
+        self.journal: Optional[SweepJournal] = (
+            SweepJournal(journal_root) if journal_root is not None else None
+        )
+        self._cache_degraded = False
+        self._corrupted_indices: set = set()
 
     # ------------------------------------------------------------------
     # Reporting
@@ -184,16 +360,35 @@ class ExecutionEngine:
         -------
         str
             E.g. ``exec: 26 points — 26 cache hits, 0 misses (100% cache
-            hits), jobs=4, cache .repro-cache``.
+            hits), jobs=4, cache .repro-cache``, with journal replays,
+            stale/corrupt entries and resilience counters appended when
+            non-zero.
         """
         s = self.stats
-        where = str(self.cache.root) if self.cache is not None else "off"
+        if self.cache is not None:
+            where = str(self.cache.root)
+        else:
+            where = "off (degraded)" if self._cache_degraded else "off"
         line = (
             f"exec: {s.points} points — {s.hits} cache hits, {s.misses} misses "
             f"({s.hit_rate():.0f}% cache hits), jobs={self.jobs}, cache {where}"
         )
+        if s.journal_hits:
+            line += f" [{s.journal_hits} journal replays]"
         if s.stale or s.corrupt:
             line += f" [{s.stale} stale, {s.corrupt} corrupt entries]"
+        extras = []
+        for label, value in (
+            ("retries", s.retries),
+            ("timeouts", s.timeouts),
+            ("worker restarts", s.worker_restarts),
+            ("quarantined", s.quarantined),
+            ("failed", s.failed),
+        ):
+            if value:
+                extras.append(f"{value} {label}")
+        if extras:
+            line += f" [{', '.join(extras)}]"
         return line
 
     # ------------------------------------------------------------------
@@ -216,12 +411,44 @@ class ExecutionEngine:
         -------
         list of RunResult
             ``results[i]`` is the outcome of ``points[i]``.
+
+        Raises
+        ------
+        SweepFailure
+            When at least one point failed terminally after exhausting
+            its retry budget.  Completed points were cached/journaled
+            before the raise, so re-running retries only the failures.
+        """
+        outcome = self.run_points_detailed(points)
+        if outcome.failures:
+            raise SweepFailure(outcome.failures)
+        return [r for r in outcome.results if r is not None]
+
+    def run_points_detailed(self, points: Sequence[RunPoint]) -> BatchOutcome:
+        """Execute a batch, returning partial results plus failures.
+
+        The tolerant sibling of :meth:`run_points`: terminal point
+        failures never raise — the corresponding result slots are
+        ``None`` and the structured failure records ride alongside, so
+        a caller can salvage everything that completed.
+
+        Parameters
+        ----------
+        points : sequence of RunPoint
+            Independent simulation points.
+
+        Returns
+        -------
+        BatchOutcome
+            Input-ordered results (``None`` for failed points) and this
+            batch's terminal failures.
         """
         started = time.monotonic()
         points = list(points)
         total = len(points)
         self.stats.points += total
         results: List[Optional[RunResult]] = [None] * total
+        failures_before = len(self.failures)
 
         tele = self.telemetry
         batch = tele.span("batch", points=total, jobs=self.jobs)
@@ -229,6 +456,7 @@ class ExecutionEngine:
             pending: Dict[str, _Pending] = {}
             for i, point in enumerate(points):
                 key = cache_key_of(point)
+                self._maybe_corrupt_entry(i, key)
                 found = self.cache.lookup(key) if self.cache is not None else None
                 if found is not None and found.status in ("stale", "corrupt"):
                     self._note_cache_anomaly(found.status, key, point)
@@ -245,6 +473,10 @@ class ExecutionEngine:
                     continue
                 self.stats.misses += 1
                 self.metrics.count("cache.miss")
+                journaled = self.journal.lookup(key) if self.journal is not None else None
+                if journaled is not None:
+                    self._replay_journal(point, key, journaled, results, i, total)
+                    continue
                 if key in pending:
                     self.stats.deduplicated += 1
                     self.metrics.count("exec.deduplicated")
@@ -263,10 +495,169 @@ class ExecutionEngine:
                 "exec.utilization_pct",
                 min(100.0, 100.0 * self.stats.busy / (self.stats.elapsed * self.jobs)),
             )
-        return [r for r in results if r is not None]
+        return BatchOutcome(results, self.failures[failures_before:])
+
+    def finish(self) -> None:
+        """Mark the sweep complete: discard the checkpoint journal.
+
+        Called by the CLI after an experiment ran to the end with no
+        terminal failures.  An interrupted or failed sweep never gets
+        here, so its journal survives for the resuming run.
+        """
+        if self.journal is not None and not self.failures:
+            self.journal.discard()
+        elif self.journal is not None:
+            self.journal.close()
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+
+    def _maybe_corrupt_entry(self, index: int, key: str) -> None:
+        """Apply the fault plan's cache-entry corruption, once per index."""
+        if (
+            self.fault_plan is None
+            or self.cache is None
+            or index not in self.fault_plan.corrupt_entries
+            or index in self._corrupted_indices
+        ):
+            return
+        self._corrupted_indices.add(index)
+        path = self.cache.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text('{"format": 1, "truncated mid-wri')
+        except OSError:
+            pass
+
+    def _replay_journal(
+        self,
+        point: RunPoint,
+        key: str,
+        result: RunResult,
+        results: List[Optional[RunResult]],
+        index: int,
+        total: int,
+    ) -> None:
+        """Fill one slot from the interrupted-sweep checkpoint journal."""
+        self.stats.journal_hits += 1
+        self.metrics.count("journal.replay")
+        results[index] = result
+        self._store(key, result, point)  # heal the cache from the journal
+        tele = self.telemetry
+        if tele.enabled:
+            self._record_point(point, key, "journal", os.getpid(), 0.0, tele.now(), result)
+            tele.event("point_journal", label=point.display(), key=key)
+        self._report(point, "journal", index, total, 0.0)
+
+    def _store(self, key: str, result: RunResult, point: RunPoint) -> None:
+        """Persist one result to the cache, degrading to cache-off on error."""
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(key, result, key_material_of(point))
+        except OSError as exc:
+            from ..telemetry import log
+
+            root = self.cache.root
+            self.cache = None
+            self._cache_degraded = True
+            self.metrics.count("cache.degraded")
+            log.warn(
+                f"run cache degraded to off: cannot write {root} "
+                f"({type(exc).__name__}: {exc}); the sweep continues uncached"
+            )
+            self.telemetry.warning(
+                "cache_degraded", root=str(root), error=f"{type(exc).__name__}: {exc}"
+            )
+
+    def _journal_record(self, key: str, result: RunResult) -> None:
+        """Checkpoint one completion, degrading to journal-off on error."""
+        if self.journal is None:
+            return
+        if not self.journal.record(key, result):
+            from ..telemetry import log
+
+            path = self.journal.path
+            self.journal = None
+            self.metrics.count("journal.degraded")
+            log.warn(
+                f"checkpoint journal degraded to off: cannot write {path}; "
+                "an interrupted sweep will not resume from this run"
+            )
+            self.telemetry.warning("journal_degraded", path=str(path))
+
+    def _on_attempt_failed(self, task: Task, kind: str) -> None:
+        """Count one failed attempt of ``task`` (error/timeout/crash)."""
+        self.metrics.count(f"exec.attempt_{kind}")
+        if kind == "timeout":
+            self.stats.timeouts += 1
+            self.metrics.count("exec.timeouts")
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "point_attempt_failed",
+                label=task.point.display(),
+                kind=kind,
+                attempt=task.attempts,
+            )
+
+    def _on_retry(self, task: Task, kind: str) -> None:
+        """Count and announce one re-queued point."""
+        from ..telemetry import log
+
+        self.stats.retries += 1
+        self.metrics.count("exec.retries")
+        log.warn(
+            f"{task.point.display()}: attempt {task.attempts} {kind}; retrying "
+            f"(budget {self.policy.max_retries + 1} attempts)"
+        )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "point_retry", label=task.point.display(), kind=kind, attempt=task.attempts
+            )
+
+    def _on_quarantined(self, task: Task) -> None:
+        """Count and announce one poison point degrading to serial."""
+        from ..telemetry import log
+
+        self.stats.quarantined += 1
+        self.metrics.count("exec.quarantined")
+        log.warn(
+            f"{task.point.display()}: crashed {task.crashes} worker(s); "
+            "quarantined to in-process execution"
+        )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "point_quarantined", label=task.point.display(), crashes=task.crashes
+            )
+
+    def _on_worker_restart(self) -> None:
+        """Count one worker respawn after a death."""
+        from ..telemetry import log
+
+        self.stats.worker_restarts += 1
+        self.metrics.count("exec.worker_restarts")
+        log.warn("worker process died; restarted a replacement")
+        if self.telemetry.enabled:
+            self.telemetry.event("worker_restarted")
+
+    def _fail(self, failure: PointFailure, entry: _Pending, span_id: int = 0) -> None:
+        """Record one terminal point failure."""
+        from ..telemetry import log
+
+        self.stats.failed += 1
+        self.metrics.count("exec.failed")
+        self.failures.append(failure)
+        log.error(failure.describe())
+        tele = self.telemetry
+        if tele.enabled:
+            self._record_point(
+                entry.point, failure.key, "failed", failure.worker_pid, 0.0, tele.now(), None
+            )
+            tele.end_span(span_id, status="failed", kind=failure.kind, attempts=failure.attempts)
 
     def _note_cache_anomaly(self, status: str, key: str, point: RunPoint) -> None:
-        """Count and report one stale/corrupt cache entry (it recomputes)."""
+        """Count, report and quarantine one stale/corrupt cache entry."""
         from ..telemetry import log
 
         if status == "stale":
@@ -275,10 +666,20 @@ class ExecutionEngine:
             self.stats.corrupt += 1
         self.metrics.count(f"cache.{status}")
         path = str(self.cache.path_for(key))
-        log.warn(f"cache entry {status}: {key} for {point.display()} ({path}); recomputing")
+        moved = self.cache.quarantine(key, f"{status} entry for {point.display()} ({key})")
+        where = f"quarantined to {moved}" if moved is not None else "left in place"
+        log.warn(f"cache entry {status}: {key} for {point.display()} ({path}); {where}; recomputing")
         self.telemetry.warning(
-            f"cache_entry_{status}", key=key, path=path, point=point.display()
+            f"cache_entry_{status}",
+            key=key,
+            path=path,
+            point=point.display(),
+            quarantined=moved is not None,
         )
+
+    # ------------------------------------------------------------------
+    # Pending-point execution
+    # ------------------------------------------------------------------
 
     def _execute_pending(
         self,
@@ -288,44 +689,81 @@ class ExecutionEngine:
         batch_span: int = 0,
     ) -> None:
         """Run the unique cache-missing points and fill their slots."""
-        tele = self.telemetry
-        if self.jobs == 1 or len(pending) == 1:
-            for key, entry in pending.items():
-                span_id = 0
-                if tele.enabled:
-                    span_id = tele.begin_span(
-                        "point", parent=batch_span, label=entry.point.display(), key=key
-                    )
-                t0 = time.monotonic()
-                result = execute_point(entry.point)
-                dt = time.monotonic() - t0
-                self._complete(key, entry, result, results, total, dt, os.getpid(), dt, span_id)
+        tasks = [
+            Task(index=entry.indices[0], key=key, point=entry.point)
+            for key, entry in pending.items()
+        ]
+        if self.policy.timeout is not None:
+            costs = [estimate_point_cost(task.point) for task in tasks]
+            for task, budget in zip(tasks, scale_timeouts(costs, self.policy.timeout)):
+                task.timeout = budget
+        if self.jobs == 1 or len(tasks) == 1:
+            self._execute_serial(tasks, pending, results, total, batch_span)
             return
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-            futures = {}
-            submitted = {}
-            spans: Dict[str, int] = {}
-            for key, entry in pending.items():
-                futures[pool.submit(execute_point_timed, entry.point)] = key
-                submitted[key] = time.monotonic()
-                if tele.enabled:
-                    spans[key] = tele.begin_span(
-                        "point", parent=batch_span, label=entry.point.display(), key=key
+        hooks = _EngineHooks(self, pending, results, total, batch_span)
+        supervisor = Supervisor(
+            jobs=min(self.jobs, len(tasks)),
+            policy=self.policy,
+            fault_plan=self.fault_plan,
+            hooks=hooks,
+        )
+        self.metrics.gauge("exec.queue_depth", len(tasks))
+        supervisor.run(tasks)
+        self.metrics.gauge("exec.queue_depth", 0)
+
+    def _execute_serial(
+        self,
+        tasks: List[Task],
+        pending: Dict[str, _Pending],
+        results: List[Optional[RunResult]],
+        total: int,
+        batch_span: int,
+    ) -> None:
+        """In-process execution with the same retry policy (no timeouts).
+
+        Wall-clock budgets need a killable worker process, so the serial
+        path enforces only the error-retry part of the policy — hung
+        points cannot be interrupted here.
+        """
+        tele = self.telemetry
+        for task in tasks:
+            entry = pending[task.key]
+            span_id = 0
+            if tele.enabled:
+                span_id = tele.begin_span(
+                    "point", parent=batch_span, label=entry.point.display(), key=task.key
+                )
+            t0 = time.monotonic()
+            while True:
+                task.attempts += 1
+                attempt_started = time.monotonic()
+                try:
+                    if self.fault_plan is not None:
+                        self.fault_plan.apply_inline(task.index, task.attempts)
+                    result = execute_point(entry.point)
+                except Exception as exc:
+                    task.last_error = (
+                        "error",
+                        type(exc).__name__,
+                        str(exc),
+                        traceback_module.format_exc(),
+                        os.getpid(),
                     )
-            outstanding = set(futures)
-            self.metrics.gauge("exec.queue_depth", len(outstanding))
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                self.metrics.gauge("exec.queue_depth", len(outstanding))
-                for future in done:
-                    key = futures[future]
-                    entry = pending[key]
-                    result, worker_pid, wall_s = future.result()
-                    dt = time.monotonic() - submitted[key]
-                    self._complete(
-                        key, entry, result, results, total, dt, worker_pid, wall_s,
-                        spans.get(key, 0),
-                    )
+                    self._on_attempt_failed(task, "error")
+                    if task.attempts > self.policy.max_retries:
+                        self._fail(task.failure("error"), entry, span_id)
+                        break
+                    self._on_retry(task, "error")
+                    time.sleep(self.policy.backoff(task.attempts))
+                    continue
+                wall = time.monotonic() - attempt_started
+                dt = time.monotonic() - t0
+                self._complete(
+                    task.key, entry, result, results, total, dt, os.getpid(), wall, span_id
+                )
+                break
+            if self.policy.fail_fast and self.failures:
+                break
 
     def _complete(
         self,
@@ -344,8 +782,8 @@ class ExecutionEngine:
         self.stats.busy += wall_s
         self.metrics.count("exec.executed")
         self.metrics.observe("exec.point_wall_s", wall_s)
-        if self.cache is not None:
-            self.cache.put(key, result, key_material_of(entry.point))
+        self._store(key, result, entry.point)
+        self._journal_record(key, result)
         for i in entry.indices:
             results[i] = result
         tele = self.telemetry
@@ -367,30 +805,30 @@ class ExecutionEngine:
         worker_pid: int,
         wall_s: float,
         start_s: float,
-        result: RunResult,
+        result: Optional[RunResult],
     ) -> None:
         """Append one manifest point record (telemetry-enabled path only)."""
         config = point.config
         tech = config.resolved_technology()
         if tech.name not in self.technologies:
             self.technologies[tech.name] = canonicalize(tech)
-        self.point_records.append(
-            {
-                "label": point.display(),
-                "kernel": point.kernel,
-                "frontend": str(config.frontend),
-                "technology": tech.name,
-                "level": point.level.name,
-                "size": point.size.name,
-                "seed": config.reliability.seed if config.reliability is not None else None,
-                "cache_key": key,
-                "status": status,
-                "worker_pid": int(worker_pid),
-                "wall_s": round(float(wall_s), 6),
-                "start_s": round(float(start_s), 6),
-                "cycles": float(result.cycles),
-            }
-        )
+        record = {
+            "label": point.display(),
+            "kernel": point.kernel,
+            "frontend": str(config.frontend),
+            "technology": tech.name,
+            "level": point.level.name,
+            "size": point.size.name,
+            "seed": config.reliability.seed if config.reliability is not None else None,
+            "cache_key": key,
+            "status": status,
+            "worker_pid": int(worker_pid),
+            "wall_s": round(float(wall_s), 6),
+            "start_s": round(float(start_s), 6),
+        }
+        if result is not None:
+            record["cycles"] = float(result.cycles)
+        self.point_records.append(record)
 
 
 def make_engine(
@@ -400,13 +838,18 @@ def make_engine(
     probe: Probe = NULL_PROBE,
     progress: Optional[TextIO] = None,
     telemetry: Telemetry = NULL_TELEMETRY,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    fail_fast: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Optional[ExecutionEngine]:
     """Build an engine from CLI-style options, or ``None`` for the
     classic serial path.
 
-    The engine engages when parallelism, caching or telemetry was
-    requested: plain ``repro fig1`` keeps the historical in-process
-    behaviour with no side effects on the filesystem.
+    The engine engages when parallelism, caching, telemetry or a
+    resilience bound was requested: plain ``repro fig1`` keeps the
+    historical in-process behaviour with no side effects on the
+    filesystem.
 
     Parameters
     ----------
@@ -427,16 +870,41 @@ def make_engine(
         Forwarded to :class:`ExecutionEngine`.  An *enabled* telemetry
         sink engages the engine even for a plain serial run, so every
         point flows through the instrumented path (``--telemetry``).
+    timeout : float, optional
+        Base per-point wall-clock budget (``--timeout``); engages the
+        engine and is scaled per point by the static cost estimate.
+        Enforced only on the parallel path (a hung in-process point
+        cannot be killed).
+    max_retries : int, optional
+        Retry budget per point (``--max-retries``); engages the engine.
+        ``None`` keeps the :class:`~repro.exec.resilience.RetryPolicy`
+        default.
+    fail_fast : bool
+        Stop at the first terminal point failure (``--fail-fast``);
+        engages the engine.
+    fault_plan : FaultPlan, optional
+        Chaos-injection plan, forwarded to :class:`ExecutionEngine`
+        (used by the resilience tests and CI chaos job only).
 
     Returns
     -------
     ExecutionEngine or None
-        ``None`` when neither ``--jobs``, a cache nor telemetry was
-        asked for.
+        ``None`` when neither ``--jobs``, a cache, telemetry nor a
+        resilience flag was asked for.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``jobs`` or ``max_retries`` is out of range.
     """
     if jobs < 1:
         raise ConfigurationError(f"--jobs must be at least 1, got {jobs}")
-    if jobs == 1 and cache_dir is None and not telemetry.enabled:
+    if max_retries is not None and max_retries < 0:
+        raise ConfigurationError(f"--max-retries must be at least 0, got {max_retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"--timeout must be positive, got {timeout}")
+    resilient = timeout is not None or max_retries is not None or fail_fast or fault_plan is not None
+    if jobs == 1 and cache_dir is None and not telemetry.enabled and not resilient:
         return None
     from ..telemetry import log
     from .cache import DEFAULT_CACHE_DIR
@@ -446,14 +914,22 @@ def make_engine(
         resolved_dir = None
     elif resolved_dir is None:
         resolved_dir = DEFAULT_CACHE_DIR
-    if jobs == 1 and resolved_dir is None and not telemetry.enabled:
+    if jobs == 1 and resolved_dir is None and not telemetry.enabled and not resilient:
         return None
     if progress is None:
         progress = log.progress_stream()
+    policy = RetryPolicy(
+        max_retries=max_retries if max_retries is not None else RetryPolicy.max_retries,
+        timeout=timeout,
+        fail_fast=fail_fast,
+    )
     return ExecutionEngine(
         jobs=jobs,
         cache_dir=resolved_dir,
         probe=probe,
         progress=progress,
         telemetry=telemetry,
+        policy=policy,
+        fault_plan=fault_plan,
+        journal_dir=DEFAULT_JOURNAL_DIR if resolved_dir is None else None,
     )

@@ -1,0 +1,972 @@
+"""Fault-tolerant execution: supervised workers, retries, checkpoints.
+
+The plain :class:`~concurrent.futures.ProcessPoolExecutor` path of the
+execution engine dies with the first misbehaving point: a crashed
+worker raises ``BrokenProcessPool`` and aborts the sweep, a hung point
+stalls it forever, and a point that raises takes every other in-flight
+result down with it.  This module supplies the resilience layer the
+engine schedules through instead:
+
+- :class:`Supervisor` owns a pool of long-lived worker processes, each
+  connected over its own duplex pipe.  Crashes are detected as pipe
+  EOF (no shared queue can be corrupted by a dying worker), the dead
+  worker is reaped and respawned, and only its in-flight point is
+  re-dispatched.
+- :class:`RetryPolicy` bounds the damage a point can do: failed and
+  timed-out attempts retry with exponential backoff up to
+  ``max_retries``; points that keep killing workers are quarantined
+  after ``quarantine_after`` crashes and degraded to in-process serial
+  execution as a last resort; per-point wall-clock timeouts are
+  enforced by killing the worker (the only way to stop a hung
+  simulation) and scale with a static per-kernel cost estimate
+  (:func:`estimate_point_cost`).
+- Terminal failures become structured :class:`PointFailure` records —
+  exception, traceback, worker pid, attempt count — instead of an
+  abort, so a partial sweep still returns every completed result.
+- :class:`SweepJournal` checkpoints completed points as an append-only
+  JSONL next to the run cache, flushed per completion, so an
+  interrupted sweep (``SIGINT``/``SIGTERM``, exit 130) resumes exactly
+  — including under ``--no-cache``, where the journal is the only
+  persistence.
+- :class:`FaultPlan` injects worker crashes, hangs, in-process errors
+  and cache-entry corruption by point index — deterministic chaos in
+  the spirit of the reliability subsystem's seeded fault injection —
+  powering the ``tests/test_resilience.py`` suite that proves a
+  disturbed sweep's results are bit-identical to an undisturbed run.
+
+The supervisor is deliberately free of engine concerns: progress,
+telemetry, caching and journaling are injected through
+:class:`SupervisorHooks`, so the scheduling core stays independently
+testable.  See ``docs/ARCHITECTURE.md`` §2.12 for the failure model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import time
+import traceback as traceback_module
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..cpu.model import RunResult
+from ..workloads.ir import Loop
+from .cache import decode_result, encode_result
+from .point import RunPoint, build_point_program, execute_point
+
+#: File name of the completed-point checkpoint journal.
+JOURNAL_FILENAME = "journal.jsonl"
+
+#: Journal directory used when the run cache is disabled (``--no-cache``
+#: sweeps still checkpoint, or they could never resume).
+DEFAULT_JOURNAL_DIR = ".repro-journal"
+
+#: Exit code a worker uses for an injected crash (distinguishable from
+#: real segfault signals in the supervisor's logs).
+FAULT_EXIT_CODE = 86
+
+#: Floor of the supervisor's poll interval in seconds.
+_MIN_WAIT = 0.01
+
+#: Ceiling on one exponential-backoff sleep in seconds.
+_MAX_BACKOFF = 2.0
+
+
+# ----------------------------------------------------------------------
+# Failure records and policies
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PointFailure:
+    """Terminal failure record of one simulation point.
+
+    Attributes
+    ----------
+    label : str
+        The point's display label (``kernel/config/level``).
+    kernel : str
+        Kernel name.
+    key : str
+        Content-addressed cache key of the point.
+    kind : str
+        Failure classification: ``"error"`` (the point raised),
+        ``"timeout"`` (every attempt exceeded its wall-clock budget),
+        ``"crash"`` (the point kept killing workers and was never
+        quarantined), or ``"poison"`` (quarantined to in-process serial
+        execution and failed there too).
+    attempts : int
+        Attempts consumed, the quarantined serial attempt included.
+    exception : str
+        Exception class name of the last attempt (empty for crashes).
+    message : str
+        Exception message (or a crash/timeout description).
+    traceback : str
+        Formatted traceback of the last raising attempt (empty when the
+        worker died without reporting one).
+    worker_pid : int
+        Pid of the last worker that attempted the point.
+    """
+
+    label: str
+    kernel: str
+    key: str
+    kind: str
+    attempts: int
+    exception: str = ""
+    message: str = ""
+    traceback: str = ""
+    worker_pid: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable account of the failure.
+
+        Returns
+        -------
+        str
+            E.g. ``gemm/vwb/NONE: error after 3 attempt(s) —
+            ValueError: boom``.
+        """
+        what = f"{self.exception}: {self.message}" if self.exception else self.message
+        return f"{self.label}: {self.kind} after {self.attempts} attempt(s) — {what}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for the run manifest's ``failures`` list.
+
+        Returns
+        -------
+        dict
+            Every attribute, stringified where needed.
+        """
+        return {
+            "label": self.label,
+            "kernel": self.kernel,
+            "cache_key": self.key,
+            "kind": self.kind,
+            "attempts": int(self.attempts),
+            "exception": self.exception,
+            "message": self.message,
+            "traceback": self.traceback,
+            "worker_pid": int(self.worker_pid),
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on how hard the engine fights for each point.
+
+    Attributes
+    ----------
+    max_retries : int
+        Re-dispatches allowed after the first attempt (so a point runs
+        at most ``max_retries + 1`` times before it is declared failed).
+    timeout : float, optional
+        Base per-point wall-clock budget in seconds (``None`` disables
+        timeouts).  The effective budget of a heavy point is scaled up
+        by its static cost estimate — see :func:`scale_timeouts`.
+    backoff_s : float
+        First retry delay in seconds.
+    backoff_factor : float
+        Multiplier applied per additional retry (exponential backoff,
+        capped at two seconds per wait).
+    quarantine_after : int
+        Worker crashes after which a point is quarantined and degraded
+        to in-process serial execution instead of being re-dispatched.
+    fail_fast : bool
+        Stop the batch at the first terminal failure instead of
+        finishing the remaining points.
+    """
+
+    max_retries: int = 2
+    timeout: Optional[float] = None
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    quarantine_after: int = 2
+    fail_fast: bool = False
+
+    def backoff(self, retry: int) -> float:
+        """Sleep before the ``retry``-th re-dispatch (1-based).
+
+        Parameters
+        ----------
+        retry : int
+            How many retries the point has already consumed.
+
+        Returns
+        -------
+        float
+            Seconds to hold the point back, exponentially growing and
+            capped so a sweep never stalls on backoff alone.
+        """
+        return min(_MAX_BACKOFF, self.backoff_s * (self.backoff_factor ** max(0, retry - 1)))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault injection for the chaos test suite.
+
+    Faults are keyed by the point's position in its batch, so a plan is
+    reproducible run to run (the same spirit as the reliability
+    subsystem's seeded write-error injection).  Crash and hang faults
+    only ever fire inside worker processes — applying them in the
+    supervising process would kill or stall the whole sweep, which is
+    exactly what the resilience layer exists to prevent — while error
+    faults fire anywhere, so the serial engine path retries too.
+
+    Attributes
+    ----------
+    crashes : mapping of int to int
+        ``{point_index: n}`` — hard-kill the worker (``os._exit``) on
+        the point's first ``n`` worker attempts.
+    hangs : mapping of int to int
+        ``{point_index: n}`` — hang the point's first ``n`` worker
+        attempts for :attr:`hang_seconds`.
+    errors : mapping of int to int
+        ``{point_index: n}`` — raise a ``RuntimeError`` on the point's
+        first ``n`` attempts, in workers and in-process alike.
+    corrupt_entries : tuple of int
+        Point indices whose on-disk cache entry the engine overwrites
+        with garbage before its first lookup — exercising the cache's
+        quarantine-and-recompute healing end to end.
+    hang_seconds : float
+        How long a hung attempt sleeps (far beyond any test timeout).
+    """
+
+    crashes: Mapping[int, int] = field(default_factory=dict)
+    hangs: Mapping[int, int] = field(default_factory=dict)
+    errors: Mapping[int, int] = field(default_factory=dict)
+    corrupt_entries: Tuple[int, ...] = ()
+    hang_seconds: float = 3600.0
+
+    def apply(self, index: int, attempt: int) -> None:
+        """Fire the planned fault for one worker attempt, if any.
+
+        Called inside a worker process before the point executes.
+
+        Parameters
+        ----------
+        index : int
+            Batch-relative point index.
+        attempt : int
+            1-based attempt number of the point.
+
+        Raises
+        ------
+        RuntimeError
+            For a planned ``errors`` fault.
+        """
+        if attempt <= self.crashes.get(index, 0):
+            os._exit(FAULT_EXIT_CODE)
+        if attempt <= self.hangs.get(index, 0):
+            time.sleep(self.hang_seconds)
+        self.apply_inline(index, attempt)
+
+    def apply_inline(self, index: int, attempt: int) -> None:
+        """Fire only the faults that are safe in the supervising process.
+
+        Crash and hang faults are skipped — a quarantined point's
+        in-process attempt must be allowed to succeed.
+
+        Parameters
+        ----------
+        index : int
+            Batch-relative point index.
+        attempt : int
+            1-based attempt number of the point.
+
+        Raises
+        ------
+        RuntimeError
+            For a planned ``errors`` fault.
+        """
+        if attempt <= self.errors.get(index, 0):
+            raise RuntimeError(f"injected fault: point {index}, attempt {attempt}")
+
+
+# ----------------------------------------------------------------------
+# Static cost estimation (timeout scaling)
+# ----------------------------------------------------------------------
+
+
+def _affine_value(expr: Any, env: Dict[str, int]) -> int:
+    """Evaluate an int-or-affine loop bound at midpoint variable values."""
+    if isinstance(expr, int):
+        return expr
+    total = getattr(expr, "const", 0)
+    for var, coeff in getattr(expr, "coeffs", {}).items():
+        total += coeff * env.get(var.name, 0)
+    return int(total)
+
+
+def _walk_cost(nodes: Any, multiplier: int, env: Dict[str, int]) -> int:
+    """Accumulated access-count estimate of an IR subtree."""
+    total = 0
+    for node in nodes:
+        if isinstance(node, Loop):
+            lower = _affine_value(node.lower, env)
+            upper = _affine_value(node.upper, env)
+            trips = max(1, upper - lower)
+            inner_env = dict(env)
+            inner_env[node.var.name] = lower + trips // 2
+            total += _walk_cost(node.body, multiplier * trips, inner_env)
+        else:
+            total += multiplier * (len(node.reads) + len(node.writes) + 1)
+    return total
+
+
+def estimate_point_cost(point: RunPoint) -> int:
+    """Static relative cost estimate of one simulation point.
+
+    Walks the kernel's (optimized) IR counting memory references times
+    estimated trip counts — triangular bounds are evaluated at the
+    midpoint of their enclosing loops, so the estimate is exact for
+    rectangular nests and a reasonable middle for skewed ones.  No
+    trace is generated: the program is already memoised in the
+    supervising process (the cache key fingerprints it), so the
+    estimate is effectively free.
+
+    Parameters
+    ----------
+    point : RunPoint
+        The simulation point.
+
+    Returns
+    -------
+    int
+        Estimated dynamic access count (always at least 1).  Only
+        *ratios* between points are meaningful — the engine uses them
+        to scale per-point timeouts.
+    """
+    program = build_point_program(point)
+    return max(1, _walk_cost(program.body, 1, {}))
+
+
+def scale_timeouts(costs: List[int], timeout: Optional[float]) -> List[Optional[float]]:
+    """Per-point effective timeouts from one base budget.
+
+    ``timeout`` is the budget of an *average* point of the batch;
+    heavier points get proportionally more, lighter points keep the
+    full base budget (scaling only ever extends, never shrinks, so a
+    user-supplied ``--timeout`` is a floor).
+
+    Parameters
+    ----------
+    costs : list of int
+        Static cost estimates (:func:`estimate_point_cost`), one per
+        point.
+    timeout : float, optional
+        Base budget in seconds; ``None`` disables timeouts entirely.
+
+    Returns
+    -------
+    list of float or None
+        Effective per-point budgets, aligned with ``costs``.
+    """
+    if timeout is None:
+        return [None] * len(costs)
+    mean = sum(costs) / len(costs) if costs else 1.0
+    if mean <= 0:
+        mean = 1.0
+    return [timeout * max(1.0, cost / mean) for cost in costs]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+
+
+class SweepJournal:
+    """Append-only completed-point checkpoint next to the run cache.
+
+    One JSONL line per completed point — ``{"key": ..., "result": ...}``
+    in the cache's exact-round-trip encoding — flushed as each point
+    finishes, so the journal is current the instant a sweep is killed.
+    On the next run the engine replays journaled points without
+    recomputing them, which makes interrupted sweeps resume exactly
+    even when the run cache is disabled.  A journal is discarded when
+    its sweep completes cleanly (:meth:`discard`).
+
+    Damage tolerance mirrors the cache: unreadable lines (a write cut
+    short by ``SIGKILL``) are skipped, never fatal.  Write failures
+    (disk full, permissions) surface as a ``False`` return from
+    :meth:`record` so the engine can degrade to journal-off mode with
+    one warning instead of crashing the sweep.
+
+    Parameters
+    ----------
+    directory : str or pathlib.Path
+        Where ``journal.jsonl`` lives — the run-cache root when caching
+        is on, :data:`DEFAULT_JOURNAL_DIR` under ``--no-cache``.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(directory)
+        self.path = self.directory / JOURNAL_FILENAME
+        self._entries: Dict[str, RunResult] = {}
+        self._load()
+
+    def _load(self) -> None:
+        """Read surviving entries of a previous interrupted sweep."""
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                self._entries[record["key"]] = decode_result(record["result"])
+            except (KeyError, TypeError, ValueError):
+                continue  # torn tail write of a killed sweep
+
+    def __len__(self) -> int:
+        """Number of journaled results currently replayable."""
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional[RunResult]:
+        """Replay the journaled result under ``key``, if any.
+
+        Parameters
+        ----------
+        key : str
+            A content-addressed cache key.
+
+        Returns
+        -------
+        RunResult or None
+            The checkpointed result, bit-identical to the original run.
+        """
+        return self._entries.get(key)
+
+    def record(self, key: str, result: RunResult) -> bool:
+        """Checkpoint one completed point (append + flush).
+
+        Parameters
+        ----------
+        key : str
+            The point's cache key.
+        result : RunResult
+            The completed result.
+
+        Returns
+        -------
+        bool
+            ``False`` when the journal cannot be written (the caller
+            should degrade to journal-off mode); ``True`` otherwise.
+        """
+        self._entries[key] = result
+        line = json.dumps({"key": key, "result": encode_result(result)}, sort_keys=True)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        except OSError:
+            return False
+        return True
+
+    def close(self) -> None:
+        """Release the journal (entries stay replayable in memory).
+
+        Appends open and close the file per record, so this only exists
+        for symmetry with :meth:`discard` — callers may treat a closed
+        journal exactly like an open one.
+        """
+
+    def discard(self) -> None:
+        """Delete the journal after a cleanly completed sweep."""
+        self._entries.clear()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        try:
+            self.directory.rmdir()  # only if the journal was its sole content
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Supervised worker pool
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Task:
+    """One unit of supervised work: a unique cache-missing point.
+
+    Attributes
+    ----------
+    index : int
+        Batch-relative index of the point's first occurrence (the fault
+        plan's key, and the slot progress is reported against).
+    key : str
+        Content-addressed cache key.
+    point : RunPoint
+        The simulation point.
+    timeout : float, optional
+        Effective wall-clock budget of one attempt (already scaled).
+    attempts : int
+        Attempts started so far.
+    crashes : int
+        Worker deaths this point has caused.
+    not_before : float
+        Monotonic time before which the task must not be re-dispatched
+        (exponential backoff).
+    last_error : tuple
+        ``(kind, exception, message, traceback, pid)`` of the most
+        recent failed attempt.
+    """
+
+    index: int
+    key: str
+    point: RunPoint
+    timeout: Optional[float] = None
+    attempts: int = 0
+    crashes: int = 0
+    not_before: float = 0.0
+    last_error: Tuple[str, str, str, str, int] = ("", "", "", "", 0)
+
+    def failure(self, kind: str) -> PointFailure:
+        """Terminal :class:`PointFailure` for this task.
+
+        Parameters
+        ----------
+        kind : str
+            Failure classification (see :class:`PointFailure`).
+
+        Returns
+        -------
+        PointFailure
+            The structured record, carrying the last attempt's error.
+        """
+        _, exception, message, tb, pid = self.last_error
+        return PointFailure(
+            label=self.point.display(),
+            kernel=self.point.kernel,
+            key=self.key,
+            kind=kind,
+            attempts=self.attempts,
+            exception=exception,
+            message=message,
+            traceback=tb,
+            worker_pid=pid,
+        )
+
+
+class SupervisorHooks:
+    """Observer interface the engine implements; every hook is a no-op.
+
+    The supervisor calls these as scheduling events happen, so the
+    engine can feed progress lines, telemetry spans, metrics, the run
+    cache and the journal without the supervisor knowing any of them.
+    """
+
+    def attempt_started(self, task: Task) -> None:
+        """One attempt of ``task`` was dispatched to a worker."""
+
+    def attempt_failed(self, task: Task, kind: str) -> None:
+        """The running attempt failed (``kind``: error/timeout/crash)."""
+
+    def retrying(self, task: Task, kind: str) -> None:
+        """``task`` was re-queued after a failed attempt."""
+
+    def quarantined(self, task: Task) -> None:
+        """``task`` crashed too often and will run in-process."""
+
+    def worker_restarted(self, pid: int) -> None:
+        """A dead worker (former ``pid``) was replaced."""
+
+    def completed(self, task: Task, result: RunResult, pid: int, wall_s: float) -> None:
+        """``task`` finished; ``result`` came from worker ``pid``."""
+
+    def failed(self, failure: PointFailure) -> None:
+        """``task`` is terminally failed."""
+
+
+def _worker_main(conn: Any, fault_plan: Optional[FaultPlan]) -> None:
+    """Worker-process loop: receive points, simulate, send results back.
+
+    ``SIGINT`` is ignored so a Ctrl-C to the process group leaves the
+    drain-and-checkpoint shutdown under the supervisor's control.  Any
+    exception is reported as a structured error message; the worker
+    survives to take the next task.  A message that cannot be sent
+    (supervisor gone) ends the loop.
+
+    Parameters
+    ----------
+    conn : multiprocessing.connection.Connection
+        The worker's end of its duplex pipe.
+    fault_plan : FaultPlan, optional
+        Chaos-injection plan consulted before each attempt.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        task_key, point, index, attempt = message
+        started = time.monotonic()
+        try:
+            if fault_plan is not None:
+                fault_plan.apply(index, attempt)
+            result = execute_point(point)
+            wall = time.monotonic() - started
+            reply = ("ok", task_key, os.getpid(), wall, result)
+        except Exception as exc:  # structured failure, worker survives
+            wall = time.monotonic() - started
+            reply = (
+                "error",
+                task_key,
+                os.getpid(),
+                wall,
+                type(exc).__name__,
+                str(exc),
+                traceback_module.format_exc(),
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """Supervisor-side record of one worker process."""
+
+    __slots__ = ("process", "conn", "task", "killed", "deadline")
+
+    def __init__(self, process: Any, conn: Any) -> None:
+        self.process = process
+        self.conn = conn
+        self.task: Optional[Task] = None
+        self.killed = False
+        self.deadline: Optional[float] = None
+
+
+class Supervisor:
+    """Crash-, hang- and error-surviving scheduler over worker processes.
+
+    Dispatches :class:`Task` objects to a pool of long-lived workers,
+    each owning a private duplex pipe (so a dying worker can never
+    corrupt a shared queue), and applies a :class:`RetryPolicy` to
+    every failure:
+
+    - a clean exception in a worker retries with backoff up to
+      ``max_retries``, then becomes a terminal ``"error"`` failure;
+    - an attempt past its wall-clock budget gets its worker killed
+      (the only way to stop a hung simulation), retries, and becomes a
+      terminal ``"timeout"`` failure when the budget never suffices;
+    - a worker death (pipe EOF without a result) restarts the worker
+      and re-dispatches only the in-flight point; a point that crashes
+      workers ``quarantine_after`` times is degraded to in-process
+      serial execution — success there completes it normally, failure
+      classifies it ``"poison"``.
+
+    The supervisor never raises for point failures — they are returned
+    — but ``KeyboardInterrupt`` (the CLI's ``SIGINT``/``SIGTERM`` path)
+    kills all workers immediately and propagates, leaving completed
+    points checkpointed by the engine's hooks.
+
+    Parameters
+    ----------
+    jobs : int
+        Maximum concurrent worker processes.
+    policy : RetryPolicy
+        Retry/timeout/quarantine bounds.
+    fault_plan : FaultPlan, optional
+        Chaos plan forwarded to workers (and to quarantined in-process
+        attempts, error faults only).
+    hooks : SupervisorHooks, optional
+        Scheduling-event observer (default: no-ops).
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: RetryPolicy,
+        fault_plan: Optional[FaultPlan] = None,
+        hooks: Optional[SupervisorHooks] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.policy = policy
+        self.fault_plan = fault_plan
+        self.hooks = hooks if hooks is not None else SupervisorHooks()
+        self._ctx = get_context()
+        self._workers: List[_Worker] = []
+        self._restarts = 0
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        """Start one worker process with its private pipe."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, self.fault_plan), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process, parent_conn)
+        self._workers.append(worker)
+        return worker
+
+    def _reap(self, worker: _Worker) -> None:
+        """Remove a dead worker and release its resources."""
+        if worker in self._workers:
+            self._workers.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.process.join(timeout=1.0)
+
+    def _shutdown(self, force: bool) -> None:
+        """Stop every worker — gracefully, or by kill on interrupt."""
+        for worker in list(self._workers):
+            if force or worker.task is not None:
+                worker.process.kill()
+            else:
+                try:
+                    worker.conn.send(None)
+                except OSError:
+                    worker.process.kill()
+        for worker in list(self._workers):
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers.clear()
+
+    # -- scheduling ------------------------------------------------------
+
+    def run(self, tasks: List[Task]) -> List[PointFailure]:
+        """Execute every task, surviving crashes, hangs and errors.
+
+        Completed results are delivered through
+        :meth:`SupervisorHooks.completed` as they finish; this method
+        returns only the terminal failures (empty for a clean batch).
+
+        Parameters
+        ----------
+        tasks : list of Task
+            Unique cache-missing points of one batch.
+
+        Returns
+        -------
+        list of PointFailure
+            Terminal failures, in the order they were declared.
+        """
+        queue: deque = deque(tasks)
+        failures: List[PointFailure] = []
+        outstanding = len(tasks)
+        try:
+            for _ in range(min(self.jobs, len(tasks))):
+                self._spawn()
+            while outstanding > len(failures):
+                now = time.monotonic()
+                outstanding -= self._dispatch(queue, failures, now)
+                if self.policy.fail_fast and failures:
+                    break
+                if outstanding <= len(failures):
+                    break
+                self._ensure_workers(queue)
+                ready = connection.wait(
+                    [w.conn for w in self._workers], self._wait_timeout(queue, now)
+                )
+                for conn in ready:
+                    worker = next((w for w in self._workers if w.conn is conn), None)
+                    if worker is not None:
+                        outstanding -= self._drain(worker, queue, failures)
+                outstanding -= self._expire(queue, failures, time.monotonic())
+            self._shutdown(force=bool(failures and self.policy.fail_fast))
+        except BaseException:
+            self._shutdown(force=True)
+            raise
+        return failures
+
+    def _dispatch(self, queue: deque, failures: List[PointFailure], now: float) -> int:
+        """Hand queued tasks to idle workers; run quarantined ones inline.
+
+        Returns
+        -------
+        int
+            Tasks completed inline (quarantined successes).
+        """
+        done = 0
+        idle = [w for w in self._workers if w.task is None]
+        deferred: List[Task] = []
+        while queue:
+            task = queue[0]
+            if task.not_before > now:
+                break
+            if task.crashes >= self.policy.quarantine_after and task.crashes > 0:
+                queue.popleft()
+                done += self._run_quarantined(task, failures)
+                continue
+            if not idle:
+                break
+            queue.popleft()
+            worker = idle.pop()
+            task.attempts += 1
+            try:
+                worker.conn.send((task.key, task.point, task.index, task.attempts))
+            except OSError:
+                # The worker died before taking the task: roll the
+                # attempt back, re-queue, and let the reaper respawn.
+                task.attempts -= 1
+                deferred.append(task)
+                worker.killed = False
+                self._on_worker_death(worker, queue, failures)
+                continue
+            worker.task = task
+            worker.deadline = None if task.timeout is None else now + task.timeout
+            self.hooks.attempt_started(task)
+        for task in deferred:
+            queue.appendleft(task)
+        return done
+
+    def _run_quarantined(self, task: Task, failures: List[PointFailure]) -> int:
+        """Last resort: execute a poison point in the supervising process.
+
+        Returns
+        -------
+        int
+            1 when the task completed, 0 when it terminally failed.
+        """
+        self.hooks.quarantined(task)
+        task.attempts += 1
+        started = time.monotonic()
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.apply_inline(task.index, task.attempts)
+            result = execute_point(task.point)
+        except Exception as exc:
+            task.last_error = (
+                "poison",
+                type(exc).__name__,
+                str(exc),
+                traceback_module.format_exc(),
+                os.getpid(),
+            )
+            self.hooks.attempt_failed(task, "error")
+            failures.append(task.failure("poison"))
+            self.hooks.failed(failures[-1])
+            return 0
+        self.hooks.completed(task, result, os.getpid(), time.monotonic() - started)
+        return 1
+
+    def _wait_timeout(self, queue: deque, now: float) -> float:
+        """Poll interval until the next deadline or backoff expiry."""
+        horizon = 10.0
+        for worker in self._workers:
+            if worker.deadline is not None:
+                horizon = min(horizon, worker.deadline - now)
+        for task in queue:
+            horizon = min(horizon, task.not_before - now)
+        return max(_MIN_WAIT, horizon)
+
+    def _drain(self, worker: _Worker, queue: deque, failures: List[PointFailure]) -> int:
+        """Process one ready pipe: a result, an error, or a death.
+
+        Returns
+        -------
+        int
+            Tasks completed by this message (0 or 1).
+        """
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            self._on_worker_death(worker, queue, failures)
+            return 0
+        task = worker.task
+        worker.task = None
+        worker.deadline = None
+        if task is None:
+            return 0  # late message from a worker already written off
+        if message[0] == "ok":
+            _, _, pid, wall, result = message
+            self.hooks.completed(task, result, pid, wall)
+            return 1
+        _, _, pid, wall, exc_name, exc_message, tb = message
+        task.last_error = ("error", exc_name, exc_message, tb, pid)
+        self._retry_or_fail(task, "error", queue, failures)
+        return 0
+
+    def _on_worker_death(
+        self, worker: _Worker, queue: deque, failures: List[PointFailure]
+    ) -> None:
+        """Reap a dead worker; reschedule its in-flight task."""
+        task = worker.task
+        killed = worker.killed
+        pid = worker.process.pid or 0
+        self._reap(worker)
+        if task is None:
+            return
+        if killed:
+            task.last_error = (
+                "timeout",
+                "",
+                f"attempt exceeded its {task.timeout:.1f}s wall-clock budget",
+                "",
+                pid,
+            )
+            self._retry_or_fail(task, "timeout", queue, failures)
+        else:
+            task.crashes += 1
+            exitcode = worker.process.exitcode
+            task.last_error = (
+                "crash",
+                "",
+                f"worker {pid} died (exit code {exitcode})",
+                "",
+                pid,
+            )
+            self._retry_or_fail(task, "crash", queue, failures)
+
+    def _retry_or_fail(
+        self, task: Task, kind: str, queue: deque, failures: List[PointFailure]
+    ) -> None:
+        """Apply the retry policy to one failed attempt."""
+        self.hooks.attempt_failed(task, kind)
+        quarantine_bound = kind == "crash" and task.crashes >= self.policy.quarantine_after
+        if task.attempts > self.policy.max_retries and not quarantine_bound:
+            failures.append(task.failure(kind))
+            self.hooks.failed(failures[-1])
+            return
+        task.not_before = time.monotonic() + self.policy.backoff(task.attempts)
+        queue.append(task)
+        self.hooks.retrying(task, kind)
+
+    def _expire(self, queue: deque, failures: List[PointFailure], now: float) -> int:
+        """Kill workers whose task exceeded its wall-clock budget."""
+        for worker in self._workers:
+            if worker.task is not None and worker.deadline is not None and now > worker.deadline:
+                worker.killed = True
+                worker.process.kill()
+        return 0
+
+    def _ensure_workers(self, queue: deque) -> None:
+        """Respawn workers up to ``jobs`` while work remains."""
+        busy = sum(1 for w in self._workers if w.task is not None)
+        wanted = min(self.jobs, busy + len(queue))
+        while len(self._workers) < wanted:
+            self._spawn()
+            self._restarts += 1
+            self.hooks.worker_restarted(0)
+
+    @property
+    def restarts(self) -> int:
+        """Workers respawned after a death (initial spawns excluded)."""
+        return self._restarts

@@ -176,10 +176,11 @@ def compare_record(
         One entry per metric present in both generations; empty when
         the record has fewer than two generations.
     """
-    generations = record["generations"]
+    generations = [g for g in record["generations"] if isinstance(g, dict)]
     if len(generations) < 2:
         return []
-    previous, latest = generations[-2]["metrics"], generations[-1]["metrics"]
+    previous = generations[-2].get("metrics") or {}
+    latest = generations[-1].get("metrics") or {}
     deltas: List[Delta] = []
     for name in sorted(latest):
         if name not in previous:
@@ -193,7 +194,7 @@ def compare_record(
         regressed = change < -threshold if higher_is_better else change > threshold
         deltas.append(
             Delta(
-                bench=record["name"],
+                bench=str(record.get("name", "")),
                 metric=name,
                 previous=old_value,
                 latest=new_value,
@@ -236,9 +237,16 @@ def bench_report(
         if record is None:
             lines.append(f"{path.name}: unreadable or incompatible record")
             continue
+        # A record written by hand (or by an older harness) may lack the
+        # "name" field; fall back to the file name so a single damaged
+        # record never crashes the report.
+        name = str(record.get("name") or path.stem[len("BENCH_"):])
         generations = record["generations"]
         if len(generations) < 2:
-            lines.append(f"{record['name']}: {len(generations)} generation(s), nothing to compare")
+            lines.append(
+                f"{name}: {len(generations)} generation(s) — no baseline yet "
+                "(a second run of the bench creates one)"
+            )
             continue
         for delta in compare_record(record, threshold):
             arrow = "+" if delta.change_pct >= 0 else ""

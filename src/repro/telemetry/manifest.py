@@ -24,6 +24,7 @@ so the format is load-bearing, not decorative.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import pathlib
@@ -115,11 +116,29 @@ MANIFEST_SCHEMA: Dict[str, Any] = {
                     "size": {"type": "string"},
                     "seed": {"type": ["integer", "null"]},
                     "cache_key": {"type": "string"},
-                    "status": {"enum": ["hit", "run"]},
+                    "status": {"enum": ["hit", "journal", "run", "failed"]},
                     "worker_pid": {"type": "integer"},
                     "wall_s": {"type": "number"},
                     "start_s": {"type": "number"},
                     "cycles": {"type": "number"},
+                },
+            },
+        },
+        "failures": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["label", "kernel", "cache_key", "kind", "attempts"],
+                "properties": {
+                    "label": {"type": "string"},
+                    "kernel": {"type": "string"},
+                    "cache_key": {"type": "string"},
+                    "kind": {"enum": ["error", "timeout", "crash", "poison"]},
+                    "attempts": {"type": "integer"},
+                    "exception": {"type": "string"},
+                    "message": {"type": "string"},
+                    "traceback": {"type": "string"},
+                    "worker_pid": {"type": "integer"},
                 },
             },
         },
@@ -230,21 +249,12 @@ def build_manifest(
         "engine": {
             "jobs": engine.jobs,
             "cache_dir": str(engine.cache.root) if engine.cache is not None else None,
-            "stats": {
-                "points": stats.points,
-                "hits": stats.hits,
-                "misses": stats.misses,
-                "stale": stats.stale,
-                "corrupt": stats.corrupt,
-                "executed": stats.executed,
-                "deduplicated": stats.deduplicated,
-                "elapsed": stats.elapsed,
-                "busy": stats.busy,
-            },
+            "stats": dataclasses.asdict(stats),
         },
         "metrics": engine.metrics.snapshot(),
         "technologies": dict(sorted(engine.technologies.items())),
         "points": list(engine.point_records),
+        "failures": [failure.as_dict() for failure in getattr(engine, "failures", [])],
     }
     validate_manifest(doc)
     return doc
@@ -333,4 +343,28 @@ def render_manifest(doc: Dict[str, Any]) -> str:
         f"workers: {len(workers) or 1} process(es), jobs={jobs}, "
         f"utilization {utilization:.0f}% over {elapsed:.1f}s",
     ]
+    resilience = [
+        (label, stats.get(key, 0))
+        for label, key in (
+            ("journal replays", "journal_hits"),
+            ("retries", "retries"),
+            ("timeouts", "timeouts"),
+            ("worker restarts", "worker_restarts"),
+            ("quarantined", "quarantined"),
+            ("failed", "failed"),
+        )
+        if stats.get(key, 0)
+    ]
+    if resilience:
+        lines.append(
+            "resilience: " + ", ".join(f"{value} {label}" for label, value in resilience)
+        )
+    for failure in doc.get("failures", []):
+        what = failure.get("message", "")
+        if failure.get("exception"):
+            what = f"{failure['exception']}: {what}"
+        lines.append(
+            f"failed: {failure['label']} — {failure['kind']} "
+            f"after {failure['attempts']} attempt(s) — {what}"
+        )
     return "\n".join(lines)

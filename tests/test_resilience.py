@@ -1,0 +1,324 @@
+"""Chaos suite for the fault-tolerant execution engine.
+
+Every scenario injects a deterministic fault through
+:class:`~repro.exec.resilience.FaultPlan` — worker crashes, hung points,
+poison points, corrupted cache entries, a full disk — and asserts the
+sweep still completes with results **bit-identical** to a clean serial
+run (full :class:`~repro.cpu.model.RunResult` equality, histogram
+included).  The interrupt tests drive the real CLI in a subprocess:
+``SIGINT`` mid-sweep must exit 130 after checkpointing, and re-running
+the same command must resume executing only the remaining points.
+"""
+
+import dataclasses
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, EXIT_OK, main
+from repro.errors import SweepFailure
+from repro.exec import (
+    ExecutionEngine,
+    FaultPlan,
+    PointFailure,
+    RetryPolicy,
+    RunCache,
+    RunPoint,
+    SweepJournal,
+    cache_key_of,
+    estimate_point_cost,
+)
+from repro.exec.point import execute_point
+from repro.exec.resilience import scale_timeouts
+from repro.experiments.runner import CONFIGURATIONS
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+KERNELS = ("gemm", "atax", "bicg", "mvt")
+CONFIGS = ("sram", "vwb")
+
+
+def _points():
+    return [
+        RunPoint(kernel=k, config=CONFIGURATIONS[c], label=f"{k}/{c}")
+        for k in KERNELS
+        for c in CONFIGS
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Clean serial results every chaos run must reproduce exactly."""
+    return [execute_point(p) for p in _points()]
+
+
+def _chaos_engine(tmp_path, plan, policy=None, jobs=3, cache=True):
+    return ExecutionEngine(
+        jobs=jobs,
+        cache_dir=str(tmp_path / "cache") if cache else None,
+        policy=policy or RetryPolicy(),
+        fault_plan=plan,
+    )
+
+
+class TestPolicyAndEstimates:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_factor=2.0)
+        waits = [policy.backoff(n) for n in (1, 2, 3, 10)]
+        assert waits[0] == pytest.approx(0.1)
+        assert waits[1] == pytest.approx(0.2)
+        assert waits[2] == pytest.approx(0.4)
+        assert waits == sorted(waits)
+        assert waits[-1] <= 2.0
+
+    def test_cost_estimate_is_deterministic_and_kernel_specific(self):
+        """The static estimate reflects the kernel, not a shared constant."""
+        gemm = estimate_point_cost(RunPoint("gemm", CONFIGURATIONS["vwb"]))
+        atax = estimate_point_cost(RunPoint("atax", CONFIGURATIONS["vwb"]))
+        assert gemm > 0 and atax > 0
+        assert gemm != atax
+        assert gemm == estimate_point_cost(RunPoint("gemm", CONFIGURATIONS["vwb"]))
+
+    def test_timeout_scaling_extends_never_shrinks(self):
+        budgets = scale_timeouts([100, 400, 1000], 10.0)
+        assert budgets[0] == pytest.approx(10.0)  # light point keeps the floor
+        assert budgets[2] == pytest.approx(20.0)  # 2x the mean cost -> 2x budget
+        assert all(b >= 10.0 for b in budgets)
+        assert scale_timeouts([1, 2], None) == [None, None]
+
+    def test_failure_record_round_trips(self):
+        failure = PointFailure(
+            label="gemm/vwb", kernel="gemm", key="k" * 64, kind="timeout",
+            attempts=3, message="exceeded budget", worker_pid=41,
+        )
+        data = failure.as_dict()
+        assert data["kind"] == "timeout" and data["attempts"] == 3
+        assert "timeout after 3 attempt(s)" in failure.describe()
+
+
+class TestSweepJournal:
+    def test_round_trip_is_bit_identical(self, tmp_path, reference):
+        journal = SweepJournal(tmp_path)
+        assert journal.record("k1", reference[0])
+        replayed = SweepJournal(tmp_path)
+        assert replayed.lookup("k1") == reference[0]
+        assert len(replayed) == 1
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path, reference):
+        journal = SweepJournal(tmp_path)
+        journal.record("k1", reference[0])
+        with open(journal.path, "a") as handle:
+            handle.write('{"key": "k2", "result": {"cut mid-wri')  # SIGKILL artefact
+        survivor = SweepJournal(tmp_path)
+        assert survivor.lookup("k1") == reference[0]
+        assert survivor.lookup("k2") is None
+
+    def test_discard_removes_the_journal(self, tmp_path, reference):
+        journal = SweepJournal(tmp_path / "j")
+        journal.record("k1", reference[0])
+        assert journal.path.exists()
+        journal.discard()
+        assert not journal.path.exists()
+        assert len(SweepJournal(tmp_path / "j")) == 0
+
+
+class TestCacheHardening:
+    def test_orphaned_tmp_files_swept_at_open(self, tmp_path):
+        """Satellite: ``*.tmp`` leaked between mkstemp and replace."""
+        root = tmp_path / "cache"
+        (root / "ab").mkdir(parents=True)
+        orphan = root / "ab" / "stale123.tmp"
+        orphan.write_text("half an entry")
+        old = time.time() - 3600
+        os.utime(orphan, (old, old))
+        RunCache(root)
+        assert not orphan.exists()
+
+    def test_fresh_tmp_files_survive_the_sweep(self, tmp_path):
+        """A concurrent writer's in-flight tmp file must not be raced."""
+        root = tmp_path / "cache"
+        (root / "ab").mkdir(parents=True)
+        fresh = root / "ab" / "inflight.tmp"
+        fresh.write_text("being written right now")
+        future = time.time() + 3600
+        os.utime(fresh, (future, future))
+        RunCache(root)
+        assert fresh.exists()
+
+    def test_quarantine_moves_entry_with_reason(self, tmp_path, reference):
+        cache = RunCache(tmp_path / "cache")
+        key = cache_key_of(_points()[0])
+        cache.put(key, reference[0])
+        cache.path_for(key).write_text("not json at all")
+        assert cache.lookup(key).status == "corrupt"
+        moved = cache.quarantine(key, "corrupt entry (test)")
+        assert moved is not None and moved.exists()
+        reason = moved.parent / f"{key}.reason.txt"
+        assert "corrupt" in reason.read_text()
+        assert cache.lookup(key).status == "miss"  # healed: recomputes
+        assert cache.entries() == []  # quarantined entries are not live
+        assert cache.quarantined() == [moved]
+
+
+class TestChaos:
+    def test_worker_crash_mid_batch_is_bit_identical(self, tmp_path, reference):
+        engine = _chaos_engine(tmp_path, FaultPlan(crashes={0: 1, 5: 1}))
+        assert engine.run_points(_points()) == reference
+        assert engine.stats.worker_restarts >= 2
+        assert engine.stats.retries >= 2
+        assert engine.metrics.snapshot()["counters"]["exec.worker_restarts"] >= 2
+
+    def test_hung_point_times_out_and_retries(self, tmp_path, reference):
+        engine = _chaos_engine(
+            tmp_path,
+            FaultPlan(hangs={1: 1}),
+            policy=RetryPolicy(timeout=3.0),
+        )
+        assert engine.run_points(_points()) == reference
+        assert engine.stats.timeouts == 1
+
+    def test_poison_point_quarantined_to_serial(self, tmp_path, reference):
+        engine = _chaos_engine(
+            tmp_path,
+            FaultPlan(crashes={2: 99}),  # crashes every worker attempt
+            policy=RetryPolicy(max_retries=5, quarantine_after=2),
+        )
+        assert engine.run_points(_points()) == reference
+        assert engine.stats.quarantined == 1
+        assert engine.stats.worker_restarts >= 2
+
+    def test_corrupt_cache_entries_quarantined_and_recomputed(self, tmp_path, reference):
+        warm = _chaos_engine(tmp_path, None, jobs=1)
+        warm.run_points(_points())
+        engine = _chaos_engine(tmp_path, FaultPlan(corrupt_entries=(1, 4)), jobs=1)
+        assert engine.run_points(_points()) == reference
+        assert engine.stats.corrupt == 2
+        quarantined = engine.cache.quarantined()
+        assert len(quarantined) == 2
+        for entry in quarantined:
+            reason = entry.parent / f"{entry.stem}.reason.txt"
+            assert "corrupt" in reason.read_text()
+
+    def test_disk_full_degrades_to_cache_off(self, tmp_path, reference, monkeypatch):
+        engine = _chaos_engine(tmp_path, None, jobs=1)
+
+        def full_disk(key, result, material=None):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(engine.cache, "put", full_disk)
+        assert engine.run_points(_points()) == reference
+        assert engine.cache is None  # degraded, not crashed
+        assert "off (degraded)" in engine.summary()
+        assert engine.metrics.snapshot()["counters"]["cache.degraded"] == 1
+
+    def test_terminal_failure_is_structured_not_fatal(self, tmp_path, reference):
+        plan = FaultPlan(errors={3: 99})
+        engine = _chaos_engine(tmp_path, plan, policy=RetryPolicy(max_retries=1))
+        with pytest.raises(SweepFailure) as excinfo:
+            engine.run_points(_points())
+        (failure,) = excinfo.value.failures
+        assert failure.kind == "error"
+        assert failure.attempts == 2
+        assert failure.exception == "RuntimeError"
+        assert "injected fault" in failure.message
+
+        detailed = _chaos_engine(
+            tmp_path / "d", plan, policy=RetryPolicy(max_retries=1)
+        ).run_points_detailed(_points())
+        assert [r is None for r in detailed.results] == [i == 3 for i in range(8)]
+        kept = [r for r in detailed.results if r is not None]
+        assert kept == [r for i, r in enumerate(reference) if i != 3]
+
+    def test_serial_path_retries_identically(self, tmp_path, reference):
+        engine = _chaos_engine(
+            tmp_path,
+            FaultPlan(errors={0: 1, 6: 2}),
+            policy=RetryPolicy(max_retries=2, backoff_s=0.01),
+            jobs=1,
+        )
+        assert engine.run_points(_points()) == reference
+        assert engine.stats.retries == 3
+
+
+class TestInterruptAndResume:
+    def _spawn(self, cwd, *extra):
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        cmd = [
+            sys.executable, "-m", "repro", "penalties", "--no-bars",
+            "--jobs", "4", "--cache-dir", ".cache", "--telemetry", ".tele",
+        ] + list(extra)
+        return subprocess.Popen(
+            cmd, cwd=cwd, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            start_new_session=True,  # isolate from pytest's process group
+        )
+
+    def test_sigint_checkpoints_then_resume_executes_only_the_rest(self, tmp_path):
+        proc = self._spawn(tmp_path)
+        time.sleep(5.0)  # mid-sweep: some points done, more outstanding
+        proc.send_signal(signal.SIGINT)
+        _, err = proc.communicate(timeout=120)
+        assert proc.returncode == EXIT_INTERRUPTED, err.decode()
+        assert b"resume" in err
+        journal = tmp_path / ".cache" / "journal.jsonl"
+        assert journal.exists() and journal.read_text().strip()
+
+        interrupted = json.loads((tmp_path / ".tele" / "manifest.json").read_text())
+        done_before = {
+            p["cache_key"] for p in interrupted["points"] if p["status"] in ("run", "hit")
+        }
+        assert done_before, "expected some completed points before the interrupt"
+
+        resume = self._spawn(tmp_path)
+        _, err = resume.communicate(timeout=300)
+        assert resume.returncode == EXIT_OK, err.decode()
+        manifest = json.loads((tmp_path / ".tele" / "manifest.json").read_text())
+        stats = manifest["engine"]["stats"]
+        assert stats["failed"] == 0
+        # Exact resume: everything that completed before the interrupt
+        # replays (cache hit), only the remainder executes.
+        assert stats["hits"] >= len(done_before)
+        assert 0 < stats["executed"] < stats["points"]
+        assert not journal.exists()  # discarded after the clean finish
+
+    def test_keyboard_interrupt_maps_to_130_in_process(self, monkeypatch):
+        """Satellite: KeyboardInterrupt routes through the error handler."""
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_dispatch", interrupted)
+        assert main(["fig1"]) == EXIT_INTERRUPTED
+
+
+class TestBenchReportSatellite:
+    def _write(self, tmp_path, name, generations, with_name=True):
+        record = {"format": 1, "generations": generations}
+        if with_name:
+            record["name"] = name
+        (tmp_path / f"BENCH_{name}.json").write_text(json.dumps(record))
+
+    def test_single_generation_reports_no_baseline_and_exits_zero(self, tmp_path, capsys):
+        from repro.telemetry import bench_report
+
+        gen = {"created": "now", "metrics": {"wall_s": {"value": 1.0}}, "context": {}}
+        self._write(tmp_path, "solo", [gen])
+        text, regressions = bench_report(tmp_path)
+        assert "no baseline yet" in text
+        assert regressions == []
+        assert main(["bench-report", "--bench-dir", str(tmp_path)]) == EXIT_OK
+        assert "no baseline yet" in capsys.readouterr().out
+
+    def test_record_without_name_falls_back_to_filename(self, tmp_path):
+        from repro.telemetry import bench_report
+
+        gen = {"created": "now", "metrics": {"wall_s": {"value": 1.0}}, "context": {}}
+        self._write(tmp_path, "anon", [gen], with_name=False)
+        text, regressions = bench_report(tmp_path)
+        assert "anon: 1 generation(s)" in text
+        assert regressions == []
