@@ -13,7 +13,15 @@ replay loop in :meth:`repro.cpu.model.InOrderCPU.run_encoded`:
 - the end-to-end ``penalties`` shape (trace construction plus one replay
   per system, all twelve kernels against all six configurations, null
   probe) must beat the pre-PR object path by the same enforced margin;
-  the measured ratio is printed against the 3x design target.
+  the measured ratio is printed against the 3x design target;
+- the batched multi-lane pass (:func:`repro.cpu.batched.run_batch`,
+  one trace walk driving all six configurations) must be bit-exact
+  with the serial encoded pass and at least
+  :data:`MIN_BATCHED_SPEEDUP` times its throughput on the same grid.
+  The measured ratio (~1.1-1.3x here — trace-side dispatch is a small
+  share of a replay; ``docs/INTERNALS.md`` §3 has the composition) is
+  recorded in the bench trajectory; the floor only guards against the
+  batched path ever becoming a pessimization.
 
 Timings are best-of-N wall clock after a warm-up pass, matching
 ``bench_profile.py``.
@@ -23,6 +31,7 @@ from __future__ import annotations
 
 import time
 
+from repro.cpu.batched import run_batch
 from repro.cpu.system import warm_regions_of
 from repro.experiments.penalties import NVM_CONFIGS
 from repro.experiments.runner import make_system
@@ -41,6 +50,10 @@ MIN_REPLAY_SPEEDUP = 2.0
 #: Headline end-to-end goal of the columnar-trace work (reported, not asserted).
 E2E_TARGET = 3.0
 MAX_ENCODE_OVERHEAD = 1.5
+#: Floor for batched vs serial-encoded throughput on the full grid.
+#: Set below the measured ~1.1-1.3x so noisy CI boxes never flake; it
+#: exists to catch the batched path regressing into a pessimization.
+MIN_BATCHED_SPEEDUP = 0.95
 
 
 def _programs(kernels):
@@ -159,4 +172,53 @@ def test_penalties_end_to_end_speedup(bench_metrics):
     assert ratio >= MIN_REPLAY_SPEEDUP, (
         f"end-to-end penalties speedup is only x{ratio:.2f} "
         f"(CI floor x{MIN_REPLAY_SPEEDUP})"
+    )
+
+
+def _batched_pass(material):
+    """One batched penalties pass: per kernel, one 6-lane run_batch."""
+    start = time.perf_counter()
+    cycles = []
+    for trace, regions in material:
+        systems = [make_system(config) for config in ALL_CONFIGS]
+        for result in run_batch(trace, systems, warm_regions=regions):
+            cycles.append(result.cycles)
+    return time.perf_counter() - start, cycles
+
+
+def test_batched_penalties_speedup(bench_metrics):
+    programs = _programs(kernel_names())
+    material = [
+        (encode_trace(program), warm_regions_of(program))
+        for program in programs.values()
+    ]
+    _batched_pass(material)  # warm-up: compiles the 6-lane stepper
+
+    serial_times, batched_times = [], []
+    serial_cycles = batched_cycles = None
+    for _ in range(E2E_REPEATS):
+        start = time.perf_counter()
+        serial_cycles = []
+        for trace, regions in material:
+            for config in ALL_CONFIGS:
+                system = make_system(config)
+                result = system.run(trace, warm_regions=regions)
+                serial_cycles.append(result.cycles)
+        serial_times.append(time.perf_counter() - start)
+        elapsed, batched_cycles = _batched_pass(material)
+        batched_times.append(elapsed)
+
+    # The batched path is only admissible because it is bit-exact.
+    assert batched_cycles == serial_cycles
+
+    ratio = min(serial_times) / min(batched_times)
+    bench_metrics.setdefault("trace", {})["batched_speedup"] = metric(ratio, unit="x")
+    print(
+        f"\nbatched penalties: best serial-encoded {min(serial_times):.3f}s, "
+        f"best batched {min(batched_times):.3f}s, speedup x{ratio:.2f} "
+        f"(floor x{MIN_BATCHED_SPEEDUP})"
+    )
+    assert ratio >= MIN_BATCHED_SPEEDUP, (
+        f"batched replay is only x{ratio:.2f} the serial encoded pass "
+        f"(floor x{MIN_BATCHED_SPEEDUP})"
     )

@@ -6,6 +6,9 @@ The simulator maintains several redundant ways of executing the same
 - **generic replay** — ``InOrderCPU.run`` over decoded event objects;
 - **encoded replay** — ``run_encoded`` over the columnar opcode stream,
   with the front-end's inlined fast-path hit kernels;
+- **batched replay** — :func:`repro.cpu.batched.run_batch` driving the
+  point as one lane of a generated multi-lane stepper, whose per-lane
+  state mutations and result must match a solo run exactly;
 - **probed replay** — generic replay under a
   :class:`~repro.obs.probe.RecordingProbe`, whose cycle ledger must
   balance to the run's cycle count exactly;
@@ -91,7 +94,7 @@ class AuditReport:
         if self.ok:
             return (
                 f"PASS  {head}: {self.events} events, "
-                f"{self.checks} invariant sweeps, 4 replay legs agree"
+                f"{self.checks} invariant sweeps, 5 replay legs agree"
             )
         lines = [f"FAIL  {head}:"]
         if self.violation is not None:
@@ -149,11 +152,11 @@ def audit_point(
 ) -> AuditReport:
     """Differentially audit one (kernel, config, level) point.
 
-    Runs the four replay legs (sanitized generic, encoded fast path,
-    probed with ledger verification, warm re-runs of the first two),
-    diffs results, histograms and shadow end states, and — when the
-    generic and encoded paths disagree — bisects to the first diverging
-    event.
+    Runs the five replay legs (sanitized generic, encoded fast path,
+    batched multi-lane, probed with ledger verification, warm re-runs
+    of the first two), diffs results, histograms and shadow end states,
+    and — when the generic and encoded paths disagree — bisects to the
+    first diverging event.
 
     Args:
         kernel: Kernel name from the PolyBench registry.
@@ -199,6 +202,17 @@ def audit_point(
     _diff_into(report, "encoded.result", _result_state(result_a), _result_state(result_b))
     _diff_into(report, "encoded.state", shadow_a, shadow_b)
     encoded_diverged = bool(report.divergences)
+
+    # Leg E: batched replay — the point runs as one lane of a two-lane
+    # generated stepper (both lanes this configuration), so the batched
+    # engine's inlined hit tiers, divergence fallbacks and deferred stat
+    # flushes are all exercised and diffed against the sanitized run.
+    from ..cpu.batched import run_batch
+
+    system_e = System(sys_config)
+    result_e = run_batch(trace, [system_e, System(sys_config)], warm_regions=regions)[0]
+    _diff_into(report, "batched.result", _result_state(result_a), _result_state(result_e))
+    _diff_into(report, "batched.state", shadow_a, capture_system(system_e))
 
     # Leg C: probed generic replay; the RecordingProbe's finish hook
     # verifies the cycle ledger balances to the run's cycles exactly.

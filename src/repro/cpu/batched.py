@@ -1,0 +1,851 @@
+"""Batched multi-configuration replay: one trace pass, N system lanes.
+
+Every figure in the paper replays the *same* kernel trace through many
+D-cache configurations (the penalties grid alone is 6 configurations per
+kernel), yet the encoded fast path still walks the opcode and operand
+columns once per configuration.  This module removes that redundancy:
+:func:`run_batch` drives N independent :class:`~repro.cpu.system.System`
+*lanes* through a single pass over one
+:class:`~repro.workloads.encode.EncodedTrace`, so the per-event stream
+decode (opcode dispatch, operand iterator hops, loop bookkeeping) is
+paid once and amortised across every lane — and each lane's hit path is
+specialised far beyond what the per-run closures of
+:mod:`repro.cpu.fastpath` can do, because the stepper is *generated*
+with the lane's geometry baked in as literal constants.
+
+Lane state layout (struct of arrays)
+------------------------------------
+
+Per-lane cache state is flattened out of its object graph into a
+*binding table*: for each lane the planner (:func:`_plan_lane`)
+collects flat references to the mutable columns of that lane's D-cache
+— tag lists, dirty bits, the bank busy-time array, LRU order lists,
+front-end buffer structures, stat counters — plus the lane's store
+queue and latency histogram, and a generated stepper function binds
+each column to a lane-suffixed local (``tg0``/``tg1``/...,
+``bz0``/``bz1``/...).  The stepper's frame is therefore a
+struct-of-arrays view of the whole batch: one opcode dispatch per
+event, then straight-line per-lane blocks touching only flat locals.
+The columns themselves stay the *live* containers of each lane's
+caches — never copies — because the generic fallback path and the
+post-run statistics read the same objects; see ``docs/ARCHITECTURE.md``
+section 2.13 for why full columnar copies would break the
+bit-exactness contract.
+
+Specialisation tiers
+--------------------
+
+Each lane compiles into the stepper at the most specialised tier its
+front-end admits:
+
+- **plain / hybrid** (``t0``) — the single-line array hit (tag probe,
+  bank reservation, inline LRU touch, stat counters) is emitted
+  directly with the lane's geometry as literals; two-way
+  set-associative lanes (the paper's DL1) further replace the tag
+  ``list.index`` probe with two direct comparisons and the exact-LRU
+  touch with two subscript stores.
+- **emshr** (``t1e``) — fully inlined: the entry-dict probe plus the
+  same inlined array hit body against the backing NVM array.
+- **vwb** (``t1v``) / **l0** (``t1l``) — the buffer hit scan (wide-line
+  window match, filter-line match with fill-in-flight bookkeeping) is
+  inlined and unrolled; staged windows, demand promotions and narrow
+  fills fall back to the per-run closures of
+  :func:`~repro.cpu.fastpath.make_fast_ops`.
+- **generic** (``t2``) — lanes with hit-path hooks (fault injection,
+  AWARE writes, line-write tracking, hardware prefetchers, subclassed
+  front-ends) call ``frontend.read``/``write`` per event.
+
+Divergence is all-or-nothing per lane *per event*: an inlined kernel
+either completes the event with bit-identical state mutations or backs
+out having touched nothing, and that one event falls through to the
+fastpath closure or the generic ``frontend.read``/``write`` call — the
+identical contract the serial encoded loop pins in
+``tests/test_encode.py``.  Whole lanes that cannot join a batched pass
+at all (attached probe, sanitizer checker, i-fetch modelling) are
+executed through ``System.run`` unchanged; see :func:`batch_eligible`.
+
+Bit-exactness contract
+----------------------
+
+For every lane, the returned :class:`~repro.cpu.model.RunResult` is
+equal — whole-object ``==``, every float bit-identical — to what
+``System.run(trace, warm_regions=...)`` returns for that lane alone.
+The generated per-lane blocks replicate the serial encoded loop's
+float-addition order exactly (exposed-latency clamp, store-queue
+back-pressure arithmetic, truncated bank waits), which is why the
+stepper is *generated* rather than vectorised: every event's latency
+feeds the lane clock that the next event's bank and store-buffer
+arithmetic depends on, so there is no event-axis parallelism to
+exploit without reordering float additions.  Pinned by
+``tests/test_batched.py`` across the full kernel/configuration/opt
+grid, by the sanitizer's batched audit leg, and by the byte-identical
+``benchmarks/golden_penalties.txt`` CI gate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.dropin import PlainFrontend
+from ..core.emshr import EMSHRFrontend
+from ..core.hybrid import HybridFrontend
+from ..core.l0 import L0Frontend
+from ..core.vwb_frontend import VWBFrontend
+from ..workloads.encode import EncodedTrace
+from .fastpath import make_fast_ops
+from .model import LOAD_HISTOGRAM_CAP, RunResult
+from .system import System
+
+#: Compiled stepper cache, keyed by the batch shape (every per-lane
+#: spec in order).  Shapes recur across kernels — the penalties grid
+#: compiles exactly one stepper for its 6-lane batch and reuses it for
+#: all 12 kernels.
+_STEPPER_CACHE: Dict[Tuple, object] = {}
+
+
+def batch_eligible(system: System) -> bool:
+    """Whether ``system`` can run as one lane of a batched pass.
+
+    A lane joins the batch only when nothing hooks the event loop
+    itself: probed runs and sanitized runs observe per-event callbacks
+    in the serial loops, and i-fetch modelling threads an instruction
+    counter through the event stream.  Everything below the event loop
+    (fault injection, AWARE writes, prefetchers) batches fine — those
+    lanes simply run at the generic tier.
+
+    Parameters
+    ----------
+    system : System
+        The assembled platform for one lane.
+
+    Returns
+    -------
+    bool
+        ``True`` when the lane can be driven by the generated stepper.
+    """
+    return (
+        not system.cpu.probe.enabled
+        and system.cpu.checker is None
+        and not system.config.cpu.model_ifetch
+    )
+
+
+def _array_spec(cache) -> Tuple:
+    """The hashable geometry of one cache array's inlined hit path."""
+    cfg = cache.config
+    return (
+        cache._offset_bits,
+        cfg.sets - 1,
+        cache._offset_bits + cache._index_bits,
+        len(cache._banks._busy_until) - 1,
+        repr(float(cfg.read_hit_cycles)),
+        repr(float(cfg.write_hit_cycles)),
+        cfg.replacement == "lru",
+        cfg.associativity,
+    )
+
+
+def _bind_array(bindings: Dict[str, object], cache) -> None:
+    """Add one cache array's live state columns to a lane's bindings."""
+    bindings.update(
+        tags=cache._tags,
+        dirty=cache._dirty,
+        busy=cache._banks._busy_until,
+        cs=cache.stats,
+    )
+    if cache.config.replacement == "lru":
+        bindings["lru"] = [s._order for s in cache._repl]
+    else:
+        bindings["repl"] = cache._repl
+
+
+def _plan_lane(system: System) -> Tuple[Tuple, Dict[str, object]]:
+    """Build one lane's specialisation spec and binding table.
+
+    The *spec* is a hashable description of everything the generated
+    code depends on — the tier, the core timing constants, and the
+    cache geometry baked in as literals.  The *bindings* map names to
+    the live mutable state the stepper binds as locals.  Must be called
+    after the lane's reset/warm-up: ``reset()`` and ``clear_stats()``
+    replace the captured containers.
+
+    Parameters
+    ----------
+    system : System
+        The lane's platform, already reset and warmed.
+
+    Returns
+    -------
+    tuple
+        ``(spec, bindings)`` — the hashable code shape and the name ->
+        object table consumed by the generated prologue.
+    """
+    frontend = system.frontend
+    cpu_cfg = system.config.cpu
+    bindings: Dict[str, object] = {
+        "gr": frontend.read,
+        "gw": frontend.write,
+        "gp": frontend.prefetch,
+        "fs": frontend.stats,
+        "sq": deque(),
+        "hist": [0] * (LOAD_HISTOGRAM_CAP + 1),
+    }
+    core = (
+        repr(cpu_cfg.load_use_overlap),
+        repr(cpu_cfg.store_issue_cycles),
+        cpu_cfg.store_buffer_entries,
+        repr(cpu_cfg.prefetch_issue_cycles),
+        repr(cpu_cfg.branch_cycles),
+        repr(cpu_cfg.branch_cycles + cpu_cfg.branch_mispredict_cycles),
+    )
+    fast = make_fast_ops(frontend)
+    kind = type(frontend)
+    if fast is None:
+        return ("t2", core), bindings
+    if kind is PlainFrontend or kind is HybridFrontend:
+        # The hybrid's fast array is its SRAM partition and its hits
+        # book as buffer hits; the plain front-end's array is the DL1
+        # itself and every access books as a buffer miss (no buffer).
+        cache = frontend.backing if kind is PlainFrontend else frontend.sram
+        _bind_array(bindings, cache)
+        return ("t0", core, _array_spec(cache), kind is HybridFrontend), bindings
+    if kind is EMSHRFrontend:
+        _bind_array(bindings, frontend.backing)
+        bindings["en"] = frontend._entries
+        spec = (
+            "t1e",
+            core,
+            _array_spec(frontend.backing),
+            repr(frontend._hit_cycles),
+        )
+        return spec, bindings
+    if kind is VWBFrontend:
+        bindings["fr"], bindings["fw"] = fast
+        bindings["vb"] = frontend.vwb
+        for i, line in enumerate(frontend.vwb._lines):
+            bindings[f"wl_{i}"] = line
+        spec = (
+            "t1v",
+            core,
+            frontend.vwb._window_bytes,
+            repr(frontend._hit_cycles),
+            len(frontend.vwb._lines),
+        )
+        return spec, bindings
+    if kind is L0Frontend:
+        bindings["fr"], bindings["fw"] = fast
+        bindings["st"] = frontend._store
+        bindings["flr"] = frontend._fill_ready
+        for i, line in enumerate(frontend._store._lines):
+            bindings[f"sl_{i}"] = line
+        spec = (
+            "t1l",
+            core,
+            frontend.backing._offset_bits,
+            repr(float(frontend._store.config.hit_cycles)),
+            len(frontend._store._lines),
+        )
+        return spec, bindings
+    # Unknown fast-capable type (future front-ends): closure tier.
+    bindings["fr"], bindings["fw"] = fast
+    return ("t1", core), bindings
+
+
+# ----------------------------------------------------------------------
+# Code emission.  Each helper returns indented source lines; the per-
+# lane hit bodies leave the event latency in ``v`` and never touch the
+# shared scratch names of other lanes (``ln``/``ix``/... are reused
+# sequentially between lanes within one opcode block).
+# ----------------------------------------------------------------------
+
+
+def _emit_array_hit(
+    k: int, aspec: Tuple, write: bool, pad: str, booked: str, fallback: str,
+    addr: str = "addr", size: str = "size", skip_span: bool = False,
+    f_args: Optional[str] = None,
+) -> List[str]:
+    """Inlined single-line array hit (mirrors ``_passthrough_ops``).
+
+    Emits the tag probe, bank reservation, LRU touch and stat counters
+    of one cache array with the geometry of ``aspec`` baked in;
+    ``fallback`` is the callable named for spanning accesses and
+    misses, invoked with ``f_args`` (default: the access operands).
+    Two-way exact-LRU arrays get the comparison probe and the
+    subscript-store LRU swap.
+    """
+    off, set_mask, idx_shift, bank_mask, rc, wc, lru, assoc = aspec
+    hc = wc if write else rc
+    hits = f"wh{k}" if write else f"rh{k}"
+    two_way = lru and assoc == 2
+    if f_args is None:
+        f_args = f"{addr}, {size}, c{k}"
+
+    def body(p: str, way_expr: str) -> List[str]:
+        inner = [
+            f"{p}{booked} += 1",
+            f"{p}bk = ln & {bank_mask}",
+            f"{p}bu = bz{k}[bk]",
+            f"{p}if bu > c{k}:",
+            f"{p}    wt = bu - c{k}",
+            f"{p}    bz{k}[bk] = bu + {hc}",
+            f"{p}    bw{k} += int(wt)",
+            f"{p}    v = wt + {hc}",
+            f"{p}else:",
+            f"{p}    bz{k}[bk] = c{k} + {hc}",
+            f"{p}    v = {hc}",
+        ]
+        if two_way:
+            # A two-element exact-LRU order holds exactly {0, 1}, so a
+            # front touch is a pair of subscript stores.
+            other = "0" if way_expr == "1" else "1"
+            inner += [
+                f"{p}od = lo{k}[ix]",
+                f"{p}if od[0] != {way_expr}:",
+                f"{p}    od[0] = {way_expr}",
+                f"{p}    od[1] = {other}",
+            ]
+        elif lru:
+            inner += [
+                f"{p}od = lo{k}[ix]",
+                f"{p}if od[0] != wy:",
+                f"{p}    od.remove(wy)",
+                f"{p}    od.insert(0, wy)",
+            ]
+        else:
+            inner.append(f"{p}rp{k}[ix].touch(wy)")
+        if write:
+            inner.append(f"{p}dt{k}[ix][{way_expr if two_way else 'wy'}] = True")
+        inner.append(f"{p}{hits} += 1")
+        return inner
+
+    lines: List[str] = []
+    if skip_span:
+        # Caller already established the single-line invariant and set
+        # ``ln`` to the access's line number.
+        p = pad
+    else:
+        lines += [
+            f"{pad}ln = {addr} >> {off}",
+            f"{pad}if ({addr} + {size} - 1) >> {off} != ln:",
+            f"{pad}    v = {fallback}({f_args})",
+            f"{pad}else:",
+        ]
+        p = pad + "    "
+    lines.append(f"{p}ix = ln & {set_mask}")
+    if two_way:
+        lines += [
+            f"{p}tgv = tg{k}[ix]",
+            f"{p}tag = {addr} >> {idx_shift}",
+            f"{p}if tgv[0] == tag:",
+        ]
+        lines += body(p + "    ", "0")
+        lines.append(f"{p}elif tgv[1] == tag:")
+        lines += body(p + "    ", "1")
+        lines += [
+            f"{p}else:",
+            f"{p}    v = {fallback}({f_args})",
+        ]
+    else:
+        lines += [
+            f"{p}try:",
+            f"{p}    wy = tg{k}[ix].index({addr} >> {idx_shift})",
+            f"{p}except ValueError:",
+            f"{p}    v = {fallback}({f_args})",
+            f"{p}else:",
+        ]
+        lines += body(p + "    ", "wy")
+    return lines
+
+
+def _emit_lane_prologue(k: int, spec: Tuple) -> List[str]:
+    """Source lines binding lane ``k``'s state and accumulators."""
+    tier = spec[0]
+    lines = [
+        f"    _b = lanes[{k}]",
+        f"    gr{k} = _b['gr']; gw{k} = _b['gw']; gp{k} = _b['gp']",
+        f"    sq{k} = _b['sq']; sp{k} = sq{k}.popleft; sa{k} = sq{k}.append",
+        f"    h{k} = _b['hist']",
+        f"    c{k} = 0.0",
+        f"    bc{k} = bb{k} = bl{k} = bs{k} = bp{k} = 0.0",
+    ]
+    if tier in ("t0", "t1e"):
+        aspec = spec[2]
+        lines += [
+            f"    tg{k} = _b['tags']; dt{k} = _b['dirty']; bz{k} = _b['busy']",
+            f"    {'lo' if aspec[6] else 'rp'}{k} = _b['{'lru' if aspec[6] else 'repl'}']",
+            f"    fs{k} = _b['fs']; cs{k} = _b['cs']",
+            f"    fbr{k} = fbw{k} = rh{k} = wh{k} = bw{k} = 0",
+        ]
+        if tier == "t1e":
+            lines += [
+                f"    eg{k} = _b['en'].get",
+                f"    fbrh{k} = fbwh{k} = 0",
+            ]
+    elif tier == "t1v":
+        lines += [
+            f"    fr{k} = _b['fr']; fw{k} = _b['fw']",
+            f"    vb{k} = _b['vb']; fs{k} = _b['fs']",
+            f"    fbrh{k} = fbwh{k} = 0",
+        ]
+        for i in range(spec[4]):
+            lines.append(f"    wl{k}_{i} = _b['wl_{i}']")
+    elif tier == "t1l":
+        lines += [
+            f"    fr{k} = _b['fr']; fw{k} = _b['fw']",
+            f"    st{k} = _b['st']; fs{k} = _b['fs']",
+            f"    flr{k} = _b['flr']; flg{k} = flr{k}.get",
+            f"    fbrh{k} = fbrm{k} = fbwh{k} = 0",
+        ]
+        for i in range(spec[4]):
+            lines.append(f"    sl{k}_{i} = _b['sl_{i}']")
+    elif tier == "t1":
+        lines.append(f"    fr{k} = _b['fr']; fw{k} = _b['fw']")
+    return lines
+
+
+def _emit_lane_access(k: int, spec: Tuple, write: bool, pad: str) -> List[str]:
+    """Per-lane access body leaving the event latency in ``v``."""
+    tier = spec[0]
+    generic = f"gw{k}" if write else f"gr{k}"
+    closure = f"fw{k}" if write else f"fr{k}"
+    if tier == "t0":
+        booked = f"fbw{k}" if write else f"fbr{k}"
+        return _emit_array_hit(k, spec[2], write, pad, booked, generic)
+    if tier == "t1e":
+        off = spec[2][0]
+        hit = spec[3]
+        lines = [
+            f"{pad}ln = addr >> {off}",
+            f"{pad}if (addr + size - 1) >> {off} != ln:",
+            f"{pad}    v = {generic}(addr, size, c{k})",
+            f"{pad}else:",
+            f"{pad}    ey = eg{k}(ln << {off})",
+            f"{pad}    if ey is None:",
+        ]
+        p = pad + "        "
+        if write:
+            # Entry miss: the fast path writes the whole aligned line
+            # into the array; an array miss falls back to the generic
+            # write with the *original* access operands.
+            lines.append(f"{p}ea = ln << {off}")
+            lines += _emit_array_hit(
+                k, spec[2], True, p, f"fbw{k}", generic,
+                addr="ea", size="1", skip_span=True,
+                f_args=f"addr, size, c{k}",
+            )
+        else:
+            lines += _emit_array_hit(
+                k, spec[2], False, p, f"fbr{k}", generic, skip_span=True,
+            )
+        lines.append(f"{pad}    else:")
+        p = pad + "        "
+        if write:
+            lines += [
+                f"{p}rd = ey.ready_at",
+                f"{p}ey.dirty = True",
+                f"{p}fbwh{k} += 1",
+                f"{p}if rd > c{k}:",
+                f"{p}    v = (rd - c{k}) + {hit}",
+                f"{p}else:",
+                f"{p}    v = {hit}",
+            ]
+        else:
+            lines += [
+                f"{p}rd = ey.ready_at",
+                f"{p}if rd > c{k}:",
+                f"{p}    fbr{k} += 1",
+                f"{p}    v = (rd - c{k}) + {hit}",
+                f"{p}else:",
+                f"{p}    fbrh{k} += 1",
+                f"{p}    v = {hit}",
+            ]
+        return lines
+    if tier == "t1v":
+        wb, hit, n_lines = spec[2], spec[3], spec[4]
+        lines = [
+            f"{pad}wn = addr // {wb}",
+            f"{pad}if (addr + size - 1) // {wb} != wn:",
+            f"{pad}    v = {closure}(addr, size, c{k})",
+            f"{pad}    if v is None:",
+            f"{pad}        v = {generic}(addr, size, c{k})",
+            f"{pad}else:",
+            f"{pad}    wn = wn * {wb}",
+        ]
+        p = pad + "    "
+        first = True
+        for i in range(n_lines):
+            kw = "if" if first else "elif"
+            first = False
+            lines.append(f"{p}{kw} wl{k}_{i}.window_addr == wn:")
+            body = [
+                f"{p}    vb{k}._clock += 1",
+                f"{p}    wl{k}_{i}.last_touch = vb{k}._clock",
+            ]
+            if write:
+                body += [
+                    f"{p}    wl{k}_{i}.dirty = True",
+                    f"{p}    fbwh{k} += 1",
+                ]
+            else:
+                body.append(f"{p}    fbrh{k} += 1")
+            body.append(f"{p}    v = {hit}")
+            lines += body
+        lines += [
+            f"{p}else:",
+            f"{p}    v = {closure}(addr, size, c{k})",
+            f"{p}    if v is None:",
+            f"{p}        v = {generic}(addr, size, c{k})",
+        ]
+        return lines
+    if tier == "t1l":
+        off, hit, n_lines = spec[2], spec[3], spec[4]
+        lines = [
+            f"{pad}ln = addr >> {off}",
+            f"{pad}if (addr + size - 1) >> {off} != ln:",
+            f"{pad}    v = {closure}(addr, size, c{k})",
+            f"{pad}    if v is None:",
+            f"{pad}        v = {generic}(addr, size, c{k})",
+            f"{pad}else:",
+            f"{pad}    la = ln << {off}",
+        ]
+        p = pad + "    "
+        first = True
+        for i in range(n_lines):
+            kw = "if" if first else "elif"
+            first = False
+            lines.append(f"{p}{kw} sl{k}_{i}.window_addr == la:")
+            q = p + "    "
+            body = [
+                f"{q}rd = flg{k}(la)",
+                f"{q}if rd is None:",
+                f"{q}    fl = 0.0",
+                f"{q}elif rd <= c{k}:",
+                f"{q}    del flr{k}[la]",
+                f"{q}    fl = 0.0",
+                f"{q}else:",
+                f"{q}    fl = rd - c{k}",
+                f"{q}st{k}._clock += 1",
+                f"{q}sl{k}_{i}.last_touch = st{k}._clock",
+            ]
+            if write:
+                body += [
+                    f"{q}sl{k}_{i}.dirty = True",
+                    f"{q}fbwh{k} += 1",
+                ]
+            else:
+                body += [
+                    f"{q}if fl > 0:",
+                    f"{q}    fbrm{k} += 1",
+                    f"{q}else:",
+                    f"{q}    fbrh{k} += 1",
+                ]
+            body.append(f"{q}v = fl + {hit}")
+            lines += body
+        lines += [
+            f"{p}else:",
+            f"{p}    v = {closure}(addr, size, c{k})",
+            f"{p}    if v is None:",
+            f"{p}        v = {generic}(addr, size, c{k})",
+        ]
+        return lines
+    if tier == "t1":
+        return [
+            f"{pad}v = {closure}(addr, size, c{k})",
+            f"{pad}if v is None:",
+            f"{pad}    v = {generic}(addr, size, c{k})",
+        ]
+    return [f"{pad}v = {generic}(addr, size, c{k})"]
+
+
+def _emit_lane_load(k: int, spec: Tuple) -> List[str]:
+    """Per-lane load block: latency, exposed-stall clamp, histogram."""
+    overlap = spec[1][0]
+    pad = " " * 12
+    lines = _emit_lane_access(k, spec, write=False, pad=pad)
+    lines += [
+        f"{pad}ex = v - {overlap}",
+        f"{pad}if ex < 1.0:",
+        f"{pad}    ex = 1.0",
+        f"{pad}c{k} += ex",
+        f"{pad}bl{k} += ex",
+        f"{pad}bi = int(ex)",
+        f"{pad}h{k}[bi if bi < {LOAD_HISTOGRAM_CAP} else {LOAD_HISTOGRAM_CAP}] += 1",
+    ]
+    return lines
+
+
+def _emit_lane_store(k: int, spec: Tuple) -> List[str]:
+    """Per-lane store block: buffer drain, back-pressure, retire queue."""
+    store_issue, sb_entries = spec[1][1], spec[1][2]
+    pad = " " * 12
+    lines = [
+        f"{pad}ss = c{k}",
+        f"{pad}while sq{k} and sq{k}[0] <= c{k}:",
+        f"{pad}    sp{k}()",
+        f"{pad}if len(sq{k}) >= {sb_entries}:",
+        f"{pad}    c{k} = sp{k}()",
+    ]
+    lines += _emit_lane_access(k, spec, write=True, pad=pad)
+    lines += [
+        f"{pad}tl = sq{k}[-1] if sq{k} else c{k}",
+        f"{pad}if tl < c{k}:",
+        f"{pad}    tl = c{k}",
+        f"{pad}sa{k}(tl + v)",
+        f"{pad}c{k} += {store_issue}",
+        f"{pad}bs{k} += c{k} - ss",
+    ]
+    return lines
+
+
+def _emit_lane_flush(k: int, spec: Tuple) -> List[str]:
+    """Final-drain and deferred stat-counter flush for lane ``k``."""
+    tier = spec[0]
+    lines = [
+        f"    if sq{k} and sq{k}[-1] > c{k}:",
+        f"        bs{k} += sq{k}[-1] - c{k}",
+        f"        c{k} = sq{k}[-1]",
+    ]
+    if tier == "t0":
+        hit_attr = "hits" if spec[3] else "misses"
+        lines += [
+            f"    fs{k}.buffer_read_{hit_attr} += fbr{k}",
+            f"    fs{k}.buffer_write_{hit_attr} += fbw{k}",
+        ]
+    elif tier == "t1e":
+        lines += [
+            f"    fs{k}.buffer_read_hits += fbrh{k}",
+            f"    fs{k}.buffer_read_misses += fbr{k}",
+            f"    fs{k}.buffer_write_hits += fbwh{k}",
+            f"    fs{k}.buffer_write_misses += fbw{k}",
+        ]
+    elif tier == "t1v":
+        lines += [
+            f"    fs{k}.buffer_read_hits += fbrh{k}",
+            f"    fs{k}.buffer_write_hits += fbwh{k}",
+        ]
+    elif tier == "t1l":
+        lines += [
+            f"    fs{k}.buffer_read_hits += fbrh{k}",
+            f"    fs{k}.buffer_read_misses += fbrm{k}",
+            f"    fs{k}.buffer_write_hits += fbwh{k}",
+        ]
+    if tier in ("t0", "t1e"):
+        lines += [
+            f"    cs{k}.read_hits += rh{k}",
+            f"    cs{k}.write_hits += wh{k}",
+            f"    cs{k}.bank_wait_cycles += bw{k}",
+        ]
+    lines.append(
+        f"    out.append((c{k}, bc{k}, bb{k}, bl{k}, bs{k}, bp{k}, h{k}))"
+    )
+    return lines
+
+
+def _emit_stepper(specs: Sequence[Tuple]) -> str:
+    """Generate the batched stepper source for one batch shape.
+
+    Parameters
+    ----------
+    specs : sequence of tuple
+        Per-lane specs from :func:`_plan_lane`, in lane order.
+
+    Returns
+    -------
+    str
+        Source of ``_batched_replay(trace, lanes)``, which returns one
+        ``(cycles, b_compute, b_branch, b_load, b_store, b_prefetch,
+        hist)`` tuple per lane.
+    """
+    lanes = range(len(specs))
+    lines = [
+        "def _batched_replay(trace, lanes):",
+        "    nla = iter(trace.load_addrs).__next__",
+        "    nls = iter(trace.load_sizes).__next__",
+        "    nsa = iter(trace.store_addrs).__next__",
+        "    nss = iter(trace.store_sizes).__next__",
+        "    npf = iter(trace.pf_addrs).__next__",
+        "    nop = iter(trace.ops).__next__",
+        "    ntk = iter(trace.taken).__next__",
+    ]
+    for k in lanes:
+        lines += _emit_lane_prologue(k, specs[k])
+    lines += [
+        "    for op in trace.opcodes:",
+        "        if op == 0:",  # OP_LOAD
+        "            addr = nla()",
+        "            size = nls()",
+    ]
+    for k in lanes:
+        lines += _emit_lane_load(k, specs[k])
+    lines += [
+        "        elif op == 1:",  # OP_COMPUTE
+        "            o2 = nop()",
+    ]
+    for k in lanes:
+        lines.append(f"            c{k} += o2; bc{k} += o2")
+    lines += [
+        "        elif op == 2:",  # OP_STORE
+        "            addr = nsa()",
+        "            size = nss()",
+    ]
+    for k in lanes:
+        lines += _emit_lane_store(k, specs[k])
+    # Branch costs are core constants; when every lane shares them the
+    # cost resolves once per event.
+    branch_consts = {(specs[k][1][4], specs[k][1][5]) for k in lanes}
+    lines.append("        elif op == 3:")  # OP_BRANCH
+    if len(branch_consts) == 1:
+        (tc, ec) = next(iter(branch_consts))
+        lines.append(f"            cst = {tc} if ntk() else {ec}")
+        for k in lanes:
+            lines.append(f"            c{k} += cst; bb{k} += cst")
+    else:
+        lines.append("            tkn = ntk()")
+        for k in lanes:
+            tc, ec = specs[k][1][4], specs[k][1][5]
+            lines.append(f"            cst = {tc} if tkn else {ec}")
+            lines.append(f"            c{k} += cst; bb{k} += cst")
+    lines += [
+        "        elif op == 4:",  # OP_PREFETCH
+        "            addr = npf()",
+    ]
+    for k in lanes:
+        pf_issue = specs[k][1][3]
+        lines += [
+            f"            cst = {pf_issue} + gp{k}(addr, c{k})",
+            f"            c{k} += cst; bp{k} += cst",
+        ]
+    # else OP_MARK: zero-cost annotation, nothing to do unprobed.
+    lines.append("    out = []")
+    for k in lanes:
+        lines += _emit_lane_flush(k, specs[k])
+    lines.append("    return out")
+    return "\n".join(lines) + "\n"
+
+
+def _stepper_for(specs: Sequence[Tuple]):
+    """The compiled stepper for a batch shape (cached)."""
+    key = tuple(specs)
+    fn = _STEPPER_CACHE.get(key)
+    if fn is None:
+        namespace: Dict[str, object] = {}
+        exec(compile(_emit_stepper(specs), "<batched stepper>", "exec"), namespace)
+        fn = namespace["_batched_replay"]
+        _STEPPER_CACHE[key] = fn
+    return fn
+
+
+def _assemble_result(trace: EncodedTrace, system: System, out: Tuple) -> RunResult:
+    """Package one lane's raw accumulators as a full ``RunResult``.
+
+    Mirrors ``InOrderCPU.run_encoded``'s result assembly and
+    ``System.run``'s post-run statistics capture exactly.
+    """
+    cycles, b_compute, b_branch, b_load, b_store, b_prefetch, hist = out
+    frontend = system.frontend
+    n_loads, n_stores = len(trace.load_addrs), len(trace.store_addrs)
+    n_branches, n_prefetches = len(trace.taken), len(trace.pf_addrs)
+    total_ops = sum(trace.ops)
+    result = RunResult(
+        cycles=cycles,
+        instructions=n_loads + n_stores + n_branches + n_prefetches + total_ops,
+        breakdown={
+            "compute": b_compute,
+            "branch": b_branch,
+            "load": b_load,
+            "store": b_store,
+            "prefetch": b_prefetch,
+            "ifetch": 0.0,
+        },
+        counts={
+            "loads": n_loads,
+            "stores": n_stores,
+            "branches": n_branches,
+            "prefetches": n_prefetches,
+            "compute_ops": total_ops,
+        },
+        frontend_stats=frontend.stats.as_dict(),
+        dl1_stats=frontend.backing.stats.as_dict(),
+        load_latency_histogram={b: n for b, n in enumerate(hist) if n},
+    )
+    result.l2_stats = system.hierarchy.l2.stats.as_dict()
+    result.il1_stats = system.hierarchy.il1.stats.as_dict()
+    result.mainmem_stats = system.hierarchy.memory.stats_dict()
+    result.memory_accesses = system.hierarchy.memory.accesses
+    if system.dl1.reliability is not None:
+        result.reliability_stats = system.dl1.reliability.stats.as_dict()
+        result.retired_lines = int(system.dl1.reliability.stats.retired_lines)
+    return result
+
+
+def run_batch(
+    trace: EncodedTrace,
+    systems: Sequence[System],
+    warm_regions: Optional[Iterable] = None,
+    reset: bool = True,
+) -> List[RunResult]:
+    """Replay one encoded trace through N systems in a single pass.
+
+    Each system is one *lane*: it is reset (or stat-cleared) and warmed
+    exactly as ``System.run`` would do, then all eligible lanes step
+    through the trace together under the generated stepper.  Lanes that
+    cannot batch (probe attached, sanitizer checker, i-fetch
+    modelling) and single-lane batches fall back to ``System.run`` —
+    the results are bit-identical either way.
+
+    Parameters
+    ----------
+    trace : EncodedTrace
+        The columnar event stream every lane replays.
+    systems : sequence of System
+        The platform lanes; mutated in place (caches warm up, stats
+        accumulate) exactly as a serial run would.
+    warm_regions : iterable of (int, int), optional
+        ``(base_addr, size_bytes)`` regions streamed into each lane's
+        L2 before the measured pass (see ``System.run``).
+    reset : bool
+        Reset each lane first; ``False`` keeps cache contents and only
+        clears timing state and statistics (warm-cache re-runs).
+
+    Returns
+    -------
+    list of RunResult
+        One result per lane, in ``systems`` order, each whole-object
+        equal to the lane's serial ``System.run`` result.
+    """
+    regions = list(warm_regions) if warm_regions is not None else None
+    results: List[Optional[RunResult]] = [None] * len(systems)
+    lane_systems: List[System] = []
+    lane_slots: List[int] = []
+    for i, system in enumerate(systems):
+        if batch_eligible(system) and len(systems) > 1:
+            lane_systems.append(system)
+            lane_slots.append(i)
+        else:
+            results[i] = system.run(trace, reset=reset, warm_regions=regions)
+    if len(lane_systems) == 1:
+        # A lone eligible lane gains nothing from the stepper; the
+        # serial encoded loop is the fastest single-lane path.
+        system = lane_systems[0]
+        results[lane_slots[0]] = system.run(trace, reset=reset, warm_regions=regions)
+        return results  # type: ignore[return-value]
+    if lane_systems:
+        specs, bindings = [], []
+        for system in lane_systems:
+            if reset:
+                system.reset()
+            else:
+                system.hierarchy.clear_stats()
+                system.frontend.clear_stats()
+            if regions is not None:
+                system.warm_l2(regions)
+            spec, binding = _plan_lane(system)
+            specs.append(spec)
+            bindings.append(binding)
+        stepper = _stepper_for(specs)
+        outs = stepper(trace, bindings)
+        for slot, system, binding, out in zip(lane_slots, lane_systems, bindings, outs):
+            system.cpu.store_queue = binding["sq"]
+            results[slot] = _assemble_result(trace, system, out)
+    return results  # type: ignore[return-value]

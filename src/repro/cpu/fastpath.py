@@ -518,7 +518,14 @@ def _emshr_ops(frontend: EMSHRFrontend) -> Tuple[FastOp, FastOp]:
 def make_fast_ops(frontend: DCacheFrontend) -> Optional[Tuple[FastOp, FastOp]]:
     """Build the fast hit kernels for ``frontend``, if it is eligible.
 
-    Returns:
+    Parameters
+    ----------
+    frontend : DCacheFrontend
+        The front-end to specialise.
+
+    Returns
+    -------
+    tuple of (FastOp, FastOp) or None
         ``(fast_read, fast_write)`` closures, or ``None`` when the
         front-end type is unknown (or subclassed) or any hit-path hook
         (probe, fault injector, AWARE writes, line-write tracking,

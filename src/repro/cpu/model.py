@@ -52,30 +52,39 @@ LOAD_HISTOGRAM_CAP = 256
 class CPUConfig:
     """Timing parameters of the in-order core.
 
-    Attributes:
-        load_use_overlap: Cycles of each load's latency hidden by the
-            pipeline (independent-instruction overlap); the exposed stall
-            is ``max(1, latency - load_use_overlap)``.  The default (1.5)
-            is calibrated so the drop-in STT-MRAM penalty over the
-            PolyBench subset averages the paper's ~54% (Figure 1).
-        store_buffer_entries: Store-buffer slots; a store stalls the core
-            only when all slots hold stores still draining.
-        store_issue_cycles: Issue-slot cost of a store instruction.
-        branch_cycles: Cost of a back-edge (taken branch).
-        branch_mispredict_cycles: Extra cycles charged on not-taken
-            (loop-exit) branches — the one branch per loop a simple
-            predictor reliably mispredicts.  0 by default: the paper's
-            penalties are latency ratios and a fixed mispredict cost
-            cancels; exposed as a knob for sensitivity studies.
-        prefetch_issue_cycles: Issue-slot cost of a prefetch instruction
-            (0.5: the dual-issue A9 pairs the hint with real work).
-        model_ifetch: Charge instruction fetches through the IL1 (off for
-            the reproduced figures; the IL1 is SRAM in every
-            configuration, so it cancels out of the penalties).
-        instructions_per_fetch_line: Instructions consumed per 64 B IL1
-            line when ``model_ifetch`` is on (4-byte fixed-width ISA
-            with straight-line code: 16).
-        code_bytes: Synthetic code footprint the fetch stream loops over.
+    Attributes
+    ----------
+    load_use_overlap : float
+        Cycles of each load's latency hidden by the pipeline
+        (independent-instruction overlap); the exposed stall is
+        ``max(1, latency - load_use_overlap)``.  The default (1.5) is
+        calibrated so the drop-in STT-MRAM penalty over the PolyBench
+        subset averages the paper's ~54% (Figure 1).
+    store_buffer_entries : int
+        Store-buffer slots; a store stalls the core only when all slots
+        hold stores still draining.
+    store_issue_cycles : float
+        Issue-slot cost of a store instruction.
+    branch_cycles : float
+        Cost of a back-edge (taken branch).
+    branch_mispredict_cycles : float
+        Extra cycles charged on not-taken (loop-exit) branches — the
+        one branch per loop a simple predictor reliably mispredicts.
+        0 by default: the paper's penalties are latency ratios and a
+        fixed mispredict cost cancels; exposed as a knob for
+        sensitivity studies.
+    prefetch_issue_cycles : float
+        Issue-slot cost of a prefetch instruction (0.5: the dual-issue
+        A9 pairs the hint with real work).
+    model_ifetch : bool
+        Charge instruction fetches through the IL1 (off for the
+        reproduced figures; the IL1 is SRAM in every configuration, so
+        it cancels out of the penalties).
+    instructions_per_fetch_line : int
+        Instructions consumed per 64 B IL1 line when ``model_ifetch``
+        is on (4-byte fixed-width ISA with straight-line code: 16).
+    code_bytes : int
+        Synthetic code footprint the fetch stream loops over.
     """
 
     load_use_overlap: float = 1.5
@@ -103,33 +112,45 @@ class CPUConfig:
 class RunResult:
     """Outcome of executing one trace on one system configuration.
 
-    Attributes:
-        cycles: Total execution time in cycles (ns at 1 GHz).
-        instructions: Executed instruction count (compute ops + memory
-            ops + branches + prefetches).
-        breakdown: Cycles attributed per activity: ``compute``,
-            ``branch``, ``load``, ``store``, ``prefetch``, ``ifetch``.
-        counts: Event counts: ``loads``, ``stores``, ``branches``,
-            ``prefetches``, ``compute_ops``.
-        frontend_stats: Per-front-end buffer counters (as a dict).
-        dl1_stats: Backing DL1 counters (as a dict).
-        l2_stats: L2 counters (as a dict).
-        il1_stats: IL1 counters (as a dict; all zero unless
-            ``model_ifetch`` is on).
-        mainmem_stats: Main-memory counters — reads, writes and
-            ``channel_busy_cycles`` (plus row-buffer counters under the
-            banked DRAM model).
-        memory_accesses: DRAM line transfers.
-        load_latency_histogram: Exposed-load-latency distribution,
-            bucketed by whole cycles (key = ``int(exposed)``, capped at
-            :data:`LOAD_HISTOGRAM_CAP`).  The VWB shows up here as a
-            bimodal shape: a 1-cycle hit mode and a promotion mode.
-        reliability_stats: Fault-injection counters and cycle totals
-            (see :class:`~repro.reliability.faults.ReliabilityStats`);
-            empty unless the system was configured with fault injection
-            enabled.
-        retired_lines: DL1 line slots retired by graceful degradation
-            during the run (0 without fault injection).
+    Attributes
+    ----------
+    cycles : float
+        Total execution time in cycles (ns at 1 GHz).
+    instructions : int
+        Executed instruction count (compute ops + memory ops + branches
+        + prefetches).
+    breakdown : dict
+        Cycles attributed per activity: ``compute``, ``branch``,
+        ``load``, ``store``, ``prefetch``, ``ifetch``.
+    counts : dict
+        Event counts: ``loads``, ``stores``, ``branches``,
+        ``prefetches``, ``compute_ops``.
+    frontend_stats : dict
+        Per-front-end buffer counters.
+    dl1_stats : dict
+        Backing DL1 counters.
+    l2_stats : dict
+        L2 counters.
+    il1_stats : dict
+        IL1 counters (all zero unless ``model_ifetch`` is on).
+    mainmem_stats : dict
+        Main-memory counters — reads, writes and
+        ``channel_busy_cycles`` (plus row-buffer counters under the
+        banked DRAM model).
+    memory_accesses : int
+        DRAM line transfers.
+    load_latency_histogram : dict
+        Exposed-load-latency distribution, bucketed by whole cycles
+        (key = ``int(exposed)``, capped at :data:`LOAD_HISTOGRAM_CAP`).
+        The VWB shows up here as a bimodal shape: a 1-cycle hit mode
+        and a promotion mode.
+    reliability_stats : dict
+        Fault-injection counters and cycle totals (see
+        :class:`~repro.reliability.faults.ReliabilityStats`); empty
+        unless the system was configured with fault injection enabled.
+    retired_lines : int
+        DL1 line slots retired by graceful degradation during the run
+        (0 without fault injection).
     """
 
     cycles: float
@@ -207,10 +228,14 @@ class RunResult:
 class InOrderCPU:
     """Executes an architectural event trace against a D-cache front-end.
 
-    Args:
-        config: Core timing parameters.
-        frontend: The L1-D organisation under test.
-        hierarchy: Shared backing hierarchy (used for optional i-fetch).
+    Parameters
+    ----------
+    config : CPUConfig
+        Core timing parameters.
+    frontend : DCacheFrontend
+        The L1-D organisation under test.
+    hierarchy : MemoryHierarchy, optional
+        Shared backing hierarchy (used for optional i-fetch).
     """
 
     def __init__(

@@ -40,47 +40,63 @@ _DEFAULT_LINE_BYTES = 64
 class SystemConfig:
     """One platform configuration of the paper's evaluation.
 
-    Attributes:
-        technology: DL1 array technology — a preset name (``"sram"``,
-            ``"stt-mram"``, ...) or a :class:`MemoryTechnology`.
-        frontend: D-cache organisation: ``"plain"`` (baseline/drop-in),
-            ``"vwb"`` (the proposal), ``"l0"`` or ``"emshr"``.
-        dl1_capacity_bytes: DL1 size (64 KB in the paper).
-        dl1_associativity: DL1 ways (2 in the paper).
-        dl1_line_bytes: DL1 line size; ``None`` selects the 64 B (512-bit)
-            line the paper's NVM DL1 uses, for both technologies —
-            Figure 1 replaces the SRAM cache by an NVM one "with similar
-            characteristics".  Pass 32 for Table I's 256-bit SRAM line.
-        dl1_banks: Banks in the DL1 array (the paper simulates a banked
-            NVM array).
-        dl1_replacement: DL1 replacement policy name.
-        vwb_bits: VWB capacity for the ``"vwb"`` front-end (Figure 7
-            sweeps 1024/2048/4096).
-        vwb_lines: VWB wide-line count (2 in the paper).
-        buffer_bits: Capacity of the L0/EMSHR structure (2 Kbit in
-            Figure 8).
-        hybrid_sram_bytes: SRAM partition size of the ``"hybrid"``
-            front-end (related-work extension).
-        il1_technology: Override the instruction-cache technology
-            (default SRAM, as in every experiment of the paper); used by
-            the NVM-I-cache exploration together with
-            ``cpu.model_ifetch``.
-        hw_prefetcher: Attach a hardware stride prefetcher to the
-            ``"plain"`` front-end (extension; off in every reproduced
-            figure).
-        dl1_fast_write_cycles: Enable the AWARE asymmetric-write model in
-            the DL1 array (extension; see
-            :class:`~repro.mem.cache.CacheConfig`).
-        dl1_fast_write_fraction: Fraction of fast writes under AWARE.
-        track_line_writes: Record per-line DL1 write counts (endurance).
-        dl1_replacement_seed: Seed for the DL1's ``random`` replacement
-            policy (ignored by the deterministic policies).
-        reliability: Optional DL1 fault-injection parameters
-            (:class:`~repro.reliability.faults.ReliabilityConfig`).
-            ``None`` — and any config whose fault rates are all zero —
-            leaves the timing bit-exact with the fault-free model.
-        cpu: Core timing parameters.
-        hierarchy: IL1/L2/DRAM parameters.
+    Attributes
+    ----------
+    technology : str or MemoryTechnology
+        DL1 array technology — a preset name (``"sram"``,
+        ``"stt-mram"``, ...) or a :class:`MemoryTechnology`.
+    frontend : str
+        D-cache organisation: ``"plain"`` (baseline/drop-in), ``"vwb"``
+        (the proposal), ``"l0"`` or ``"emshr"``.
+    dl1_capacity_bytes : int
+        DL1 size (64 KB in the paper).
+    dl1_associativity : int
+        DL1 ways (2 in the paper).
+    dl1_line_bytes : int, optional
+        DL1 line size; ``None`` selects the 64 B (512-bit) line the
+        paper's NVM DL1 uses, for both technologies — Figure 1 replaces
+        the SRAM cache by an NVM one "with similar characteristics".
+        Pass 32 for Table I's 256-bit SRAM line.
+    dl1_banks : int
+        Banks in the DL1 array (the paper simulates a banked NVM
+        array).
+    dl1_replacement : str
+        DL1 replacement policy name.
+    vwb_bits : int
+        VWB capacity for the ``"vwb"`` front-end (Figure 7 sweeps
+        1024/2048/4096).
+    vwb_lines : int
+        VWB wide-line count (2 in the paper).
+    buffer_bits : int
+        Capacity of the L0/EMSHR structure (2 Kbit in Figure 8).
+    hybrid_sram_bytes : int
+        SRAM partition size of the ``"hybrid"`` front-end (related-work
+        extension).
+    il1_technology : str or MemoryTechnology, optional
+        Override the instruction-cache technology (default SRAM, as in
+        every experiment of the paper); used by the NVM-I-cache
+        exploration together with ``cpu.model_ifetch``.
+    hw_prefetcher : bool
+        Attach a hardware stride prefetcher to the ``"plain"``
+        front-end (extension; off in every reproduced figure).
+    dl1_fast_write_cycles : int, optional
+        Enable the AWARE asymmetric-write model in the DL1 array
+        (extension; see :class:`~repro.mem.cache.CacheConfig`).
+    dl1_fast_write_fraction : float
+        Fraction of fast writes under AWARE.
+    track_line_writes : bool
+        Record per-line DL1 write counts (endurance).
+    dl1_replacement_seed : int
+        Seed for the DL1's ``random`` replacement policy (ignored by
+        the deterministic policies).
+    reliability : ReliabilityConfig, optional
+        Optional DL1 fault-injection parameters.  ``None`` — and any
+        config whose fault rates are all zero — leaves the timing
+        bit-exact with the fault-free model.
+    cpu : CPUConfig
+        Core timing parameters.
+    hierarchy : HierarchyConfig
+        IL1/L2/DRAM parameters.
     """
 
     technology: Union[str, MemoryTechnology] = "sram"
@@ -209,23 +225,27 @@ class System:
     ) -> RunResult:
         """Execute a trace.
 
-        Args:
-            events: The architectural event stream.
-            reset: Reset all state first; pass ``False`` to keep cache
-                contents from a previous run (warm caches).  The run's
-                clock always restarts at zero, so timing state and
-                statistics are cleared either way.
-            warm_regions: Optional iterable of ``(base_addr, size_bytes)``
-                regions to stream into the L2 before the measured run —
-                modelling PolyBench's array-initialisation loops, which
-                the paper's gem5 SE runs execute ahead of the kernel.
-                The L1 D-cache itself starts cold (initialisation touches
-                far more data than it holds).
-            probe: Optional observability probe for this run only.  It is
-                attached *after* the warm-up phase (warm-up cycles are not
-                part of the measured run), its ``finish`` hook runs with
-                the result (verifying the cycle ledger), and the system is
-                returned to the null probe before the call returns.
+        Parameters
+        ----------
+        events : iterable of TraceEvent
+            The architectural event stream.
+        reset : bool
+            Reset all state first; pass ``False`` to keep cache
+            contents from a previous run (warm caches).  The run's
+            clock always restarts at zero, so timing state and
+            statistics are cleared either way.
+        warm_regions : iterable of (int, int), optional
+            ``(base_addr, size_bytes)`` regions to stream into the L2
+            before the measured run — modelling PolyBench's
+            array-initialisation loops, which the paper's gem5 SE runs
+            execute ahead of the kernel.  The L1 D-cache itself starts
+            cold (initialisation touches far more data than it holds).
+        probe : Probe, optional
+            Observability probe for this run only.  It is attached
+            *after* the warm-up phase (warm-up cycles are not part of
+            the measured run), its ``finish`` hook runs with the result
+            (verifying the cycle ledger), and the system is returned to
+            the null probe before the call returns.
         """
         if reset:
             self.reset()

@@ -1,11 +1,14 @@
-"""Docstring style gate for :mod:`repro.exec` and :mod:`repro.experiments`.
+"""Docstring style gate for the exec, experiments and cpu packages.
 
-The experiment engine ships "documented end to end": every module and
-every public class/function in these two packages carries a docstring,
-and parameter/attribute documentation uses NumPy style (underlined
-``Parameters``/``Returns``/``Raises``/``Attributes`` sections), not the
-Google ``Args:`` form.  CI additionally runs ``pydocstyle`` over the
-same packages; this test is the dependency-free local equivalent.
+The simulator core and the experiment engine ship "documented end to
+end": every module and every public class/function in these packages
+(:mod:`repro.exec` — resilience included — :mod:`repro.experiments`,
+and :mod:`repro.cpu` with the batched replay engine) carries a
+docstring, and parameter/attribute documentation uses NumPy style
+(underlined ``Parameters``/``Returns``/``Raises``/``Attributes``
+sections), not the Google ``Args:`` form.  CI additionally runs
+``pydocstyle`` over the same packages; this test is the
+dependency-free local equivalent.
 """
 
 import ast
@@ -14,7 +17,7 @@ import pathlib
 import pytest
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
-PACKAGES = ("exec", "experiments")
+PACKAGES = ("exec", "experiments", "cpu")
 
 #: Google-style section markers that must not appear in these packages.
 GOOGLE_MARKERS = ("Args:", "Arguments:", "Keyword Args:", "Attributes:", "Returns:", "Raises:", "Yields:")
