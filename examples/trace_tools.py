@@ -20,7 +20,13 @@ import tempfile
 
 from repro import System, SystemConfig, build_kernel, materialize_trace
 from repro.workloads import load_trace, save_trace
-from repro.workloads.reuse import profile_reuse
+from repro.workloads.encode import encode_events
+from repro.workloads.reuse import profile_trace
+
+#: Line size of the cache the prediction is checked against below; the
+#: profile *must* be taken at the same granularity (a 64 B histogram
+#: predicts nothing about a 32 B cache), so the constant is shared.
+LINE_BYTES = 64
 
 
 def main(kernel: str = "atax") -> None:
@@ -41,11 +47,17 @@ def main(kernel: str = "atax") -> None:
     )
 
     # --- 2. reuse-distance profile ------------------------------------
-    profile = profile_reuse(trace, line_bytes=64)
-    print(
-        f"\nreuse profile: {profile.total_accesses} line accesses over "
-        f"{profile.unique_lines} distinct lines"
-    )
+    # profile_trace memoizes per (trace, line size): asking for another
+    # granularity re-profiles instead of silently reusing the first
+    # histogram, and asking again is free.
+    encoded = encode_events(trace)
+    profile = profile_trace(encoded, LINE_BYTES)
+    for line_bytes in (LINE_BYTES // 2, LINE_BYTES):
+        p = profile_trace(encoded, line_bytes)
+        print(
+            f"\nreuse profile @ {line_bytes}B: {p.total_accesses} line "
+            f"accesses over {p.unique_lines} distinct lines"
+        )
     print(f"{'capacity':>12} {'predicted miss rate':>20}")
     for lines in (8, 32, 128, 512, 1024, 4096):
         print(f"{lines:>8} ln  {profile.miss_rate_for(lines):>19.2%}")
@@ -62,8 +74,8 @@ def main(kernel: str = "atax") -> None:
         CacheConfig(
             name="fa-dl1",
             capacity_bytes=64 * 1024,
-            associativity=1024,
-            line_bytes=64,
+            associativity=64 * 1024 // LINE_BYTES,
+            line_bytes=LINE_BYTES,
             read_hit_cycles=1,
             write_hit_cycles=1,
         ),

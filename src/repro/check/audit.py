@@ -12,6 +12,9 @@ The simulator maintains several redundant ways of executing the same
 - **probed replay** — generic replay under a
   :class:`~repro.obs.probe.RecordingProbe`, whose cycle ledger must
   balance to the run's cycle count exactly;
+- **eliminated replay** — encoded replay with hit-run elimination
+  (:mod:`repro.workloads.elim`) forced on, so annotated guaranteed-hit
+  runs are consumed in closed form instead of per event;
 - **warm re-runs** — ``reset=False`` replays over retained contents,
   which must agree across replay paths just like cold runs.
 
@@ -94,7 +97,7 @@ class AuditReport:
         if self.ok:
             return (
                 f"PASS  {head}: {self.events} events, "
-                f"{self.checks} invariant sweeps, 5 replay legs agree"
+                f"{self.checks} invariant sweeps, 6 replay legs agree"
             )
         lines = [f"FAIL  {head}:"]
         if self.violation is not None:
@@ -152,9 +155,10 @@ def audit_point(
 ) -> AuditReport:
     """Differentially audit one (kernel, config, level) point.
 
-    Runs the five replay legs (sanitized generic, encoded fast path,
-    batched multi-lane, probed with ledger verification, warm re-runs
-    of the first two), diffs results, histograms and shadow end states,
+    Runs the six replay legs (sanitized generic, encoded fast path,
+    batched multi-lane, forced hit-run elimination, probed with ledger
+    verification, warm re-runs of the first two), diffs results,
+    histograms and shadow end states,
     and — when the generic and encoded paths disagree — bisects to the
     first diverging event.
 
@@ -213,6 +217,22 @@ def audit_point(
     result_e = run_batch(trace, [system_e, System(sys_config)], warm_regions=regions)[0]
     _diff_into(report, "batched.result", _result_state(result_a), _result_state(result_e))
     _diff_into(report, "batched.state", shadow_a, capture_system(system_e))
+
+    # Leg F: eliminated replay — the encoded fast path with hit-run
+    # elimination *forced on* (independent of ``REPRO_ELIM``), so
+    # guaranteed-hit runs are consumed through the closed-form /
+    # packed-word appliers of :func:`repro.cpu.fastpath.make_run_applier`
+    # instead of per-event simulation.  Result and full shadow end state
+    # (tags, dirty bits, LRU orders, bank clocks) are diffed against the
+    # sanitized generic leg.  Lanes whose shape is ineligible simply
+    # replay per-event here, which keeps the leg a valid no-op check.
+    from ..workloads.elim import forced as _elim_forced
+
+    system_f = System(sys_config)
+    with _elim_forced(True):
+        result_f = system_f.run(trace, warm_regions=regions)
+    _diff_into(report, "elim.result", _result_state(result_a), _result_state(result_f))
+    _diff_into(report, "elim.state", shadow_a, capture_system(system_f))
 
     # Leg C: probed generic replay; the RecordingProbe's finish hook
     # verifies the cycle ledger balances to the run's cycles exactly.

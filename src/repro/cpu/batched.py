@@ -55,6 +55,15 @@ front-end admits:
   AWARE writes, line-write tracking, hardware prefetchers, subclassed
   front-ends) call ``frontend.read``/``write`` per event.
 
+On top of its tier, a ``t0`` lane whose array shape admits hit-run
+elimination (:mod:`repro.workloads.elim`) compiles with a per-event
+guard: at each annotated run's start index the lane consumes the whole
+run through one :class:`~repro.cpu.fastpath.RunApplier` call and skips
+the run's events, rejoining the per-event blocks at the boundary event.
+The shared operand iterators still advance once per event, so skipping
+lanes stay in sync with simulating ones.  ``REPRO_ELIM=0`` disables the
+guarded variants batch-wide.
+
 Divergence is all-or-nothing per lane *per event*: an inlined kernel
 either completes the event with bit-identical state mutations or backs
 out having touched nothing, and that one event falls through to the
@@ -92,8 +101,10 @@ from ..core.emshr import EMSHRFrontend
 from ..core.hybrid import HybridFrontend
 from ..core.l0 import L0Frontend
 from ..core.vwb_frontend import VWBFrontend
+from ..workloads.elim import runs_for
+from ..workloads.elim import enabled as _elim_enabled
 from ..workloads.encode import EncodedTrace
-from .fastpath import make_fast_ops
+from .fastpath import make_fast_ops, make_run_applier
 from .model import LOAD_HISTOGRAM_CAP, RunResult
 from .system import System
 
@@ -252,12 +263,79 @@ def _plan_lane(system: System) -> Tuple[Tuple, Dict[str, object]]:
     return ("t1", core), bindings
 
 
+def _make_lane_applier(apply, runs, sq, hist):
+    """Stateful per-lane run cursor for the generated stepper.
+
+    The stepper cannot hold the run list or cursor itself (generated
+    locals cannot be rebound from a closure), so each eliminating lane
+    binds this wrapper: called with the lane's five accumulators when
+    the event index reaches the next run's start, it applies that run
+    through the lane's :class:`~repro.cpu.fastpath.RunApplier` and
+    returns the advanced accumulators plus ``(run.end, next_start)`` —
+    ``-1`` for ``next_start`` once the runs are exhausted, an index no
+    event position ever equals.
+
+    Parameters
+    ----------
+    apply : callable
+        The lane's ``RunApplier.apply`` closure.
+    runs : sequence of HitRun
+        The trace's annotated runs for the lane's array shape.
+    sq : collections.deque
+        The lane's live store queue (the stepper's ``sq{k}``).
+    hist : list of int
+        The lane's live load-latency histogram (the stepper's ``h{k}``).
+
+    Returns
+    -------
+    callable
+        ``step(c, bc, bb, bl, bs) -> (c, bc, bb, bl, bs, end, next)``.
+    """
+    cursor = [0]
+    n_runs = len(runs)
+
+    def step(c, bc, bb, bl, bs):
+        idx = cursor[0]
+        run = runs[idx]
+        c, bc, bb, bl, bs = apply(run, c, bc, bb, bl, bs, sq, hist)
+        idx += 1
+        cursor[0] = idx
+        return (
+            c, bc, bb, bl, bs, run.end,
+            runs[idx].start if idx < n_runs else -1,
+        )
+
+    return step
+
+
 # ----------------------------------------------------------------------
 # Code emission.  Each helper returns indented source lines; the per-
 # lane hit bodies leave the event latency in ``v`` and never touch the
 # shared scratch names of other lanes (``ln``/``ix``/... are reused
 # sequentially between lanes within one opcode block).
 # ----------------------------------------------------------------------
+
+
+def _elim_spec(spec: Tuple) -> bool:
+    """Whether a lane spec carries the elimination marker."""
+    return spec[0] == "t0" and len(spec) > 4
+
+
+def _guard_elim(k: int, body: List[str]) -> List[str]:
+    """Wrap one lane's per-event block in the run-elimination guard.
+
+    At the next run's start index the lane applies the whole run in one
+    call; while inside a run (``i < se{k}``) the lane skips the event
+    entirely — the shared operand iterators still advance once per
+    event at the block top, so skipping is free and desync-proof.
+    """
+    pad = " " * 12
+    return [
+        f"{pad}if i == ns{k}:",
+        f"{pad}    c{k}, bc{k}, bb{k}, bl{k}, bs{k}, se{k}, ns{k} = "
+        f"ap{k}(c{k}, bc{k}, bb{k}, bl{k}, bs{k})",
+        f"{pad}elif i >= se{k}:",
+    ] + ["    " + line for line in body]
 
 
 def _emit_array_hit(
@@ -382,6 +460,8 @@ def _emit_lane_prologue(k: int, spec: Tuple) -> List[str]:
                 f"    eg{k} = _b['en'].get",
                 f"    fbrh{k} = fbwh{k} = 0",
             ]
+        elif _elim_spec(spec):
+            lines.append(f"    ap{k} = _b['ap']; ns{k} = _b['ns0']; se{k} = 0")
     elif tier == "t1v":
         lines += [
             f"    fr{k} = _b['fr']; fw{k} = _b['fw']",
@@ -658,6 +738,7 @@ def _emit_stepper(specs: Sequence[Tuple]) -> str:
         hist)`` tuple per lane.
     """
     lanes = range(len(specs))
+    elim = [_elim_spec(specs[k]) for k in lanes]
     lines = [
         "def _batched_replay(trace, lanes):",
         "    nla = iter(trace.load_addrs).__next__",
@@ -671,26 +752,32 @@ def _emit_stepper(specs: Sequence[Tuple]) -> str:
     for k in lanes:
         lines += _emit_lane_prologue(k, specs[k])
     lines += [
-        "    for op in trace.opcodes:",
+        # Eliminating lanes key their run cursors off the event index;
+        # a batch with none skips the enumerate overhead entirely.
+        "    for i, op in enumerate(trace.opcodes):"
+        if any(elim) else "    for op in trace.opcodes:",
         "        if op == 0:",  # OP_LOAD
         "            addr = nla()",
         "            size = nls()",
     ]
     for k in lanes:
-        lines += _emit_lane_load(k, specs[k])
+        body = _emit_lane_load(k, specs[k])
+        lines += _guard_elim(k, body) if elim[k] else body
     lines += [
         "        elif op == 1:",  # OP_COMPUTE
         "            o2 = nop()",
     ]
     for k in lanes:
-        lines.append(f"            c{k} += o2; bc{k} += o2")
+        body = [f"            c{k} += o2; bc{k} += o2"]
+        lines += _guard_elim(k, body) if elim[k] else body
     lines += [
         "        elif op == 2:",  # OP_STORE
         "            addr = nsa()",
         "            size = nss()",
     ]
     for k in lanes:
-        lines += _emit_lane_store(k, specs[k])
+        body = _emit_lane_store(k, specs[k])
+        lines += _guard_elim(k, body) if elim[k] else body
     # Branch costs are core constants; when every lane shares them the
     # cost resolves once per event.
     branch_consts = {(specs[k][1][4], specs[k][1][5]) for k in lanes}
@@ -699,13 +786,17 @@ def _emit_stepper(specs: Sequence[Tuple]) -> str:
         (tc, ec) = next(iter(branch_consts))
         lines.append(f"            cst = {tc} if ntk() else {ec}")
         for k in lanes:
-            lines.append(f"            c{k} += cst; bb{k} += cst")
+            body = [f"            c{k} += cst; bb{k} += cst"]
+            lines += _guard_elim(k, body) if elim[k] else body
     else:
         lines.append("            tkn = ntk()")
         for k in lanes:
             tc, ec = specs[k][1][4], specs[k][1][5]
-            lines.append(f"            cst = {tc} if tkn else {ec}")
-            lines.append(f"            c{k} += cst; bb{k} += cst")
+            body = [
+                f"            cst = {tc} if tkn else {ec}",
+                f"            c{k} += cst; bb{k} += cst",
+            ]
+            lines += _guard_elim(k, body) if elim[k] else body
     lines += [
         "        elif op == 4:",  # OP_PREFETCH
         "            addr = npf()",
@@ -832,6 +923,13 @@ def run_batch(
         return results  # type: ignore[return-value]
     if lane_systems:
         specs, bindings = [], []
+        elim_on = _elim_enabled()
+        # One batched pass is ONE replay of the trace, however many
+        # lanes share a cache shape: query the annotation once per
+        # shape so the first-pass deferral of `runs_for` counts passes,
+        # not lanes (a same-shaped second lane must not trigger the
+        # profiling pass mid-one-shot).
+        shape_runs: Dict[Tuple[int, int, int, int], tuple] = {}
         for system in lane_systems:
             if reset:
                 system.reset()
@@ -841,6 +939,25 @@ def run_batch(
             if regions is not None:
                 system.warm_l2(regions)
             spec, binding = _plan_lane(system)
+            if elim_on and spec[0] == "t0":
+                # Eliminating lanes carry a marker in the spec (their
+                # stepper variant guards every per-event block) and a
+                # stateful run cursor in the bindings.  Planning runs
+                # after reset/warm-up, so the applier binds the live
+                # post-reset containers — same requirement as the spec.
+                applier = make_run_applier(system.frontend, system.config.cpu)
+                if applier is not None:
+                    if applier.shape in shape_runs:
+                        runs = shape_runs[applier.shape]
+                    else:
+                        runs = runs_for(trace, applier.shape)
+                        shape_runs[applier.shape] = runs
+                    if runs:
+                        spec = spec + (True,)
+                        binding["ap"] = _make_lane_applier(
+                            applier.apply, runs, binding["sq"], binding["hist"]
+                        )
+                        binding["ns0"] = runs[0].start
             specs.append(spec)
             bindings.append(binding)
         stepper = _stepper_for(specs)

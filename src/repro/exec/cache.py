@@ -44,7 +44,7 @@ from .point import RunPoint, build_point_program
 #: Version of the on-disk entry schema.  Bumped whenever the entry
 #: layout or the key material changes incompatibly; the version is part
 #: of the hashed material, so old entries are orphaned, never misread.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

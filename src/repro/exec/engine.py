@@ -119,6 +119,16 @@ class ExecStats:
         Poison points degraded to in-process serial execution.
     failed : int
         Points terminally failed after the retry budget was exhausted.
+    events_eliminated : int
+        Trace events consumed through guaranteed-hit runs
+        (:mod:`repro.workloads.elim`) instead of per-event simulation,
+        accumulated per batch from the in-process elimination counters.
+        Pool workers run in their own processes, so only in-process
+        execution (``jobs=1``, quarantined points, cache-hit replays
+        of course eliminate nothing) contributes here.
+    runs_applied : int
+        Guaranteed-hit runs applied in-process (same visibility caveat
+        as ``events_eliminated``).
     elapsed : float
         Wall-clock seconds spent inside :meth:`ExecutionEngine.run_points`.
     busy : float
@@ -139,6 +149,8 @@ class ExecStats:
     worker_restarts: int = 0
     quarantined: int = 0
     failed: int = 0
+    events_eliminated: int = 0
+    runs_applied: int = 0
     elapsed: float = 0.0
     busy: float = 0.0
 
@@ -443,7 +455,10 @@ class ExecutionEngine:
             Input-ordered results (``None`` for failed points) and this
             batch's terminal failures.
         """
+        from ..workloads.elim import counters as _elim_counters
+
         started = time.monotonic()
+        elim_before = _elim_counters()
         points = list(points)
         total = len(points)
         self.stats.points += total
@@ -489,6 +504,13 @@ class ExecutionEngine:
 
         dt = time.monotonic() - started
         self.stats.elapsed += dt
+        elim_after = _elim_counters()
+        self.stats.events_eliminated += (
+            elim_after["events_eliminated"] - elim_before["events_eliminated"]
+        )
+        self.stats.runs_applied += (
+            elim_after["runs_applied"] - elim_before["runs_applied"]
+        )
         self.metrics.observe("exec.batch_wall_s", dt)
         if self.stats.elapsed > 0.0:
             self.metrics.gauge(

@@ -1,0 +1,562 @@
+"""Guaranteed-hit run annotation: the event-elimination oracle.
+
+The Mattson profiler in :mod:`repro.workloads.reuse` answers "would this
+access hit?" for *fully associative* LRU caches.  This module extends
+the idea to the set-associative LRU arrays the simulator actually
+models, with one per-set truncated LRU stack per cache set, and uses it
+to annotate an :class:`~repro.workloads.encode.EncodedTrace` with
+**guaranteed-hit runs**: maximal event spans in which every load and
+store *provably* hits a cache of the given shape — no fill, no
+eviction, no clean-to-dirty transition — so the replay paths
+(:meth:`repro.cpu.model.InOrderCPU.run_encoded` and the generated
+stepper in :mod:`repro.cpu.batched`) can consume a whole run in one
+step instead of N per-event passes.
+
+Shape and oracle
+----------------
+
+A *shape* is ``(line_bytes, sets, ways, banks)`` — everything the hit
+oracle and the per-event bank arithmetic depend on.  The oracle keeps,
+per set, the ``ways`` most-recently-used line numbers (MRU first) plus
+a dirty-line set, and classifies each access:
+
+- **pure hit** — the line is in its set's stack and, for a store, is
+  already dirty: eliminable;
+- **dirty transition** — a store hit on a clean line: the real cache
+  flips a dirty bit, so the event stays on the exact per-event path
+  (and the oracle marks the line dirty);
+- **miss** — fill + possible eviction + possible write-back: per-event;
+- **spanning** — the access crosses a line boundary and takes the
+  generic multi-line path: per-event.
+
+Anything but a pure hit is a *boundary event* and ends the current run.
+Traces containing software prefetches are never annotated (prefetch
+fills and MSHR occupancy are not modelled by the oracle), and neither
+are shapes whose line/set/bank counts are not powers of two.
+
+Warm-start soundness
+--------------------
+
+The oracle profiles from a *cold* cache, but warm re-runs
+(``reset=False``) replay over retained contents.  That is safe because
+the oracle only ever **under-claims**: every line in an oracle stack is
+resident in the real cache in matching relative recency order (real
+fills insert at MRU exactly like the oracle; real evictions take the
+set's LRU way, which is never above an oracle line), so an oracle hit
+is always a real hit and an oracle-dirty line is always really dirty.
+A really-resident line the oracle has not seen can only turn an
+oracle "miss" into a real hit — a boundary event, replayed exactly by
+the per-event path.  Pinned by the audit's warm leg and
+``tests/test_elim.py``.
+
+What a run record carries
+-------------------------
+
+Enough for both consumption tiers of
+:func:`repro.cpu.fastpath.make_run_applier` without re-reading the
+address columns: a packed per-event word array (opcode kind + bank or
+operand) for the exact per-event *lite* tier, per-segment event counts
+split at stores for the closed-form tier, per-bank entry-gate prefix
+weights, last-access descriptors for the closed form's exit
+``bank_busy`` reconstruction, and the per-set MRU tag order at run end
+for the batch LRU-recency replay.
+
+Annotations are memoized on the trace itself (keyed by shape), so a
+trace replayed through N same-shaped configurations is profiled once.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .encode import (
+    OP_BRANCH,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_MARK,
+    OP_PREFETCH,
+    OP_STORE,
+    EncodedTrace,
+)
+
+#: Minimum events (marks excluded) for a hit span to be worth a run
+#: record: below this, the per-run apply overhead (entry gates, LRU
+#: replay, bookkeeping) eats the per-event savings.
+MIN_RUN_EVENTS = 16
+
+#: Packed-word kinds (low 3 bits of each ``HitRun.packed`` entry; the
+#: payload — bank, ops count or taken flag — sits in the high bits).
+PK_LOAD = 0
+PK_COMPUTE = 1
+PK_STORE = 2
+PK_BRANCH = 3
+
+#: Per-access oracle outcomes (see :func:`oracle_outcomes`).
+MISS = 0
+DIRTY_TRANSITION = 1
+PURE_HIT = 2
+SPANNING = 3
+
+#: Process-wide elimination counters, snapshot by the execution engine
+#: into :class:`~repro.exec.engine.ExecStats` (and from there into
+#: telemetry manifests).  Per-process: pooled workers accumulate their
+#: own counts, which the parent engine cannot see.
+_COUNTERS = {"events_eliminated": 0, "runs_applied": 0}
+
+#: Session override installed by :func:`forced` (``None`` = follow the
+#: ``REPRO_ELIM`` environment variable).
+_FORCED: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Whether the replay paths may consume hit-run annotations.
+
+    Returns
+    -------
+    bool
+        The :func:`forced` override when one is active, else ``True``
+        unless the ``REPRO_ELIM`` environment variable is ``"0"``.
+    """
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_ELIM", "1") != "0"
+
+
+@contextmanager
+def forced(on: bool) -> Iterator[None]:
+    """Force elimination on or off for a scope, ignoring ``REPRO_ELIM``.
+
+    Parameters
+    ----------
+    on : bool
+        ``True`` forces elimination on; ``False`` forces the pure
+        per-event paths.
+    """
+    global _FORCED
+    previous = _FORCED
+    _FORCED = bool(on)
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+def counters() -> Dict[str, int]:
+    """Snapshot of this process's elimination counters.
+
+    Returns
+    -------
+    dict
+        ``{"events_eliminated": ..., "runs_applied": ...}``.
+    """
+    return dict(_COUNTERS)
+
+
+def book_run(events: int) -> None:
+    """Record one applied run of ``events`` eliminated events."""
+    _COUNTERS["events_eliminated"] += events
+    _COUNTERS["runs_applied"] += 1
+
+
+class HitRun:
+    """One guaranteed-hit span of a trace for one cache shape.
+
+    Attributes
+    ----------
+    start, end : int
+        Trace event index range ``[start, end)`` the run covers (leading
+        marks trimmed; interior marks included — they cost nothing).
+    counts : tuple of int
+        ``(n_loads, n_stores, n_computes, ops_total, n_taken, n_exit)``
+        over the span, for cursor jumps and bulk stat/accumulator
+        updates.
+    packed : list of int
+        One word per load/store/compute/branch event in order (marks
+        omitted): low 3 bits the ``PK_*`` kind, high bits the bank
+        (loads/stores), ops count (computes) or taken flag (branches).
+        Drives the exact per-event *lite* apply tier — kept as a plain
+        list because the lite loop iterates it on every replay and list
+        iteration reuses the boxed ints (an ``array`` would re-box each
+        word on every pass).
+    segs : tuple of tuple
+        ``(n_loads, ops, n_taken, n_exit)`` per segment, split at
+        stores — ``len(segs) == n_stores + 1``.  Drives the closed-form
+        tier's clock recurrence.
+    gate : tuple of tuple
+        ``(bank, n_loads, ops, n_stores, n_branches)`` for the first
+        access to each touched bank: the event-count prefix before it,
+        a lower bound on the clock advance, used by the closed form's
+        zero-bank-wait entry gate.
+    last_banks : tuple of tuple
+        Per touched bank, how to reconstruct its final busy time:
+        ``(bank, 0, store_ordinal, 0, 0, 0, 0)`` when the last access
+        is a store, ``(bank, 1, seg_index, n_loads, ops, n_taken,
+        n_exit)`` (in-segment prefix before the load) when it is a
+        load.
+    lru_sets : tuple of tuple
+        ``(set_index, (tag, ...))`` per touched set: the run-touched
+        cache tags in MRU-first order at run end, for the batch
+        LRU-recency replay.
+    """
+
+    __slots__ = ("start", "end", "counts", "packed", "segs", "gate",
+                 "last_banks", "lru_sets")
+
+    def __init__(self, start, end, counts, packed, segs, gate, last_banks, lru_sets):
+        self.start = start
+        self.end = end
+        self.counts = counts
+        self.packed = packed
+        self.segs = segs
+        self.gate = gate
+        self.last_banks = last_banks
+        self.lru_sets = lru_sets
+
+    def __repr__(self) -> str:
+        return f"HitRun([{self.start}, {self.end}), {len(self.packed)} events)"
+
+
+def _shape_ok(trace: EncodedTrace, shape: Tuple[int, int, int, int]) -> bool:
+    """Whether (trace, shape) is annotatable at all."""
+    line_bytes, sets, ways, banks = shape
+    if len(trace.pf_addrs):
+        return False  # prefetch fills/MSHR state are outside the oracle
+    for n in (line_bytes, sets, banks):
+        if n <= 0 or n & (n - 1):
+            return False
+    return ways >= 1
+
+
+def annotate_trace(
+    trace: EncodedTrace, shape: Tuple[int, int, int, int]
+) -> Tuple[HitRun, ...]:
+    """Annotate ``trace`` with guaranteed-hit runs for ``shape``.
+
+    One profiling pass over the opcode/operand columns with the per-set
+    LRU stack oracle; memoized on the trace per shape, so replaying the
+    same trace through every same-shaped configuration profiles once.
+
+    Parameters
+    ----------
+    trace : EncodedTrace
+        The columnar event stream.
+    shape : tuple of int
+        ``(line_bytes, sets, ways, banks)`` of the cache array whose
+        hit path the runs will bypass.
+
+    Returns
+    -------
+    tuple of HitRun
+        Run records in trace order — empty for prefetch-bearing traces
+        and non-power-of-two shapes.
+    """
+    memo = trace._analysis
+    key = ("elim",) + tuple(shape)
+    runs = memo.get(key)
+    if runs is None:
+        runs = _annotate(trace, shape) if _shape_ok(trace, shape) else ()
+        memo[key] = runs
+    return runs
+
+
+def runs_for(trace: EncodedTrace, shape: Tuple[int, int, int, int]) -> Tuple[HitRun, ...]:
+    """Runs for one replay pass, deferring first-pass annotation.
+
+    The profiling pass behind :func:`annotate_trace` costs about as much
+    as one per-event replay, so eliminating a trace that is only ever
+    replayed once through a shape is a net loss.  The replay paths
+    therefore call this instead of :func:`annotate_trace`: the first
+    pass over a ``(trace, shape)`` in a process runs per-event (and only
+    books the demand), annotation happens from the second pass on, when
+    the one-time cost amortises.  A :func:`forced` ``True`` scope
+    annotates immediately (benchmarks, the audit's eliminated leg and
+    the bit-identity tests all measure the steady state).
+
+    Parameters
+    ----------
+    trace : EncodedTrace
+        The columnar event stream.
+    shape : tuple of int
+        ``(line_bytes, sets, ways, banks)`` of the target cache array.
+
+    Returns
+    -------
+    tuple of HitRun
+        The annotation — empty on the first (deferred) pass and for
+        ineligible traces/shapes.
+    """
+    memo = trace._analysis
+    key = ("elim-passes",) + tuple(shape)
+    passes = memo.get(key, 0)
+    memo[key] = passes + 1
+    if passes or _FORCED:
+        return annotate_trace(trace, shape)
+    return ()
+
+
+def _annotate(trace: EncodedTrace, shape) -> Tuple[HitRun, ...]:
+    """The profiling pass behind :func:`annotate_trace`."""
+    line_bytes, sets, ways, banks = shape
+    off = line_bytes.bit_length() - 1
+    set_mask = sets - 1
+    index_bits = sets.bit_length() - 1
+    bank_mask = banks - 1
+
+    # Oracle state, persistent across runs.
+    stacks: List[List[int]] = [[] for _ in range(sets)]
+    dirty: set = set()
+
+    opcodes = trace.opcodes
+    la, ls = trace.load_addrs, trace.load_sizes
+    sa, ss = trace.store_addrs, trace.store_sizes
+    ops_col, tk_col = trace.ops, trace.taken
+    li = si = ci = ti = 0
+
+    runs: List[HitRun] = []
+
+    # Current-run accumulators; ``reset_run`` restarts them after a
+    # boundary event.
+    packed: List[int] = []
+    pk_append = packed.append
+    run_start = 0
+    n_loads = n_stores = n_computes = ops_total = n_taken = n_exit = 0
+    segs: List[Tuple[int, int, int, int]] = []
+    seg_nl = seg_ops = seg_tk = seg_ex = 0
+    gate: Dict[int, Tuple[int, int, int, int]] = {}
+    last_banks: Dict[int, Tuple] = {}
+    touched_lines: Dict[int, bool] = {}
+    # Running whole-run prefix counts (events before the current one).
+    p_nl = p_ops = p_nst = p_nbr = 0
+
+    def close_run(end: int) -> None:
+        """Emit the current span as a run if it is long enough.
+
+        Must be called *before* the oracle processes the boundary event:
+        the LRU snapshot has to reflect cache state as of the run's last
+        in-run hit (at replay time the run is applied first, then the
+        boundary event runs per-event against that state).
+        """
+        if len(packed) >= MIN_RUN_EVENTS:
+            segs.append((seg_nl, seg_ops, seg_tk, seg_ex))
+            # The run's in-run hits reorder but never evict, so each
+            # touched set's top-|touched lines| stack prefix is exactly
+            # the run-touched lines in MRU order.
+            per_set: Dict[int, int] = {}
+            for ln in touched_lines:
+                s = ln & set_mask
+                per_set[s] = per_set.get(s, 0) + 1
+            lru_sets = tuple(
+                (s, tuple(ln >> index_bits for ln in stacks[s][:n]))
+                for s, n in per_set.items()
+            )
+            runs.append(
+                HitRun(
+                    start=run_start,
+                    end=end,
+                    counts=(n_loads, n_stores, n_computes, ops_total,
+                            n_taken, n_exit),
+                    packed=packed,
+                    segs=tuple(segs),
+                    gate=tuple((b,) + p for b, p in gate.items()),
+                    last_banks=tuple(
+                        (b,) + d for b, d in last_banks.items()
+                    ),
+                    lru_sets=lru_sets,
+                )
+            )
+
+    for i, op in enumerate(opcodes):
+        if op == OP_LOAD or op == OP_STORE:
+            if op == OP_LOAD:
+                addr = la[li]
+                size = ls[li]
+                li += 1
+            else:
+                addr = sa[si]
+                size = ss[si]
+                si += 1
+            line = addr >> off
+            last_line = (addr + size - 1) >> off
+            # Classify first, without touching oracle state: the run
+            # snapshot must precede the boundary event's own update.
+            if last_line != line:
+                boundary = True  # spanning: generic multi-line path
+            else:
+                stack = stacks[line & set_mask]
+                if line not in stack:
+                    boundary = True  # miss: fill + possible eviction
+                elif op == OP_STORE and line not in dirty:
+                    boundary = True  # clean -> dirty transition
+                else:
+                    boundary = False
+            if boundary:
+                close_run(i)
+                packed = []
+                pk_append = packed.append
+                run_start = i + 1
+                n_loads = n_stores = n_computes = ops_total = 0
+                n_taken = n_exit = 0
+                segs = []
+                seg_nl = seg_ops = seg_tk = seg_ex = 0
+                gate = {}
+                last_banks = {}
+                touched_lines = {}
+                p_nl = p_ops = p_nst = p_nbr = 0
+                # Oracle update for the boundary event, mirroring the
+                # generic per-line loop (touch hits, fill+evict misses).
+                for ln in range(line, last_line + 1):
+                    stack = stacks[ln & set_mask]
+                    if ln in stack:
+                        if stack[0] != ln:
+                            stack.remove(ln)
+                            stack.insert(0, ln)
+                    else:
+                        stack.insert(0, ln)
+                        if len(stack) > ways:
+                            dirty.discard(stack.pop())
+                    if op == OP_STORE:
+                        dirty.add(ln)
+                continue
+            # Pure hit: update recency and record the event.
+            if stack[0] != line:
+                stack.remove(line)
+                stack.insert(0, line)
+            bank = line & bank_mask
+            touched_lines[line] = True
+            if bank not in gate:
+                gate[bank] = (p_nl, p_ops, p_nst, p_nbr)
+            if op == OP_LOAD:
+                pk_append(bank << 3)  # PK_LOAD == 0
+                last_banks[bank] = (1, len(segs), seg_nl, seg_ops, seg_tk, seg_ex)
+                n_loads += 1
+                seg_nl += 1
+                p_nl += 1
+            else:
+                pk_append(PK_STORE | (bank << 3))
+                last_banks[bank] = (0, n_stores, 0, 0, 0, 0)
+                segs.append((seg_nl, seg_ops, seg_tk, seg_ex))
+                seg_nl = seg_ops = seg_tk = seg_ex = 0
+                n_stores += 1
+                p_nst += 1
+        elif op == OP_COMPUTE:
+            o = ops_col[ci]
+            ci += 1
+            pk_append(PK_COMPUTE | (o << 3))
+            n_computes += 1
+            ops_total += o
+            seg_ops += o
+            p_ops += o
+        elif op == OP_BRANCH:
+            t = tk_col[ti]
+            ti += 1
+            pk_append(PK_BRANCH | (t << 3))
+            if t:
+                n_taken += 1
+                seg_tk += 1
+            else:
+                n_exit += 1
+                seg_ex += 1
+            p_nbr += 1
+        elif op == OP_MARK:
+            if not packed:
+                run_start = i + 1  # a run must not start on a mark:
+                # the steppers have no mark dispatch arm to trigger on
+        # OP_PREFETCH is unreachable: prefetch traces are rejected above.
+
+    close_run(len(opcodes))
+    return tuple(runs)
+
+
+def oracle_outcomes(trace: EncodedTrace, shape) -> bytes:
+    """Classify every load/store event of ``trace`` under ``shape``.
+
+    The reference form of the per-set stack oracle, exposed for the
+    property tests that pin it against a brute-force set-associative
+    LRU simulation (``tests/test_elim.py``); the annotation pass above
+    embeds the same decisions inline.
+
+    Parameters
+    ----------
+    trace : EncodedTrace
+        The event stream (software prefetches are not supported here —
+        callers gate on :func:`annotate_trace` returning runs at all).
+    shape : tuple of int
+        ``(line_bytes, sets, ways, banks)``.
+
+    Returns
+    -------
+    bytes
+        One code per load/store event in trace order: :data:`MISS`,
+        :data:`DIRTY_TRANSITION`, :data:`PURE_HIT` or :data:`SPANNING`.
+    """
+    line_bytes, sets, ways, _banks = shape
+    off = line_bytes.bit_length() - 1
+    set_mask = sets - 1
+    stacks: List[List[int]] = [[] for _ in range(sets)]
+    dirty: set = set()
+    out = bytearray()
+
+    la, ls = trace.load_addrs, trace.load_sizes
+    sa, ss = trace.store_addrs, trace.store_sizes
+    li = si = 0
+    for op in trace.opcodes:
+        if op == OP_LOAD:
+            addr, size, store = la[li], ls[li], False
+            li += 1
+        elif op == OP_STORE:
+            addr, size, store = sa[si], ss[si], True
+            si += 1
+        else:
+            continue
+        first = addr >> off
+        last = (addr + size - 1) >> off
+        if first != last:
+            code = SPANNING
+        else:
+            stack = stacks[first & set_mask]
+            if first in stack:
+                if store and first not in dirty:
+                    code = DIRTY_TRANSITION
+                else:
+                    code = PURE_HIT
+            else:
+                code = MISS
+        for ln in range(first, last + 1):
+            stack = stacks[ln & set_mask]
+            if ln in stack:
+                if stack[0] != ln:
+                    stack.remove(ln)
+                    stack.insert(0, ln)
+            else:
+                stack.insert(0, ln)
+                if len(stack) > ways:
+                    dirty.discard(stack.pop())
+            if store:
+                dirty.add(ln)
+        out.append(code)
+    return bytes(out)
+
+
+def eliminable_fraction(trace: EncodedTrace, shape) -> float:
+    """Fraction of trace events covered by guaranteed-hit runs.
+
+    Parameters
+    ----------
+    trace : EncodedTrace
+        The event stream.
+    shape : tuple of int
+        ``(line_bytes, sets, ways, banks)``.
+
+    Returns
+    -------
+    float
+        Covered events over total events (0.0 for an empty trace or an
+        unannotatable shape).
+    """
+    total = len(trace)
+    if not total:
+        return 0.0
+    runs = annotate_trace(trace, shape)
+    return sum(run.end - run.start for run in runs) / total

@@ -74,6 +74,7 @@ class EncodedTrace:
         "taken",
         "marks",
         "labels",
+        "_analysis",
     )
 
     def __init__(
@@ -99,6 +100,11 @@ class EncodedTrace:
         self.taken = taken
         self.marks = marks
         self.labels = labels
+        # Lazy per-trace analysis memo: reuse profiles keyed by
+        # ("reuse", line_bytes) and hit-run annotations keyed by
+        # ("elim", line_bytes, sets, ways, banks).  Derived data only —
+        # never part of equality, round-tripping or nbytes accounting.
+        self._analysis: Dict[tuple, object] = {}
 
     def __len__(self) -> int:
         return len(self.opcodes)

@@ -181,6 +181,85 @@ def event_counts(program: Program) -> Dict[str, int]:
     return trace_summary(encode_trace(program))
 
 
+def render_locality(trace) -> str:
+    """Reuse-distance and elimination prospects of one encoded trace.
+
+    Three dynamic-locality views, rendered per named platform
+    configuration:
+
+    - a reuse-distance histogram summary at each distinct line
+      granularity the configurations use (one Mattson profile per line
+      size, memoized on the trace — see
+      :func:`~repro.workloads.reuse.profile_trace`);
+    - the Mattson-predicted miss rate at each configuration's capacity
+      (the DL1 for single-array front-ends, the SRAM partition for the
+      hybrid) — a fully associative prediction, so an optimistic bound
+      for the set-associative arrays;
+    - the fraction of trace events hit-run elimination
+      (:mod:`repro.workloads.elim`) can consume for the configuration's
+      exact array shape, or why the front-end is ineligible.
+
+    Args:
+        trace: The :class:`~repro.workloads.encode.EncodedTrace`.
+
+    Returns:
+        The rendered block (no trailing newline).
+    """
+    from ..cpu.fastpath import make_run_applier
+    from ..cpu.system import System
+    from ..experiments.runner import CONFIGURATIONS
+    from .elim import eliminable_fraction
+    from .reuse import COLD, profile_trace
+
+    rows = []
+    line_sizes: List[int] = []
+    for name, sys_config in CONFIGURATIONS.items():
+        system = System(sys_config)
+        frontend = system.frontend
+        cache = getattr(frontend, "sram", None) or frontend.backing
+        cfg = cache.config
+        if cfg.line_bytes not in line_sizes:
+            line_sizes.append(cfg.line_bytes)
+        capacity_lines = cfg.sets * cfg.associativity
+        profile = profile_trace(trace, cfg.line_bytes)
+        miss = profile.miss_rate_for(capacity_lines) * 100.0
+        applier = make_run_applier(frontend, system.config.cpu)
+        if applier is None:
+            elim = "eliminable n/a (front-end hooks the hit path)"
+        else:
+            frac = eliminable_fraction(trace, applier.shape) * 100.0
+            elim = f"eliminable {frac:.1f}%"
+        rows.append(
+            f"    {name:<7} {cfg.line_bytes}B x {capacity_lines} lines: "
+            f"predicted miss {miss:.1f}%, {elim}"
+        )
+
+    lines = []
+    for line_bytes in line_sizes:
+        profile = profile_trace(trace, line_bytes)
+        reused = profile.total_accesses - profile.cold_accesses
+        dists = sorted(
+            (d, n) for d, n in profile.histogram.items() if d != COLD
+        )
+
+        def _quantile(q: float) -> int:
+            target = q * reused
+            running = 0
+            for distance, count in dists:
+                running += count
+                if running >= target:
+                    return distance
+            return dists[-1][0] if dists else 0
+
+        lines.append(
+            f"reuse:     {profile.total_accesses} line accesses @ "
+            f"{line_bytes}B, {profile.unique_lines} distinct lines, "
+            f"{profile.cold_accesses} cold; distance p50 {_quantile(0.5)}, "
+            f"p90 {_quantile(0.9)}"
+        )
+    return "\n".join(lines + ["locality:"] + rows)
+
+
 def render_report(
     report: ProgramReport,
     dl1_bytes: int = 65536,

@@ -101,30 +101,11 @@ class ReuseProfile:
         return [self.miss_rate_for(c) for c in capacities]
 
 
-def profile_reuse(events: Iterable[TraceEvent], line_bytes: int = 64) -> ReuseProfile:
-    """Profile the loads/stores of a trace at line granularity.
-
-    Accesses spanning multiple lines contribute one profiled access per
-    line, matching how the cache model splits them.
-    """
-    if line_bytes <= 0:
-        raise WorkloadError(f"line size must be positive: {line_bytes}")
-
-    # Pass 1: collect the line-granular access sequence.
-    sequence: List[int] = []
-    for ev in events:
-        kind = type(ev)
-        if kind is not Load and kind is not Store:
-            continue
-        first = ev.addr // line_bytes
-        last = (ev.addr + ev.size - 1) // line_bytes
-        sequence.extend(range(first, last + 1))
-
+def _profile_sequence(sequence: List[int], line_bytes: int) -> ReuseProfile:
+    """Mattson pass over an already line-granular access sequence."""
     profile = ReuseProfile(line_bytes=line_bytes, total_accesses=len(sequence))
     if not sequence:
         return profile
-
-    # Pass 2: Mattson via Fenwick over time slots.
     tree = _Fenwick(len(sequence))
     last_time: Dict[int, int] = {}
     for now, line in enumerate(sequence):
@@ -139,4 +120,73 @@ def profile_reuse(events: Iterable[TraceEvent], line_bytes: int = 64) -> ReusePr
         tree.add(now, 1)
         last_time[line] = now
         profile.histogram[distance] = profile.histogram.get(distance, 0) + 1
+    return profile
+
+
+def profile_reuse(events: Iterable[TraceEvent], line_bytes: int = 64) -> ReuseProfile:
+    """Profile the loads/stores of a trace at line granularity.
+
+    Accesses spanning multiple lines contribute one profiled access per
+    line, matching how the cache model splits them.
+    """
+    if line_bytes <= 0:
+        raise WorkloadError(f"line size must be positive: {line_bytes}")
+
+    sequence: List[int] = []
+    for ev in events:
+        kind = type(ev)
+        if kind is not Load and kind is not Store:
+            continue
+        first = ev.addr // line_bytes
+        last = (ev.addr + ev.size - 1) // line_bytes
+        sequence.extend(range(first, last + 1))
+    return _profile_sequence(sequence, line_bytes)
+
+
+def profile_trace(trace, line_bytes: int = 64) -> ReuseProfile:
+    """Profile an :class:`~repro.workloads.encode.EncodedTrace`, memoized.
+
+    A reuse histogram is only valid at the line granularity it was
+    profiled at — a 64 B profile says nothing about a 32 B cache — so
+    this re-profiles per line size and memoizes the result on the trace
+    itself, keyed by ``("reuse", line_bytes)``.  Callers comparing
+    configurations with differing line sizes get one correct profile
+    each instead of silently sharing one granularity.
+
+    Args:
+        trace: The encoded trace to profile.
+        line_bytes: Line granularity to profile at.
+
+    Returns:
+        The (possibly cached) profile at ``line_bytes``.
+    """
+    if line_bytes <= 0:
+        raise WorkloadError(f"line size must be positive: {line_bytes}")
+    memo = trace._analysis
+    key = ("reuse", line_bytes)
+    profile = memo.get(key)
+    if profile is None:
+        from .encode import OP_LOAD, OP_STORE
+
+        sequence: List[int] = []
+        la, ls = trace.load_addrs, trace.load_sizes
+        sa, ss = trace.store_addrs, trace.store_sizes
+        li = si = 0
+        for op in trace.opcodes:
+            if op == OP_LOAD:
+                addr, size = la[li], ls[li]
+                li += 1
+            elif op == OP_STORE:
+                addr, size = sa[si], ss[si]
+                si += 1
+            else:
+                continue
+            first = addr // line_bytes
+            last = (addr + size - 1) // line_bytes
+            if first == last:
+                sequence.append(first)
+            else:
+                sequence.extend(range(first, last + 1))
+        profile = _profile_sequence(sequence, line_bytes)
+        memo[key] = profile
     return profile
